@@ -1,0 +1,212 @@
+package tellme
+
+// One benchmark per reproduction experiment (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each bench times the workload that regenerates the
+// corresponding table row; `go test -bench=E4 -benchmem` etc. The
+// experiment tables themselves are produced by cmd/experiments.
+
+import (
+	"fmt"
+	"testing"
+
+	"tellme/internal/baseline"
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+func benchEnv(in *prefs.Instance, seed uint64) (*core.Env, *probe.Engine) {
+	b := billboard.New(in.N, in.M)
+	src := rng.NewSource(seed)
+	e := probe.NewEngine(in, b, src.Child("engine", 0))
+	env := core.NewEnv(e, sim.NewRunner(0), src.Child("public", 0), core.DefaultConfig())
+	return env, e
+}
+
+func ids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BenchmarkE1ZeroRadius regenerates E1: exact recovery on an identical
+// community (Theorem 3.1).
+func BenchmarkE1ZeroRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Identical(512, 512, 0.5, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.ZeroRadiusBits(env, ids(in.N), ids(in.M), 0.5)
+	}
+}
+
+// BenchmarkE2Select regenerates E2: the k(D+1) probe budget of Select
+// (Theorem 3.2).
+func BenchmarkE2Select(b *testing.B) {
+	r := rng.New(1)
+	m, k, d := 512, 8, 8
+	truth := bitvec.Random(r, m)
+	cands := make([]bitvec.Partial, k)
+	planted := truth.Clone()
+	planted.FlipRandom(r, d)
+	cands[0] = bitvec.PartialOf(planted)
+	for i := 1; i < k; i++ {
+		cands[i] = bitvec.PartialOf(bitvec.Random(r, m))
+	}
+	in := prefs.FromVectors([]bitvec.Vector{truth})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(uint64(i)))
+		_ = core.SelectPartial(e.Player(0), ids(m), cands, d)
+	}
+}
+
+// BenchmarkE3Partition regenerates E3: one Lemma 4.1 success trial at
+// the paper's s = 100·d^{3/2}.
+func BenchmarkE3Partition(b *testing.B) {
+	r := rng.New(2)
+	m, d := 1500, 4
+	center := bitvec.Random(r, m)
+	vecs := make([]bitvec.Vector, 25)
+	for i := range vecs {
+		v := center.Clone()
+		v.FlipRandom(r, r.Intn(d/2+1))
+		vecs[i] = v
+	}
+	s := 800 // 100·4^{3/2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RandomPartitionTrial(r, vecs, m, s)
+	}
+}
+
+// BenchmarkE4SmallRadius regenerates E4: the 5D error bound at
+// D^{3/2}-scaled cost (Theorem 4.4).
+func BenchmarkE4SmallRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(256, 256, 0.5, 4, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.SmallRadius(env, ids(in.N), ids(in.M), 0.5, 4, 4)
+	}
+}
+
+// BenchmarkE5Coalesce regenerates E5: Theorem 5.3's clustering bounds.
+func BenchmarkE5Coalesce(b *testing.B) {
+	r := rng.New(3)
+	m, d := 400, 6
+	center := bitvec.Random(r, m)
+	vecs := make([]bitvec.Partial, 0, 80)
+	for i := 0; i < 20; i++ {
+		v := center.Clone()
+		v.FlipRandom(r, r.Intn(d/2+1))
+		vecs = append(vecs, bitvec.PartialOf(v))
+	}
+	for len(vecs) < 80 {
+		vecs = append(vecs, bitvec.PartialOf(bitvec.Random(r, m)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Coalesce(vecs, d, 0.25)
+	}
+}
+
+// BenchmarkE6LargeRadius regenerates E6: the O(D/α) error bound
+// (Theorem 5.4).
+func BenchmarkE6LargeRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(256, 256, 0.5, 24, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.LargeRadius(env, ids(in.N), ids(in.M), 0.5, 24)
+	}
+}
+
+// BenchmarkE7RSelect regenerates E7: Theorem 6.1's boundless Choose
+// Closest.
+func BenchmarkE7RSelect(b *testing.B) {
+	r := rng.New(4)
+	m, k, d := 512, 6, 8
+	truth := bitvec.Random(r, m)
+	cands := make([]bitvec.Partial, k)
+	planted := truth.Clone()
+	planted.FlipRandom(r, d)
+	cands[0] = bitvec.PartialOf(planted)
+	for i := 1; i < k; i++ {
+		v := truth.Clone()
+		v.FlipRandom(r, 8*d+40)
+		cands[i] = bitvec.PartialOf(v)
+	}
+	in := prefs.FromVectors([]bitvec.Vector{truth})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(uint64(i)))
+		_ = core.RSelect(e.Player(0), rng.New(uint64(i)), ids(m), cands, 30)
+	}
+}
+
+// BenchmarkE8Main regenerates E8: the unknown-D wrapper behind
+// Theorem 1.1.
+func BenchmarkE8Main(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(128, 128, 0.5, 8, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.UnknownD(env, 0.5)
+	}
+}
+
+// BenchmarkE9Baselines regenerates E9's baseline side at a fixed budget.
+func BenchmarkE9Baselines(b *testing.B) {
+	in := prefs.AdversarialVoteSplit(256, 256, 0.3, 0, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		board := billboard.New(in.N, in.M)
+		e := probe.NewEngine(in, board, rng.NewSource(uint64(i)))
+		runner := sim.NewRunner(0)
+		_ = baseline.SampleMajority(e, runner, 32, rng.NewSource(uint64(i)+1))
+		_ = baseline.KNN(e, runner, 32, 8, rng.NewSource(uint64(i)+2))
+		_ = baseline.Spectral(e, runner, 32, 2, 10, rng.NewSource(uint64(i)+3))
+	}
+}
+
+// BenchmarkE10Anytime regenerates E10: two phases of the unknown-α
+// doubling scheme.
+func BenchmarkE10Anytime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(128, 128, 0.25, 4, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.Anytime(env, 0, func(ph core.AnytimePhase) bool { return ph.Phase < 2 })
+	}
+}
+
+// BenchmarkE11AblationPartC regenerates E11b's extreme partition-count
+// configurations.
+func BenchmarkE11AblationPartC(b *testing.B) {
+	for _, pc := range []float64{0.25, 4} {
+		b.Run(fmt.Sprintf("PartC=%v", pc), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.PartC = pc
+			for i := 0; i < b.N; i++ {
+				in := prefs.Planted(256, 256, 0.5, 4, uint64(i))
+				board := billboard.New(in.N, in.M)
+				src := rng.NewSource(uint64(i) + 1)
+				e := probe.NewEngine(in, board, src.Child("engine", 0))
+				env := core.NewEnv(e, sim.NewRunner(0), src.Child("public", 0), cfg)
+				_ = core.SmallRadius(env, ids(in.N), ids(in.M), 0.5, 4, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkE12Adversarial regenerates E12: ZeroRadius against colluding
+// outsider blocks.
+func BenchmarkE12Adversarial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.AdversarialVoteSplit(256, 256, 0.3, 0, uint64(i))
+		env, _ := benchEnv(in, uint64(i)+1)
+		_ = core.ZeroRadiusBits(env, ids(in.N), ids(in.M), 0.3)
+	}
+}

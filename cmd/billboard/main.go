@@ -1,0 +1,102 @@
+// Command billboard serves a shared billboard over HTTP — the paper's
+// public board as an actual service. Players in other processes connect
+// through the same billboard interface the in-memory simulator uses
+// (see Options.BoardURL in the tellme package).
+//
+//	billboard -addr :7070 -n 1024 -m 1024
+//	billboard -addr :7070 -n 1024 -m 1024 -state board.json  # persistent
+//
+// With -state, the board is restored from the file at startup (if it
+// exists) and snapshotted back on SIGINT/SIGTERM.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tellme/internal/billboard"
+	"tellme/internal/netboard"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7070", "listen address")
+		n     = flag.Int("n", 1024, "number of players")
+		m     = flag.Int("m", 1024, "number of objects")
+		state = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
+	)
+	flag.Parse()
+	if *n <= 0 || *m <= 0 {
+		fmt.Fprintln(os.Stderr, "n and m must be positive")
+		os.Exit(2)
+	}
+
+	board, err := loadBoard(*state, *n, *m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *state != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := saveBoard(*state, board); err != nil {
+				log.Printf("snapshot failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("state saved to %s", *state)
+			os.Exit(0)
+		}()
+	}
+
+	srv := netboard.NewServer(board)
+	log.Printf("billboard for %d players × %d objects listening on %s", board.N(), board.M(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// loadBoard restores the board from path, or builds a fresh one when
+// path is empty or absent.
+func loadBoard(path string, n, m int) (*billboard.Board, error) {
+	if path == "" {
+		return billboard.New(n, m), nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return billboard.New(n, m), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	board, err := billboard.Restore(f)
+	if err != nil {
+		return nil, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	log.Printf("restored state from %s (%d probes)", path, board.ProbeCount())
+	return board, nil
+}
+
+// saveBoard snapshots the board atomically (write temp, rename).
+func saveBoard(path string, board *billboard.Board) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := board.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"tellme/internal/billboard"
+)
+
+func TestLoadBoardFresh(t *testing.T) {
+	b, err := loadBoard("", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 8 || b.M() != 16 {
+		t.Fatalf("dims %dx%d", b.N(), b.M())
+	}
+}
+
+func TestLoadBoardMissingFileIsFresh(t *testing.T) {
+	b, err := loadBoard(t.TempDir()+"/none.json", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ProbeCount() != 0 {
+		t.Fatal("missing file produced non-empty board")
+	}
+}
+
+func TestSaveLoadBoardRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/state.json"
+	b := billboard.New(4, 8)
+	b.PostProbe(1, 2, 1)
+	b.PostValues("t", 0, []uint32{5})
+	if err := saveBoard(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBoard(path, 0, 0) // dims come from the snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.M() != 8 {
+		t.Fatalf("dims %dx%d", got.N(), got.M())
+	}
+	if v, ok := got.LookupProbe(1, 2); !ok || v != 1 {
+		t.Fatal("probe lost across save/load")
+	}
+	if len(got.ValuePostings("t")) != 1 {
+		t.Fatal("value posting lost")
+	}
+	// atomic write: no stray temp file
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestLoadBoardCorruptFails(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBoard(path, 4, 4); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the reproduction tables E1–E20 (see
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for a
+// recorded reference run).
+//
+// Examples:
+//
+//	experiments                  # run everything at reference scale
+//	experiments -run E4,E6       # selected experiments
+//	experiments -scale 1 -seeds 1 -quick   # fast smoke pass
+//	experiments -format markdown # emit markdown tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tellme/internal/exp"
+	"tellme/internal/metrics"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		seeds  = flag.Int("seeds", 3, "repetitions per configuration")
+		scale  = flag.Int("scale", 2, "instance size scale (1 = quick, 2 = reference)")
+		format = flag.String("format", "text", "output format: text|csv|markdown")
+		quick  = flag.Bool("quick", false, "shorthand for -seeds 1 -scale 1")
+		quiet  = flag.Bool("q", false, "suppress progress lines")
+		outDir = flag.String("out", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *quick {
+		*seeds, *scale = 1, 1
+	}
+
+	opts := exp.Options{Seeds: *seeds, Scale: *scale}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	selected, err := selectExperiments(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	emit := func(t *metrics.Table) error {
+		switch *format {
+		case "text":
+			return t.Render(os.Stdout)
+		case "csv":
+			return t.CSV(os.Stdout)
+		case "markdown":
+			return t.Markdown(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "--- %s: %s (%s)\n", e.ID, e.Title, e.Claim)
+		for i, t := range e.Run(opts) {
+			if err := emit(t); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", e.ID, i)
+				if err := writeCSV(filepath.Join(*outDir, name), t); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// selectExperiments resolves a comma-separated ID list ("" = all).
+func selectExperiments(run string) ([]exp.Experiment, error) {
+	if run == "" {
+		return exp.All(), nil
+	}
+	var selected []exp.Experiment
+	for _, id := range strings.Split(run, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := exp.ByID(id)
+		if !ok {
+			avail := make([]string, 0, len(exp.All()))
+			for _, e := range exp.All() {
+				avail = append(avail, e.ID)
+			}
+			return nil, fmt.Errorf("unknown experiment %q; available: %s", id, strings.Join(avail, " "))
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+func writeCSV(path string, t *metrics.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

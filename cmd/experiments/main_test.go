@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"tellme/internal/exp"
+	"tellme/internal/metrics"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	got, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(exp.All()) {
+		t.Fatalf("selected %d of %d", len(got), len(exp.All()))
+	}
+}
+
+func TestSelectExperimentsByID(t *testing.T) {
+	got, err := selectExperiments("E4, E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "E4" || got[1].ID != "E1" {
+		t.Fatalf("selected %+v", got)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	_, err := selectExperiments("E1,E99")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), "E99") || !strings.Contains(err.Error(), "available") {
+		t.Fatalf("error %v not helpful", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	path := t.TempDir() + "/t.csv"
+	tab := &metrics.Table{Header: []string{"a", "b"}}
+	tab.AddRow(1, "x")
+	if err := writeCSV(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,x\n" {
+		t.Fatalf("csv = %q", data)
+	}
+}

@@ -1,0 +1,198 @@
+// Command tellme runs one of the paper's algorithms on a generated
+// instance and prints cost and quality statistics.
+//
+// Examples:
+//
+//	tellme -n 1024 -m 1024 -gen planted -alpha 0.5 -d 8 -algo auto
+//	tellme -n 512 -gen adversarial -alpha 0.25 -d 4 -algo main
+//	tellme -n 256 -gen identical -alpha 0.5 -algo zero -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tellme"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 512, "number of players")
+		m     = flag.Int("m", 0, "number of objects (0 = n)")
+		gen   = flag.String("gen", "planted", "instance generator: identical|planted|adversarial|mixture|random")
+		alpha = flag.Float64("alpha", 0.5, "community fraction α")
+		d     = flag.Int("d", 8, "community diameter D (generator and known-D algorithms)")
+		types = flag.Int("types", 4, "mixture generator: number of types")
+		noise = flag.Float64("noise", 0.02, "mixture generator: per-coordinate flip noise")
+		algo  = flag.String("algo", "auto", "algorithm: auto|main|zero|small|large|anytime")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		budg  = flag.Int64("budget", 0, "anytime: per-player probe budget (0 = all phases)")
+		flip  = flag.Float64("probe-noise", 0, "probe fault injection: flip probability")
+		verb  = flag.Bool("v", false, "print per-community details")
+		save  = flag.String("save", "", "write the generated instance to this file (binary) and exit")
+		load  = flag.String("load", "", "load the instance from this file instead of generating")
+		board = flag.String("board", "", "run against a remote billboard server at this base URL")
+		cnts  = flag.Bool("counts", false, "print nested sub-algorithm invocation counts")
+		scen  = flag.String("scenarios", "", "run a JSON scenario file (see tellme.Scenario) and exit")
+	)
+	flag.Parse()
+	if *m == 0 {
+		*m = *n
+	}
+
+	if *scen != "" {
+		if err := runScenarios(os.Stdout, *scen); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var in *tellme.Instance
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		in, err = tellme.LoadInstance(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *verb, *cnts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	switch *gen {
+	case "identical":
+		in = tellme.IdenticalInstance(*n, *m, *alpha, *seed)
+	case "planted":
+		in = tellme.PlantedInstance(*n, *m, *alpha, *d, *seed)
+	case "adversarial":
+		in = tellme.AdversarialInstance(*n, *m, *alpha, *d, *seed)
+	case "mixture":
+		in = tellme.MixtureInstance(*n, *m, *types, *noise, *seed)
+	case "random":
+		in = tellme.RandomInstance(*n, *m, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown generator %q\n", *gen)
+		os.Exit(2)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := tellme.SaveInstance(f, in); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s (%d players × %d objects) to %s\n", in.Name, in.N, in.M, *save)
+		return
+	}
+	if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *verb, *cnts); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// runScenarios executes a JSON scenario file and prints one summary
+// line per scenario.
+func runScenarios(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	scs, err := tellme.LoadScenarios(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	results, err := tellme.RunScenarios(scs)
+	for _, res := range results {
+		fmt.Fprintf(w, "%-24s algo=%-16s probes(max)=%-8d", res.Scenario.Name,
+			res.Report.Algorithm, res.Report.MaxProbes)
+		if len(res.Report.Communities) > 0 {
+			c := res.Report.Communities[0]
+			fmt.Fprintf(w, " discrepancy=%-5d stretch=%.2f", c.Discrepancy, c.Stretch)
+		}
+		fmt.Fprintln(w)
+	}
+	return err
+}
+
+// runOn executes one algorithm over the instance and writes the report
+// to w. Split from main for testability.
+func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, seed uint64, budg int64, flip float64, board string, verb, cnts bool) error {
+	algos := map[string]tellme.Algorithm{
+		"auto":    tellme.AlgoAuto,
+		"main":    tellme.AlgoMain,
+		"zero":    tellme.AlgoZero,
+		"small":   tellme.AlgoSmall,
+		"large":   tellme.AlgoLarge,
+		"anytime": tellme.AlgoAnytime,
+	}
+	a, ok := algos[algo]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	opt := tellme.Options{
+		Algorithm: a,
+		Alpha:     alpha,
+		D:         d,
+		Seed:      seed + 1,
+		Budget:    budg,
+		FlipNoise: flip,
+		BoardURL:  board,
+	}
+	if a == tellme.AlgoAnytime {
+		opt.OnPhase = func(ph tellme.PhaseInfo) bool {
+			fmt.Fprintf(w, "phase %d: alpha=%.4f probes(max)=%d\n", ph.Phase, ph.Alpha, ph.MaxProbes)
+			return true
+		}
+	}
+
+	rep, err := tellme.Run(in, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "instance   %s\n", in.Name)
+	fmt.Fprintf(w, "algorithm  %s\n", rep.Algorithm)
+	fmt.Fprintf(w, "probes     max=%d (solo would be %d)  mean=%.1f  total=%d\n",
+		rep.MaxProbes, in.M, rep.MeanProbes, rep.TotalProbes)
+	fmt.Fprintf(w, "time       %v\n", rep.Duration.Round(1000000))
+	if cnts {
+		fmt.Fprintf(w, "sub-algorithm runs: ZeroRadius=%d SmallRadius=%d LargeRadius=%d Coalesce=%d\n",
+			rep.SubAlgorithmRuns["ZeroRadius"], rep.SubAlgorithmRuns["SmallRadius"],
+			rep.SubAlgorithmRuns["LargeRadius"], rep.SubAlgorithmRuns["Coalesce"])
+	}
+	for i, c := range rep.Communities {
+		fmt.Fprintf(w, "community %d: size=%d diameter=%d discrepancy=%d stretch=%.2f meanErr=%.2f\n",
+			i, c.Size, c.Diameter, c.Discrepancy, c.Stretch, c.MeanErr)
+		if verb {
+			members := in.Communities[i].Members
+			limit := 5
+			for j, p := range members {
+				if j >= limit {
+					break
+				}
+				fmt.Fprintf(w, "  player %4d: err=%d  ?s=%d\n", p, in.Err(p, rep.Outputs[p]), rep.Outputs[p].UnknownCount())
+			}
+		}
+	}
+	return nil
+}

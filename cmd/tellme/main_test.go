@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"tellme"
+)
+
+func TestRunOnZero(t *testing.T) {
+	in := tellme.IdenticalInstance(64, 64, 0.5, 1)
+	var buf bytes.Buffer
+	if err := runOn(&buf, in, "zero", 0.5, 0, 2, 0, 0, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"algorithm  zero-radius", "probes", "community 0:", "discrepancy=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOnVerboseAndCounts(t *testing.T) {
+	in := tellme.PlantedInstance(128, 128, 0.5, 16, 3)
+	var buf bytes.Buffer
+	if err := runOn(&buf, in, "large", 0.5, 16, 4, 0, 0, "", true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sub-algorithm runs:") {
+		t.Fatalf("counts missing:\n%s", out)
+	}
+	if !strings.Contains(out, "player ") {
+		t.Fatalf("verbose per-player lines missing:\n%s", out)
+	}
+}
+
+func TestRunOnAnytimePhases(t *testing.T) {
+	in := tellme.PlantedInstance(64, 64, 0.5, 4, 5)
+	var buf bytes.Buffer
+	if err := runOn(&buf, in, "anytime", 0.5, 0, 6, 50, 0, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "phase 1: alpha=0.5000") {
+		t.Fatalf("phase lines missing:\n%s", buf.String())
+	}
+}
+
+func TestRunOnUnknownAlgorithm(t *testing.T) {
+	in := tellme.IdenticalInstance(8, 8, 0.5, 7)
+	var buf bytes.Buffer
+	if err := runOn(&buf, in, "nope", 0.5, 0, 1, 0, 0, "", false, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunOnPropagatesRunError(t *testing.T) {
+	in := tellme.IdenticalInstance(8, 8, 0.5, 8)
+	var buf bytes.Buffer
+	if err := runOn(&buf, in, "zero", 0, 0, 1, 0, 0, "", false, false); err == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+}
+
+func TestRunScenariosFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/scs.json"
+	content := `[{"name":"s1","generator":{"kind":"identical","n":64,"alpha":0.5,"seed":1},"run":{"algorithm":"zero","alpha":0.5,"seed":2}}]`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runScenarios(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s1") || !strings.Contains(buf.String(), "discrepancy=0") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	if err := runScenarios(&buf, dir+"/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package tellme
+
+import "fmt"
+
+func ExampleRun() {
+	inst := IdenticalInstance(256, 256, 0.5, 42)
+	rep, err := Run(inst, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	c := rep.Communities[0]
+	fmt.Printf("community %d players, worst error %d, probes/player %d of %d\n",
+		c.Size, c.Discrepancy, rep.MaxProbes, inst.M)
+	// Output: community 128 players, worst error 0, probes/player 16 of 256
+}
+
+func ExampleRunBaseline() {
+	inst := IdenticalInstance(128, 128, 0.5, 9)
+	rep, err := RunBaseline(inst, BaselineOptions{Baseline: BaselineMajority, Budget: 16, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("majority baseline probes/player: %d\n", rep.MaxProbes)
+	// Output: majority baseline probes/player: 16
+}
+
+func ExampleEncodeValuesInstance() {
+	values := [][]int{
+		{0, 3, 1},
+		{0, 3, 1},
+		{2, 2, 2},
+	}
+	inst, err := EncodeValuesInstance(values, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d players × %d objects → %d binary objects\n",
+		inst.N, 3, inst.M)
+	decoded, undecided := DecodeValues(PartialOfVector(inst.Vector(0)), 3, 4)
+	fmt.Println(decoded, undecided)
+	// Output:
+	// 3 players × 3 objects → 6 binary objects
+	// [0 3 1] 0
+}
+
+func ExampleRunOneGood() {
+	// Reference [4]: find one liked object each. 4 shared liked objects
+	// among 1024; recommendation propagation makes the community's
+	// search nearly free.
+	inst := SharedLikesInstance(128, 1024, 0.5, 4, 4, 1)
+	res, err := RunOneGood(inst, OneGoodOptions{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	comm := inst.Communities[0].Members
+	worst := 0
+	for _, p := range comm {
+		if res.FoundAt[p] > worst {
+			worst = res.FoundAt[p]
+		}
+	}
+	fmt.Printf("all %d community members satisfied within %d rounds\n", len(comm), worst)
+	// Output: all 64 community members satisfied within 9 rounds
+}
+
+func ExampleRunRefresh() {
+	inst := IdenticalInstance(128, 128, 0.5, 95)
+	first, _ := Run(inst, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 96})
+	// the world drifts by 6 coordinates; repair instead of re-running
+	drifted := DriftInstance(inst, 6, 0, 97)
+	rep, _ := RunRefresh(drifted, first.Outputs, RefreshOptions{
+		Alpha: 0.5, ExpectedDrift: 6, Seed: 98,
+	})
+	fmt.Printf("repaired with %d probes/player (fresh run took %d), error %d\n",
+		rep.MaxProbes, first.MaxProbes, rep.Communities[0].Discrepancy)
+	// Output: repaired with 10 probes/player (fresh run took 16), error 0
+}

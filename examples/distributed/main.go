@@ -1,0 +1,63 @@
+// Distributed: the billboard as an actual network service.
+//
+// The paper's players communicate only through a shared public board.
+// This example starts a billboard HTTP server (the same one
+// cmd/billboard runs standalone), then executes Algorithm Zero Radius
+// with every billboard operation — probe postings, vector postings,
+// vote tallies — going over HTTP. The run is deterministic, so it
+// produces exactly the outputs an in-memory run would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"tellme"
+	"tellme/internal/billboard"
+	"tellme/internal/netboard"
+)
+
+func main() {
+	const (
+		players = 48
+		objects = 64
+	)
+
+	// Start the billboard service on an ephemeral local port.
+	board := billboard.New(players, objects)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, netboard.NewServer(board)); err != nil {
+			log.Print(err)
+		}
+	}()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("billboard service listening at %s\n", url)
+
+	// Players share one hidden taste among 60% of them.
+	inst := tellme.IdenticalInstance(players, objects, 0.6, 3)
+
+	rep, err := tellme.Run(inst, tellme.Options{
+		Algorithm: tellme.AlgoZero,
+		Alpha:     0.6,
+		Seed:      4,
+		BoardURL:  url, // every billboard access is an HTTP round trip
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := rep.Communities[0]
+	fmt.Printf("community of %d recovered its %d grades with worst error %d\n",
+		c.Size, objects, c.Discrepancy)
+	fmt.Printf("probes per player: max %d (solo = %d)\n", rep.MaxProbes, objects)
+	fmt.Printf("server-side state: %d probe postings, %d vector postings\n",
+		board.ProbeCount(), board.VectorPostCount())
+	fmt.Println("\ninspect the board yourself, e.g.:")
+	fmt.Printf("  curl '%s/v1/probe?player=0&object=0'\n", url)
+}

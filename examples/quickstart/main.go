@@ -1,0 +1,59 @@
+// Quickstart: players with similar taste split the cost of exploring
+// the object space by sharing probe results on a public billboard.
+//
+// Part 1 shows the headline effect at its clearest: a community with
+// identical preferences reconstructs all 1024 grades from ~20 probes
+// per player instead of 1024 — while adversarial players try to split
+// the votes.
+//
+// Part 2 runs the general algorithm (community diameter unknown) on a
+// noisy community and reports the paper's quality measure, the stretch
+// ρ = worst member error / community diameter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tellme"
+)
+
+func main() {
+	// --- Part 1: identical tastes, adversarial outsiders -------------
+	inst := tellme.AdversarialInstance(1024, 1024, 0.5, 0, 42)
+	rep, err := tellme.Run(inst, tellme.Options{
+		Algorithm: tellme.AlgoZero, // Theorem 3.1 regime (D = 0)
+		Alpha:     0.5,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := rep.Communities[0]
+	fmt.Println("part 1: identical-taste community among colluding adversaries")
+	fmt.Printf("  probes per player: max %d   (going solo: %d)\n", rep.MaxProbes, inst.M)
+	fmt.Printf("  community of %d players — worst reconstruction error: %d\n\n",
+		c.Size, c.Discrepancy)
+
+	// --- Part 2: diverse community, diameter unknown -----------------
+	inst2 := tellme.PlantedInstance(256, 256, 0.5, 8, 43)
+	rep2, err := tellme.Run(inst2, tellme.Options{
+		Algorithm: tellme.AlgoAuto, // Section 6: D unknown
+		Alpha:     0.5,
+		Seed:      8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2 := rep2.Communities[0]
+	fmt.Println("part 2: community of diameter 8, diameter not known to the players")
+	fmt.Printf("  worst member error %d on diameter %d → stretch %.2f (Theorem 1.1: O(1))\n",
+		c2.Discrepancy, c2.Diameter, c2.Stretch)
+	fmt.Printf("  probes per player: max %d — the polylog bound has large constants;\n", rep2.MaxProbes)
+	fmt.Println("  it crosses below solo cost only at much larger n (see EXPERIMENTS.md, E8)")
+
+	// Inspect one member's output up close.
+	p := inst2.Communities[0].Members[0]
+	fmt.Printf("\nplayer %d: output errors=%d, undetermined coordinates=%d\n",
+		p, inst2.Err(p, rep2.Outputs[p]), rep2.Outputs[p].UnknownCount())
+}

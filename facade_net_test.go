@@ -1,0 +1,105 @@
+package tellme
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/netboard"
+)
+
+func TestRunAgainstRemoteBoard(t *testing.T) {
+	in := IdenticalInstance(48, 48, 0.5, 21)
+
+	local, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	board := billboard.New(in.N, in.M)
+	srv := httptest.NewServer(netboard.NewServer(board))
+	defer srv.Close()
+	remote, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22, BoardURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism: identical outputs local vs remote.
+	for p := 0; p < in.N; p++ {
+		if !local.Outputs[p].Equal(remote.Outputs[p]) {
+			t.Fatalf("player %d output differs between local and remote board", p)
+		}
+	}
+	if local.MaxProbes != remote.MaxProbes {
+		t.Fatalf("probe accounting differs: %d vs %d", local.MaxProbes, remote.MaxProbes)
+	}
+	// The remote board really saw the traffic.
+	if board.ProbeCount() == 0 || board.VectorPostCount() != 0 {
+		// vector topics are dropped at the end of ZeroRadius, but probe
+		// postings persist
+		if board.ProbeCount() == 0 {
+			t.Fatal("remote board saw no probes")
+		}
+	}
+}
+
+func TestSaveLoadInstanceFacade(t *testing.T) {
+	in := PlantedInstance(32, 64, 0.5, 6, 23)
+	var buf bytes.Buffer
+	if err := SaveInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != in.N || got.M != in.M {
+		t.Fatalf("dims %dx%d", got.N, got.M)
+	}
+	for p := 0; p < in.N; p++ {
+		if !got.Truth[p].Equal(in.Truth[p]) {
+			t.Fatalf("row %d differs", p)
+		}
+	}
+	// loaded instance runs identically
+	a, err := Run(in, Options{Algorithm: AlgoSmall, Alpha: 0.5, D: 6, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(got, Options{Algorithm: AlgoSmall, Alpha: 0.5, D: 6, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < in.N; p++ {
+		if !a.Outputs[p].Equal(b.Outputs[p]) {
+			t.Fatalf("run on loaded instance diverged at %d", p)
+		}
+	}
+
+	var jbuf bytes.Buffer
+	if err := SaveInstanceJSON(&jbuf, in); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadInstanceJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.N != in.N {
+		t.Fatal("JSON round trip failed")
+	}
+}
+
+func TestRunReportsSubAlgorithmCounts(t *testing.T) {
+	in := PlantedInstance(128, 128, 0.5, 16, 25)
+	rep, err := Run(in, Options{Algorithm: AlgoLarge, Alpha: 0.5, D: 16, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SubAlgorithmRuns["LargeRadius"] != 1 {
+		t.Fatalf("LargeRadius count %d", rep.SubAlgorithmRuns["LargeRadius"])
+	}
+	if rep.SubAlgorithmRuns["ZeroRadius"] < 1 || rep.SubAlgorithmRuns["SmallRadius"] < 1 {
+		t.Fatalf("missing nested counts: %v", rep.SubAlgorithmRuns)
+	}
+}

@@ -1,0 +1,3 @@
+module tellme
+
+go 1.22

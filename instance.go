@@ -1,0 +1,91 @@
+package tellme
+
+import (
+	"io"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+)
+
+// IdenticalInstance plants one community of ≥ alpha·n players sharing a
+// single random preference vector (the D = 0 case of Theorem 3.1).
+func IdenticalInstance(n, m int, alpha float64, seed uint64) *Instance {
+	return prefs.Identical(n, m, alpha, seed)
+}
+
+// PlantedInstance plants one (alpha, d)-typical community: members lie
+// within d/2 of a random center, so pairwise diameter is at most d.
+func PlantedInstance(n, m int, alpha float64, d int, seed uint64) *Instance {
+	return prefs.Planted(n, m, alpha, d, seed)
+}
+
+// CommunitySpec describes one community for MultiCommunityInstance.
+type CommunitySpec = prefs.CommunitySpec
+
+// MultiCommunityInstance plants several disjoint communities; leftover
+// players get uniformly random preferences.
+func MultiCommunityInstance(n, m int, specs []CommunitySpec, seed uint64) *Instance {
+	return prefs.MultiCommunity(n, m, specs, seed)
+}
+
+// AdversarialInstance plants an (alpha, d)-typical community among
+// colluding outsider blocks designed to attack vote-counting steps.
+func AdversarialInstance(n, m int, alpha float64, d int, seed uint64) *Instance {
+	return prefs.AdversarialVoteSplit(n, m, alpha, d, seed)
+}
+
+// MixtureInstance generates the low-rank model of the non-interactive
+// literature: k type vectors, each player a noisy copy of one type.
+func MixtureInstance(n, m, k int, noise float64, seed uint64) *Instance {
+	return prefs.TypesMixture(n, m, k, noise, seed)
+}
+
+// RandomInstance has fully independent uniform preferences — the
+// unstructured floor where collaboration cannot help.
+func RandomInstance(n, m int, seed uint64) *Instance {
+	return prefs.UniformRandom(n, m, seed)
+}
+
+// CustomInstance wraps explicit preference vectors (all the same
+// length) into an Instance, e.g. to run the algorithms on your own data.
+func CustomInstance(vectors []Vector) *Instance {
+	return prefs.FromVectors(vectors)
+}
+
+// NewVector returns an all-zero preference vector of length m.
+func NewVector(m int) Vector { return bitvec.New(m) }
+
+// VectorFromString parses a '0'/'1' string into a Vector.
+func VectorFromString(s string) (Vector, error) { return bitvec.FromString(s) }
+
+// PartialOfVector lifts a total vector into a fully-known Partial.
+func PartialOfVector(v Vector) Partial { return bitvec.PartialOf(v) }
+
+// SaveInstance writes the instance in the compact binary format
+// (roughly n·m/8 bytes), suitable for archiving experiment inputs.
+func SaveInstance(w io.Writer, in *Instance) error { return in.WriteBinary(w) }
+
+// LoadInstance reads an instance written by SaveInstance.
+func LoadInstance(r io.Reader) (*Instance, error) { return prefs.ReadBinary(r) }
+
+// SaveInstanceJSON writes the instance as JSON (larger, greppable).
+func SaveInstanceJSON(w io.Writer, in *Instance) error { return in.WriteJSON(w) }
+
+// LoadInstanceJSON reads an instance written by SaveInstanceJSON.
+func LoadInstanceJSON(r io.Reader) (*Instance, error) { return prefs.ReadJSON(r) }
+
+// DriftInstance returns a drifted copy of the instance: each planted
+// community's taste shifts coherently by communityFlips coordinates and
+// every player suffers up to playerFlips idiosyncratic flips (the
+// dynamic-environment model measured in experiments E17/E20).
+func DriftInstance(in *Instance, communityFlips, playerFlips int, seed uint64) *Instance {
+	return prefs.Drift(in, communityFlips, playerFlips, seed)
+}
+
+// SharedLikesInstance builds the one-good-object setting of the paper's
+// reference [4]: a community of ≥ alpha·n players who like exactly the
+// same `liked` objects, with every outsider liking `outsiderLikes`
+// random objects of its own.
+func SharedLikesInstance(n, m int, alpha float64, liked, outsiderLikes int, seed uint64) *Instance {
+	return prefs.SharedLikes(n, m, alpha, liked, outsiderLikes, seed)
+}

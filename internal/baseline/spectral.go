@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"math"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+// Spectral implements the SVD reconstruction baseline in the style of
+// Drineas, Kerenidis and Raghavan [6]: sample entries uniformly, scale
+// to an unbiased estimator of the full ±1 matrix, compute a rank-`rank`
+// approximation by orthogonal (subspace) power iteration, and threshold
+// back to grades. Probed entries are kept verbatim.
+//
+// It performs well when the preference matrix is close to rank-k with a
+// singular gap (the assumption the paper removes) and degrades on
+// adversarial instances — experiment E9 measures both sides.
+func Spectral(e *probe.Engine, runner *sim.Runner, budget, rank, iters int, src rng.Source) []bitvec.Partial {
+	in := e.Instance()
+	n, m := in.N, in.M
+	sampleProbes(e, runner, budget, src)
+
+	// Build the scaled sample matrix: probed entries map 0/1 → ±1 and
+	// are divided by the sampling rate; missing entries are 0.
+	probesPer := make([]map[int]byte, n)
+	sampled := 0
+	for p := 0; p < n; p++ {
+		probesPer[p] = e.Board().ProbedObjects(p)
+		sampled += len(probesPer[p])
+	}
+	rate := float64(sampled) / float64(n*m)
+	if rate <= 0 {
+		rate = 1
+	}
+	a := make([][]float64, n)
+	for p := 0; p < n; p++ {
+		a[p] = make([]float64, m)
+		for o, v := range probesPer[p] {
+			x := -1.0
+			if v == 1 {
+				x = 1.0
+			}
+			a[p][o] = x / rate
+		}
+	}
+
+	if rank < 1 {
+		rank = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	approx := lowRankApprox(a, rank, iters, src.Stream("power", 0))
+
+	out := make([]bitvec.Partial, n)
+	runner.PhaseAll(n, func(p int) {
+		w := bitvec.NewPartial(m)
+		for o := 0; o < m; o++ {
+			if v, ok := probesPer[p][o]; ok {
+				w.SetBit(o, v)
+			} else if approx[p][o] > 0 {
+				w.SetBit(o, 1)
+			} else {
+				w.SetBit(o, 0)
+			}
+		}
+		out[p] = w
+	})
+	return out
+}
+
+// lowRankApprox returns the rank-k approximation U·(Uᵀ·A) of A, where U
+// spans the top-k left singular subspace computed by subspace power
+// iteration with Gram–Schmidt re-orthonormalization.
+func lowRankApprox(a [][]float64, k, iters int, r *rng.Rand) [][]float64 {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	m := len(a[0])
+	if k > n {
+		k = n
+	}
+	// U: n×k, random init.
+	u := make([][]float64, n)
+	for i := range u {
+		u[i] = make([]float64, k)
+		for j := range u[i] {
+			u[i][j] = r.Float64()*2 - 1
+		}
+	}
+	orthonormalize(u)
+
+	tmpM := make([][]float64, k) // k×m: Uᵀ·A
+	for j := range tmpM {
+		tmpM[j] = make([]float64, m)
+	}
+	for it := 0; it < iters; it++ {
+		// tmpM = Uᵀ·A
+		for j := 0; j < k; j++ {
+			row := tmpM[j]
+			for o := range row {
+				row[o] = 0
+			}
+			for i := 0; i < n; i++ {
+				c := u[i][j]
+				if c == 0 {
+					continue
+				}
+				ai := a[i]
+				for o := 0; o < m; o++ {
+					row[o] += c * ai[o]
+				}
+			}
+		}
+		// U = A·tmpMᵀ  (i.e. A·Aᵀ·U)
+		for i := 0; i < n; i++ {
+			ai := a[i]
+			for j := 0; j < k; j++ {
+				s := 0.0
+				row := tmpM[j]
+				for o := 0; o < m; o++ {
+					s += ai[o] * row[o]
+				}
+				u[i][j] = s
+			}
+		}
+		orthonormalize(u)
+	}
+	// Final projection: approx = U·(Uᵀ·A)
+	for j := 0; j < k; j++ {
+		row := tmpM[j]
+		for o := range row {
+			row[o] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := u[i][j]
+			if c == 0 {
+				continue
+			}
+			ai := a[i]
+			for o := 0; o < m; o++ {
+				row[o] += c * ai[o]
+			}
+		}
+	}
+	approx := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		approx[i] = make([]float64, m)
+		for j := 0; j < k; j++ {
+			c := u[i][j]
+			if c == 0 {
+				continue
+			}
+			row := tmpM[j]
+			for o := 0; o < m; o++ {
+				approx[i][o] += c * row[o]
+			}
+		}
+	}
+	return approx
+}
+
+// orthonormalize applies modified Gram–Schmidt to the columns of u.
+func orthonormalize(u [][]float64) {
+	if len(u) == 0 {
+		return
+	}
+	n, k := len(u), len(u[0])
+	for j := 0; j < k; j++ {
+		for prev := 0; prev < j; prev++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += u[i][j] * u[i][prev]
+			}
+			for i := 0; i < n; i++ {
+				u[i][j] -= dot * u[i][prev]
+			}
+		}
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += u[i][j] * u[i][j]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate column: reset to a unit basis vector.
+			for i := 0; i < n; i++ {
+				u[i][j] = 0
+			}
+			u[j%n][j] = 1
+			continue
+		}
+		for i := 0; i < n; i++ {
+			u[i][j] /= norm
+		}
+	}
+}

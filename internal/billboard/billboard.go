@@ -1,0 +1,344 @@
+// Package billboard implements the shared public billboard of the model:
+// the only communication medium between players.
+//
+// The paper's model lets every player post the result of each probe and
+// read everything others posted, for free. Algorithms additionally post
+// intermediate output vectors (e.g. the recursive outputs of ZeroRadius)
+// under named topics, and count votes over them.
+//
+// The board is safe for concurrent use: n player goroutines post and
+// read simultaneously during each simulated phase. Probe results are
+// sharded per player (a player's probe results are written only by that
+// player's goroutine); topic postings use a two-level lock (board map,
+// then per-topic).
+package billboard
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tellme/internal/bitvec"
+)
+
+// Interface is the billboard surface the algorithms depend on. *Board
+// is the in-memory implementation; netboard.Client speaks the same
+// interface against a remote billboard server, so the same algorithm
+// code runs in-process or distributed.
+type Interface interface {
+	// PostProbe records that player p's probe of object o revealed val.
+	PostProbe(p, o int, val byte)
+	// LookupProbe returns p's posted grade for o, if posted.
+	LookupProbe(p, o int) (byte, bool)
+	// ProbedObjects returns a copy of the object→grade map posted by p.
+	ProbedObjects(p int) map[int]byte
+	// ProbeCount returns the number of distinct probe results posted.
+	ProbeCount() int64
+
+	// Post publishes a partial vector by player under the named topic.
+	Post(name string, player int, v bitvec.Partial)
+	// PostVector publishes a total vector under the named topic.
+	PostVector(name string, player int, v bitvec.Vector)
+	// Postings returns a snapshot of the topic's vector postings.
+	Postings(name string) []Posting
+	// Votes tallies the topic's vector postings deterministically.
+	Votes(name string) []Vote
+	// PopularVectors returns vectors with at least minVotes supporters.
+	PopularVectors(name string, minVotes int) []bitvec.Partial
+
+	// PostValues publishes a generic value vector under the topic.
+	PostValues(name string, player int, vals []uint32)
+	// ValuePostings returns a snapshot of the topic's value postings.
+	ValuePostings(name string) []ValuePosting
+	// ValueVotes tallies the topic's value postings deterministically.
+	ValueVotes(name string) []ValueVote
+
+	// DropTopic removes a topic and its postings.
+	DropTopic(name string)
+	// TopicCount returns the number of live topics.
+	TopicCount() int
+	// VectorPostCount returns the total number of topic postings.
+	VectorPostCount() int64
+}
+
+// Board is a shared billboard for n players and m objects.
+type Board struct {
+	n, m int
+
+	probeShards []probeShard
+
+	mu     sync.RWMutex
+	topics map[string]*topic
+
+	probePosts  atomic.Int64
+	vectorPosts atomic.Int64
+}
+
+type probeShard struct {
+	mu   sync.RWMutex
+	vals map[int]byte // object -> grade
+}
+
+type topic struct {
+	mu       sync.Mutex
+	postings []Posting
+	values   []ValuePosting
+}
+
+// Posting is one vector posted by one player under a topic.
+type Posting struct {
+	Player int
+	Vec    bitvec.Partial
+}
+
+// Vote aggregates identical postings under a topic.
+type Vote struct {
+	Vec    bitvec.Partial
+	Count  int
+	Voters []int
+}
+
+// New returns an empty board for n players and m objects.
+func New(n, m int) *Board {
+	b := &Board{
+		n: n, m: m,
+		probeShards: make([]probeShard, n),
+		topics:      make(map[string]*topic),
+	}
+	for i := range b.probeShards {
+		b.probeShards[i].vals = make(map[int]byte)
+	}
+	return b
+}
+
+// N returns the number of players the board was created for.
+func (b *Board) N() int { return b.n }
+
+// M returns the number of objects the board was created for.
+func (b *Board) M() int { return b.m }
+
+// PostProbe records that player p's probe of object o revealed val.
+func (b *Board) PostProbe(p, o int, val byte) {
+	s := &b.probeShards[p]
+	s.mu.Lock()
+	if _, dup := s.vals[o]; !dup {
+		s.vals[o] = val
+		b.probePosts.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// LookupProbe returns player p's posted grade for object o, if posted.
+func (b *Board) LookupProbe(p, o int) (byte, bool) {
+	s := &b.probeShards[p]
+	s.mu.RLock()
+	v, ok := s.vals[o]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// ProbedObjects returns a copy of the object→grade map posted by p.
+func (b *Board) ProbedObjects(p int) map[int]byte {
+	s := &b.probeShards[p]
+	s.mu.RLock()
+	out := make(map[int]byte, len(s.vals))
+	for o, v := range s.vals {
+		out[o] = v
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// ProbeCount returns the total number of distinct probe results posted.
+func (b *Board) ProbeCount() int64 { return b.probePosts.Load() }
+
+// VectorPostCount returns the total number of topic postings.
+func (b *Board) VectorPostCount() int64 { return b.vectorPosts.Load() }
+
+func (b *Board) topicFor(name string) *topic {
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	b.mu.RUnlock()
+	if ok {
+		return t
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok = b.topics[name]; ok {
+		return t
+	}
+	t = &topic{}
+	b.topics[name] = t
+	return t
+}
+
+// Post publishes a partial vector by player under the named topic.
+func (b *Board) Post(name string, player int, v bitvec.Partial) {
+	t := b.topicFor(name)
+	t.mu.Lock()
+	t.postings = append(t.postings, Posting{Player: player, Vec: v})
+	t.mu.Unlock()
+	b.vectorPosts.Add(1)
+}
+
+// PostVector publishes a total vector (lifted to a fully-known Partial).
+func (b *Board) PostVector(name string, player int, v bitvec.Vector) {
+	b.Post(name, player, bitvec.PartialOf(v))
+}
+
+// Postings returns a snapshot of everything posted under the topic, in
+// posting order. The result is a copy; callers may not mutate vectors.
+func (b *Board) Postings(name string) []Posting {
+	t := b.topicFor(name)
+	t.mu.Lock()
+	out := append([]Posting(nil), t.postings...)
+	t.mu.Unlock()
+	return out
+}
+
+// Votes tallies the postings under a topic, grouping identical vectors.
+// The result is sorted by descending count, ties broken by the vectors'
+// lexicographic order, so it is deterministic regardless of posting
+// order — every player computing Votes sees the same list, which the
+// paper's vote-threshold steps require.
+func (b *Board) Votes(name string) []Vote {
+	postings := b.Postings(name)
+	byKey := make(map[string]*Vote)
+	for _, p := range postings {
+		k := p.Vec.Key()
+		v, ok := byKey[k]
+		if !ok {
+			v = &Vote{Vec: p.Vec}
+			byKey[k] = v
+		}
+		v.Count++
+		v.Voters = append(v.Voters, p.Player)
+	}
+	out := make([]Vote, 0, len(byKey))
+	for _, v := range byKey {
+		sort.Ints(v.Voters)
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Vec.Less(out[j].Vec)
+	})
+	return out
+}
+
+// PopularVectors returns the distinct vectors posted under the topic by
+// at least minVotes players, in the deterministic order of Votes.
+func (b *Board) PopularVectors(name string, minVotes int) []bitvec.Partial {
+	var out []bitvec.Partial
+	for _, v := range b.Votes(name) {
+		if v.Count >= minVotes {
+			out = append(out, v.Vec)
+		}
+	}
+	return out
+}
+
+// DropTopic removes a topic and its postings, releasing memory for
+// phases that are complete. Dropping an absent topic is a no-op.
+func (b *Board) DropTopic(name string) {
+	b.mu.Lock()
+	delete(b.topics, name)
+	b.mu.Unlock()
+}
+
+// TopicCount returns the number of live topics (for tests and stats).
+func (b *Board) TopicCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.topics)
+}
+
+// ValuePosting is one generic value vector posted by one player. Value
+// vectors arise when ZeroRadius runs over virtual objects whose "grades"
+// are candidate indices rather than bits (Large Radius, Step 4).
+type ValuePosting struct {
+	Player int
+	Vals   []uint32
+}
+
+// ValueVote aggregates identical value vectors under a topic.
+type ValueVote struct {
+	Vals   []uint32
+	Count  int
+	Voters []int
+}
+
+// PostValues publishes a generic value vector under the named topic.
+// The slice is copied; callers may reuse it.
+func (b *Board) PostValues(name string, player int, vals []uint32) {
+	t := b.topicFor(name)
+	cp := append([]uint32(nil), vals...)
+	t.mu.Lock()
+	t.values = append(t.values, ValuePosting{Player: player, Vals: cp})
+	t.mu.Unlock()
+	b.vectorPosts.Add(1)
+}
+
+// ValuePostings returns a snapshot of the value vectors posted under the
+// topic, in posting order.
+func (b *Board) ValuePostings(name string) []ValuePosting {
+	t := b.topicFor(name)
+	t.mu.Lock()
+	out := append([]ValuePosting(nil), t.values...)
+	t.mu.Unlock()
+	return out
+}
+
+// ValueVotes tallies value-vector postings, sorted by descending count
+// with ties broken by the vectors' lexicographic order (deterministic
+// for every reader, like Votes).
+func (b *Board) ValueVotes(name string) []ValueVote {
+	postings := b.ValuePostings(name)
+	byKey := make(map[string]*ValueVote)
+	for _, p := range postings {
+		k := valsKey(p.Vals)
+		v, ok := byKey[k]
+		if !ok {
+			v = &ValueVote{Vals: p.Vals}
+			byKey[k] = v
+		}
+		v.Count++
+		v.Voters = append(v.Voters, p.Player)
+	}
+	out := make([]ValueVote, 0, len(byKey))
+	for _, v := range byKey {
+		sort.Ints(v.Voters)
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return lessVals(out[i].Vals, out[j].Vals)
+	})
+	return out
+}
+
+func valsKey(vals []uint32) string {
+	buf := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+func lessVals(a, b []uint32) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+var _ Interface = (*Board)(nil)

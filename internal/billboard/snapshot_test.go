@@ -1,0 +1,99 @@
+package billboard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tellme/internal/bitvec"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	b := New(4, 16)
+	b.PostProbe(0, 3, 1)
+	b.PostProbe(0, 7, 0)
+	b.PostProbe(2, 3, 1)
+	p, _ := bitvec.PartialFromString("01?1")
+	b.Post("vecs", 1, p)
+	b.PostVector("vecs", 2, mustParse(t, "0101"))
+	b.PostValues("vals", 3, []uint32{7, 8, 9})
+
+	var buf bytes.Buffer
+	if err := b.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.M() != 16 {
+		t.Fatalf("dims %dx%d", got.N(), got.M())
+	}
+	if v, ok := got.LookupProbe(0, 3); !ok || v != 1 {
+		t.Fatal("probe (0,3) lost")
+	}
+	if v, ok := got.LookupProbe(0, 7); !ok || v != 0 {
+		t.Fatal("probe (0,7) lost")
+	}
+	if got.ProbeCount() != 3 {
+		t.Fatalf("ProbeCount %d", got.ProbeCount())
+	}
+	vecs := got.Postings("vecs")
+	if len(vecs) != 2 {
+		t.Fatalf("%d vector postings", len(vecs))
+	}
+	foundPartial := false
+	for _, po := range vecs {
+		if po.Player == 1 && po.Vec.Equal(p) {
+			foundPartial = true
+		}
+	}
+	if !foundPartial {
+		t.Fatal("partial posting lost")
+	}
+	vals := got.ValuePostings("vals")
+	if len(vals) != 1 || vals[0].Vals[2] != 9 {
+		t.Fatalf("value postings: %+v", vals)
+	}
+}
+
+func TestRestoreRejectsInvalid(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"n":0,"m":4}`,
+		`{"n":2,"m":4,"probes":[[{"o":9,"g":1}]]}`,
+		`{"n":2,"m":4,"probes":[[{"o":0,"g":5}]]}`,
+		`{"n":1,"m":4,"probes":[[],[]]}`,
+		`{"n":1,"m":2,"topics":{"t":{"vectors":[{"player":0,"bits":"0x"}]}}}`,
+	}
+	for i, c := range cases {
+		if _, err := Restore(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestSnapshotEmptyBoard(t *testing.T) {
+	b := New(2, 2)
+	var buf bytes.Buffer
+	if err := b.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProbeCount() != 0 || got.TopicCount() != 0 {
+		t.Fatal("empty board restored non-empty")
+	}
+}
+
+func mustParse(t *testing.T, s string) bitvec.Vector {
+	t.Helper()
+	v, err := bitvec.FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,49 @@
+package bitvec
+
+import "testing"
+
+// FuzzPartialFromString checks the ternary-vector parser on arbitrary
+// strings: never crash, accept exactly {0,1,?}* and round-trip.
+func FuzzPartialFromString(f *testing.F) {
+	f.Add("01?10")
+	f.Add("")
+	f.Add("2")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := PartialFromString(s)
+		valid := true
+		for i := 0; i < len(s); i++ {
+			if c := s[i]; c != '0' && c != '1' && c != '?' {
+				valid = false
+				break
+			}
+		}
+		if valid != (err == nil) {
+			t.Fatalf("validity mismatch for %q: err=%v", s, err)
+		}
+		if err == nil && p.String() != s {
+			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+	})
+}
+
+// FuzzFromString does the same for binary vectors.
+func FuzzFromString(f *testing.F) {
+	f.Add("0101")
+	f.Add("?")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := FromString(s)
+		valid := true
+		for i := 0; i < len(s); i++ {
+			if c := s[i]; c != '0' && c != '1' {
+				valid = false
+				break
+			}
+		}
+		if valid != (err == nil) {
+			t.Fatalf("validity mismatch for %q", s)
+		}
+		if err == nil && v.String() != s {
+			t.Fatalf("round trip %q -> %q", s, v.String())
+		}
+	})
+}

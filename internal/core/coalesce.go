@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"tellme/internal/bitvec"
+)
+
+// Coalesce implements Algorithm Coalesce (Fig. 6): the deterministic,
+// probe-free clustering step of Large Radius.
+//
+// Input: a multiset of vectors (possibly with '?' entries — distances
+// are the ?-ignoring d~), a distance parameter d, and a frequency
+// parameter alpha. The threshold is alpha·len(vecs), fixed at entry.
+//
+// Guarantees (Theorem 5.3): the output has at most 1/alpha vectors; if a
+// sub-multiset VT of size ≥ alpha·len(vecs) has pairwise distance ≤ d,
+// then exactly one output vector v* is closest to every member of VT,
+// with d~(v*, v) ≤ 2d for all v ∈ VT and at most 5d/alpha '?' entries.
+//
+// The result is deterministic: it depends only on the multiset content,
+// never on input order, so all players compute the same output — the
+// property Large Radius relies on.
+func Coalesce(vecs []bitvec.Partial, d int, alpha float64) []bitvec.Partial {
+	if len(vecs) == 0 {
+		return nil
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic("core: Coalesce alpha out of (0,1]")
+	}
+	threshold := int(math.Ceil(alpha * float64(len(vecs))))
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	// Work on an index set sorted lexicographically so "lexicographically
+	// first vector in V" is an O(1) scan and the result is order-free.
+	order := make([]int, len(vecs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return vecs[order[a]].Less(vecs[order[b]])
+	})
+	alive := make([]bool, len(vecs))
+	for i := range alive {
+		alive[i] = true
+	}
+	nAlive := len(vecs)
+
+	ballSize := func(i int) int {
+		c := 0
+		for j := range vecs {
+			if alive[j] && vecs[i].DistKnown(vecs[j]) <= d {
+				c++
+			}
+		}
+		return c
+	}
+
+	// Steps 1–2: greedy ball cover.
+	var a []bitvec.Partial
+	for nAlive > 0 {
+		// Step 2a: simultaneously remove all vectors with small balls.
+		toRemove := make([]int, 0)
+		for i := range vecs {
+			if alive[i] && ballSize(i) < threshold {
+				toRemove = append(toRemove, i)
+			}
+		}
+		for _, i := range toRemove {
+			alive[i] = false
+			nAlive--
+		}
+		if nAlive == 0 {
+			break
+		}
+		// Step 2b: lexicographically first remaining vector.
+		var pick int = -1
+		for _, i := range order {
+			if alive[i] {
+				pick = i
+				break
+			}
+		}
+		// Step 2c: add it and remove its ball.
+		a = append(a, vecs[pick])
+		for j := range vecs {
+			if alive[j] && vecs[pick].DistKnown(vecs[j]) <= d {
+				alive[j] = false
+				nAlive--
+			}
+		}
+	}
+
+	// Step 4: merge near pairs (≤ 5d) into wildcard vectors until no two
+	// output vectors are close. Scanning pairs in a fixed lexicographic
+	// order keeps the procedure deterministic; the final set is the same
+	// regardless (the merge relation is confluent here because merging
+	// only rewrites disagreeing coordinates to '?').
+	b := append([]bitvec.Partial(nil), a...)
+	for {
+		merged := false
+		sort.SliceStable(b, func(x, y int) bool { return b[x].Less(b[y]) })
+	scan:
+		for i := 0; i < len(b); i++ {
+			for j := i + 1; j < len(b); j++ {
+				if b[i].DistKnown(b[j]) <= 5*d {
+					v := b[i].Merge(b[j])
+					nb := append([]bitvec.Partial(nil), b[:i]...)
+					nb = append(nb, b[i+1:j]...)
+					nb = append(nb, b[j+1:]...)
+					nb = append(nb, v)
+					b = nb
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	sort.SliceStable(b, func(x, y int) bool { return b[x].Less(b[y]) })
+	return b
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// cluster builds count copies of center each with up to radius flips.
+func cluster(r *rng.Rand, center bitvec.Vector, count, radius int) []bitvec.Partial {
+	out := make([]bitvec.Partial, count)
+	for i := range out {
+		v := center.Clone()
+		if radius > 0 {
+			v.FlipRandom(r, r.Intn(radius+1))
+		}
+		out[i] = bitvec.PartialOf(v)
+	}
+	return out
+}
+
+func TestCoalesceSingleTightCluster(t *testing.T) {
+	r := rng.New(1)
+	center := bitvec.Random(r, 128)
+	vecs := cluster(r, center, 40, 3) // diameter ≤ 6
+	out := Coalesce(vecs, 6, 0.5)
+	if len(out) != 1 {
+		t.Fatalf("got %d output vectors, want 1", len(out))
+	}
+	if d := out[0].DistKnownVec(center); d > 12 {
+		t.Fatalf("output at d~ %d from center (bound 2D=12)", d)
+	}
+}
+
+func TestCoalesceTheorem53Bounds(t *testing.T) {
+	r := rng.New(2)
+	const m = 512
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + r.Intn(8)
+		alpha := []float64{0.2, 0.25, 0.5}[r.Intn(3)]
+		n := 60
+		nT := int(math.Ceil(alpha * float64(n)))
+		center := bitvec.Random(r, m)
+		vecs := cluster(r, center, nT, d/2)
+		// pad with uniform noise vectors (far from everything w.h.p.)
+		for len(vecs) < n {
+			vecs = append(vecs, bitvec.PartialOf(bitvec.Random(r, m)))
+		}
+		out := Coalesce(vecs, d, alpha)
+		// |B| ≤ 1/alpha
+		if float64(len(out)) > 1/alpha+1e-9 {
+			t.Fatalf("trial %d: %d outputs > 1/α = %v", trial, len(out), 1/alpha)
+		}
+		// exactly one output within 2d of every VT member; and its
+		// ?-count ≤ 5d/α.
+		uniq := 0
+		for _, o := range out {
+			closeToAll := true
+			for i := 0; i < nT; i++ {
+				if o.DistKnown(vecs[i]) > 2*d {
+					closeToAll = false
+					break
+				}
+			}
+			if closeToAll {
+				uniq++
+				if q := o.UnknownCount(); float64(q) > 5*float64(d)/alpha {
+					t.Fatalf("trial %d: %d ?s > 5D/α = %v", trial, q, 5*float64(d)/alpha)
+				}
+			}
+		}
+		if uniq != 1 {
+			t.Fatalf("trial %d: %d outputs within 2D of all of VT, want exactly 1", trial, uniq)
+		}
+	}
+}
+
+func TestCoalesceTwoFarClusters(t *testing.T) {
+	r := rng.New(3)
+	m := 256
+	c1 := bitvec.Random(r, m)
+	c2 := bitvec.Random(r, m) // ~128 away
+	vecs := append(cluster(r, c1, 30, 2), cluster(r, c2, 30, 2)...)
+	out := Coalesce(vecs, 4, 0.4)
+	if len(out) != 2 {
+		t.Fatalf("got %d outputs, want 2", len(out))
+	}
+	// each cluster has a unique nearby representative
+	for _, c := range []bitvec.Vector{c1, c2} {
+		found := 0
+		for _, o := range out {
+			if o.DistKnownVec(c) <= 8 {
+				found++
+			}
+		}
+		if found != 1 {
+			t.Fatalf("%d representatives near a center", found)
+		}
+	}
+}
+
+func TestCoalesceNearbyClustersMerge(t *testing.T) {
+	// Two clusters at distance ≤ 5D must merge into one wildcard vector.
+	r := rng.New(4)
+	m := 200
+	c1 := bitvec.Random(r, m)
+	c2 := c1.Clone()
+	c2.FlipRandom(r, 4) // within 5D for D=1... we use D=1, 5D=5 ≥ 4
+	vecs := append(cluster(r, c1, 30, 0), cluster(r, c2, 30, 0)...)
+	out := Coalesce(vecs, 1, 0.4)
+	if len(out) != 1 {
+		t.Fatalf("got %d outputs, want merged 1", len(out))
+	}
+	if q := out[0].UnknownCount(); q != 4 {
+		t.Fatalf("merged vector has %d ?s, want 4", q)
+	}
+}
+
+func TestCoalesceNoQualifyingBall(t *testing.T) {
+	// All vectors isolated → everything removed, empty output.
+	r := rng.New(5)
+	var vecs []bitvec.Partial
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, bitvec.PartialOf(bitvec.Random(r, 256)))
+	}
+	out := Coalesce(vecs, 2, 0.5)
+	if len(out) != 0 {
+		t.Fatalf("got %d outputs from pure noise, want 0", len(out))
+	}
+}
+
+func TestCoalesceOrderInvariant(t *testing.T) {
+	r := rng.New(6)
+	m := 128
+	c1 := bitvec.Random(r, m)
+	c2 := bitvec.Random(r, m)
+	vecs := append(cluster(r, c1, 20, 2), cluster(r, c2, 20, 2)...)
+	out1 := Coalesce(vecs, 4, 0.3)
+	// reverse the input
+	rev := make([]bitvec.Partial, len(vecs))
+	for i := range vecs {
+		rev[len(vecs)-1-i] = vecs[i]
+	}
+	out2 := Coalesce(rev, 4, 0.3)
+	if len(out1) != len(out2) {
+		t.Fatalf("order dependence: %d vs %d outputs", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if !out1[i].Equal(out2[i]) {
+			t.Fatalf("order dependence at output %d", i)
+		}
+	}
+}
+
+func TestCoalesceEmptyInput(t *testing.T) {
+	if out := Coalesce(nil, 3, 0.5); out != nil {
+		t.Fatal("non-nil output for empty input")
+	}
+}
+
+func TestCoalesceDuplicateMultiset(t *testing.T) {
+	// 10 identical copies: one output, equal to the vector, no ?s.
+	v := bitvec.PartialOf(bitvec.Random(rng.New(7), 64))
+	vecs := make([]bitvec.Partial, 10)
+	for i := range vecs {
+		vecs[i] = v
+	}
+	out := Coalesce(vecs, 0, 1.0)
+	if len(out) != 1 || !out[0].Equal(v) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestCoalescePartialInputs(t *testing.T) {
+	// Inputs with ?s: d~ ignores them, so vectors differing only in ?
+	// placement cluster together.
+	a := part(t, "0101????")
+	b := part(t, "0101???1")
+	c := part(t, "01011111")
+	out := Coalesce([]bitvec.Partial{a, b, c, a, b, c}, 0, 0.9)
+	if len(out) != 1 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+}
+
+func TestCoalesceChainDoesNotOverMerge(t *testing.T) {
+	// Chain c0 -c1- c2 where c0,c1 within 5D and c1,c2 within 5D but
+	// c0,c2 beyond: merging c0,c1 wildcards the differing coords, which
+	// can pull the merged vector within 5D of c2 (distances only shrink).
+	// The theorem's uniqueness claim still must hold for a single planted
+	// community; this test just pins the deterministic outcome.
+	r := rng.New(8)
+	m := 300
+	c0 := bitvec.Random(r, m)
+	c1 := c0.Clone()
+	c1.FlipRandom(r, 5)
+	c2 := c1.Clone()
+	c2.FlipRandom(r, 5)
+	vecs := append(cluster(r, c0, 20, 0), cluster(r, c1, 20, 0)...)
+	vecs = append(vecs, cluster(r, c2, 20, 0)...)
+	out := Coalesce(vecs, 1, 0.3)
+	if len(out) < 1 || len(out) > 3 {
+		t.Fatalf("%d outputs", len(out))
+	}
+	// determinism across repeated runs
+	out2 := Coalesce(vecs, 1, 0.3)
+	if len(out) != len(out2) {
+		t.Fatal("nondeterministic")
+	}
+}
+
+func BenchmarkCoalesce128x512(b *testing.B) {
+	r := rng.New(9)
+	center := bitvec.Random(r, 512)
+	vecs := cluster(r, center, 64, 4)
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, bitvec.PartialOf(bitvec.Random(r, 512)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Coalesce(vecs, 8, 0.25)
+	}
+}

@@ -1,0 +1,234 @@
+// Package core implements the paper's algorithms: Select and RSelect
+// (Choose Closest), ZeroRadius, SmallRadius, Coalesce, LargeRadius, the
+// main dispatcher, and the unknown-parameter wrappers.
+//
+// # Execution model
+//
+// Algorithms run over an Env: a billboard, a probe engine, a parallel
+// runner and a public-coin randomness source. All random partitions are
+// public-coin (derived from Env.Public with a per-invocation tag), so
+// every player computes the same partitions without communication, and
+// whole runs are reproducible from one seed. Player-private randomness
+// (RSelect sampling) comes from per-player streams.
+//
+// # Cost accounting
+//
+// The paper measures cost in probing rounds: players probe in parallel,
+// one probe per round, so an algorithm's round count is the maximum
+// number of probes any single player performs. Callers measure this by
+// snapshotting the probe engine around an algorithm invocation (the
+// facade in package tellme does this); the algorithms themselves only
+// probe through their *probe.Player handles.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"tellme/internal/billboard"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+	"tellme/internal/trace"
+)
+
+// Config holds the constants the paper leaves as O(·) knobs. The zero
+// value is not usable; call DefaultConfig.
+type Config struct {
+	// LeafC scales the ZeroRadius leaf threshold: recursion stops when
+	// min(|P|,|O|) < LeafC·ln(n)/α (paper: 8c·ln(n)/α).
+	LeafC float64
+	// PartC scales the SmallRadius partition count: s = ceil(PartC·D^{3/2})
+	// (paper: 100·d^{3/2} makes Lemma 4.1's failure probability < 1/2;
+	// much smaller constants work in practice — see experiment E11).
+	PartC float64
+	// K is the SmallRadius confidence parameter (number of independent
+	// iterations). K ≤ 0 means ceil(log2 n)+1.
+	K int
+	// GroupC scales the LargeRadius group count: cD/log n groups
+	// (paper's c). Larger GroupC means smaller groups.
+	GroupC float64
+	// RSelC scales RSelect's per-pair sample count c·log n.
+	RSelC float64
+	// LambdaC scales LargeRadius's per-group distance bound:
+	// λ = ceil(LambdaC·D/groups)+4, capped at D. The paper's Lemma 5.5
+	// only fixes λ = O(log n); LambdaC sets the concentration margin
+	// over the mean D/groups.
+	LambdaC float64
+	// CoalDC scales the Coalesce distance parameter in LargeRadius:
+	// coalD = CoalDC·λ. The worst-case chain bound is 11λ, but at
+	// simulator scales that can exceed the group size and degenerate
+	// Coalesce (every vector in one ball); the realized pairwise spread
+	// of typical outputs is ≈ 2λ, so a small constant suffices.
+	CoalDC float64
+	// VoteFrac is the ZeroRadius vote threshold as a fraction of α:
+	// a vector needs VoteFrac·α·|P''| votes to become a candidate. The
+	// paper uses 1/2 together with a leaf size of 8c·ln(n)/α; with the
+	// simulator's cheaper LeafC the default is 1/4, which restores the
+	// Chernoff margin at small leaves for the same O(1/α) candidate
+	// bound (ablated in E11c).
+	VoteFrac float64
+}
+
+// DefaultConfig returns constants that satisfy the theorems' premises at
+// the simulator's scales while keeping probing budgets practical.
+func DefaultConfig() Config {
+	return Config{
+		LeafC:    2,
+		PartC:    1,
+		K:        0,
+		GroupC:   1,
+		RSelC:    4,
+		LambdaC:  2,
+		CoalDC:   3,
+		VoteFrac: 0.25,
+	}
+}
+
+// Env bundles the shared state one algorithm run executes against.
+type Env struct {
+	Board  billboard.Interface
+	Engine *probe.Engine
+	Run    sim.PhaseRunner
+	// Public is the shared-coin source: all players derive identical
+	// partitions from it.
+	Public rng.Source
+	// N and M are the instance dimensions.
+	N, M int
+	Cfg  Config
+
+	topicSeq atomic.Int64
+	counters [nCounters]atomic.Int64
+
+	// Trace, when non-nil, receives structured events from each
+	// sub-algorithm invocation (entry parameters and probe consumption).
+	Trace *trace.Log
+}
+
+// span emits a start event and returns a closure that emits the
+// matching end event with the probes consumed in between. A nil Trace
+// makes both free.
+func (env *Env) span(kind string, kv ...any) func() {
+	if env.Trace == nil {
+		return func() {}
+	}
+	before := env.Engine.TotalCharged()
+	env.Trace.Event(kind+".start", kv...)
+	return func() {
+		env.Trace.Event(kind+".end", "probes", env.Engine.TotalCharged()-before)
+	}
+}
+
+// Counter identifies one invocation counter on an Env.
+type Counter int
+
+// Invocation counters, incremented once per (possibly nested) call.
+const (
+	CountZeroRadius Counter = iota
+	CountSmallRadius
+	CountLargeRadius
+	CountCoalesce
+	nCounters
+)
+
+// String names the counter.
+func (c Counter) String() string {
+	switch c {
+	case CountZeroRadius:
+		return "ZeroRadius"
+	case CountSmallRadius:
+		return "SmallRadius"
+	case CountLargeRadius:
+		return "LargeRadius"
+	case CountCoalesce:
+		return "Coalesce"
+	default:
+		return "unknown"
+	}
+}
+
+func (env *Env) count(c Counter) { env.counters[c].Add(1) }
+
+// RunCounts reports how many times each sub-algorithm ran on this Env —
+// useful for understanding where an algorithm's probes went (e.g. one
+// LargeRadius call fans out into Θ(D/log n) SmallRadius calls, each
+// fanning out into K·s ZeroRadius calls).
+func (env *Env) RunCounts() map[string]int64 {
+	out := make(map[string]int64, int(nCounters))
+	for c := Counter(0); c < nCounters; c++ {
+		out[c.String()] = env.counters[c].Load()
+	}
+	return out
+}
+
+// NewEnv builds an execution environment. runner may be nil for a
+// default parallel runner.
+func NewEnv(e *probe.Engine, runner sim.PhaseRunner, public rng.Source, cfg Config) *Env {
+	if runner == nil {
+		runner = sim.NewRunner(0)
+	}
+	return &Env{
+		Board:  e.Board(),
+		Engine: e,
+		Run:    runner,
+		Public: public,
+		N:      e.Instance().N,
+		M:      e.Instance().M,
+		Cfg:    cfg,
+	}
+}
+
+// freshTag returns a unique topic prefix for one algorithm invocation,
+// so nested and repeated invocations never collide on the billboard.
+func (env *Env) freshTag(kind string) string {
+	return fmt.Sprintf("%s#%d", kind, env.topicSeq.Add(1))
+}
+
+// leafThreshold is the ZeroRadius recursion cutoff for the given α.
+func (env *Env) leafThreshold(alpha float64) int {
+	t := int(math.Ceil(env.Cfg.LeafC * math.Log(float64(env.N)+1) / alpha))
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// confidenceK resolves the SmallRadius iteration count.
+func (env *Env) confidenceK() int {
+	if env.Cfg.K > 0 {
+		return env.Cfg.K
+	}
+	return int(math.Ceil(math.Log2(float64(env.N)+1))) + 1
+}
+
+// allPlayers returns [0, n).
+func allPlayers(n int) []int {
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+// splitHalf randomly partitions ids into two halves of sizes ⌈k/2⌉ and
+// ⌊k/2⌋ using the given public-coin stream.
+func splitHalf(r *rng.Rand, ids []int) (a, b []int) {
+	shuffled := append([]int(nil), ids...)
+	r.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	half := (len(shuffled) + 1) / 2
+	return shuffled[:half], shuffled[half:]
+}
+
+// assignParts assigns each of the ids independently and uniformly to one
+// of s parts (the paper's random object partition).
+func assignParts(r *rng.Rand, ids []int, s int) [][]int {
+	parts := make([][]int, s)
+	for _, id := range ids {
+		i := r.Intn(s)
+		parts[i] = append(parts[i], id)
+	}
+	return parts
+}

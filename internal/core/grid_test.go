@@ -1,0 +1,133 @@
+package core
+
+// Parameter-grid integration tests: the Fig. 1 dispatcher across a
+// matrix of (n, m, α, D) configurations, asserting the regime-specific
+// error guarantee in each cell. Slow cells are skipped with -short.
+
+import (
+	"fmt"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+)
+
+type gridCase struct {
+	n, m  int
+	alpha float64
+	d     int
+	// errBound is the guarantee checked: exact for D=0, 5D for the
+	// SmallRadius regime, 8·D/α for the LargeRadius regime.
+	errBound int
+	slow     bool
+}
+
+func gridCases() []gridCase {
+	mk := func(n, m int, alpha float64, d int, slow bool) gridCase {
+		g := gridCase{n: n, m: m, alpha: alpha, d: d, slow: slow}
+		switch DispatchRegime(n, d) {
+		case RegimeZero:
+			g.errBound = 0
+		case RegimeSmall:
+			g.errBound = 5 * d
+		default:
+			g.errBound = int(8 * float64(d) / alpha)
+		}
+		return g
+	}
+	return []gridCase{
+		// D = 0 across shapes and fractions
+		mk(128, 128, 0.5, 0, false),
+		mk(128, 512, 0.5, 0, false),
+		mk(512, 128, 0.25, 0, false),
+		mk(256, 256, 0.75, 0, false),
+		// small-radius regime
+		mk(128, 128, 0.5, 2, false),
+		mk(256, 256, 0.5, 5, false),
+		mk(256, 128, 0.75, 3, false),
+		mk(192, 384, 0.5, 4, true),
+		// large-radius regime
+		mk(256, 256, 0.5, 16, false),
+		mk(256, 256, 0.5, 48, true),
+		mk(512, 512, 0.5, 96, true),
+		mk(256, 256, 0.25, 24, true),
+	}
+}
+
+func TestMainAcrossParameterGrid(t *testing.T) {
+	for i, g := range gridCases() {
+		g := g
+		t.Run(fmt.Sprintf("n%d_m%d_a%v_D%d", g.n, g.m, g.alpha, g.d), func(t *testing.T) {
+			if g.slow && testing.Short() {
+				t.Skip("slow cell")
+			}
+			in := prefs.Planted(g.n, g.m, g.alpha, g.d, uint64(1000+i))
+			env, _ := newTestEnv(t, in, uint64(2000+i))
+			out := Main(env, g.alpha, g.d)
+			comm := in.Communities[0].Members
+			worst := 0
+			for _, p := range comm {
+				if e := in.Err(p, out[p]); e > worst {
+					worst = e
+				}
+			}
+			if worst > g.errBound {
+				t.Fatalf("discrepancy %d > bound %d (regime %v)",
+					worst, g.errBound, DispatchRegime(g.n, g.d))
+			}
+		})
+	}
+}
+
+func TestLargeRadiusMultiMembership(t *testing.T) {
+	// When D > α·n each player joins ⌈D/(αn)⌉ > 1 groups (Fig. 5 Step 1).
+	// n = 64, α = 0.25, D = 32 gives memberships = 2.
+	in := prefs.Planted(64, 256, 0.25, 32, 70)
+	env, _ := newTestEnv(t, in, 71)
+	out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.25, 32)
+	comm := in.Communities[0].Members
+	for _, p := range comm {
+		if e := in.Err(p, out[p]); e > int(8*32/0.25) {
+			t.Fatalf("member %d error %d with multi-membership", p, e)
+		}
+	}
+	// every player must have a full-length output
+	for p := 0; p < in.N; p++ {
+		if out[p].Len() != in.M {
+			t.Fatalf("player %d output incomplete", p)
+		}
+	}
+}
+
+func TestZeroRadiusVirtualSpaceDirect(t *testing.T) {
+	// ZeroRadius over a VirtualSpace without going through LargeRadius:
+	// two groups with hand-built candidate sets; an identical community
+	// must converge on the candidates matching its vector.
+	in := prefs.Identical(96, 8, 0.5, 72)
+	env, _ := newTestEnv(t, in, 73)
+	center := in.Communities[0].Center
+	// group 0 = objects 0..3, group 1 = objects 4..7
+	c0 := []int{0, 1, 2, 3}
+	c1 := []int{4, 5, 6, 7}
+	inverted := func(objs []int) bitvec.Partial {
+		v := center.Project(objs)
+		for j := range objs {
+			v.Flip(j)
+		}
+		return bitvec.PartialOf(v)
+	}
+	space := &VirtualSpace{
+		GroupObjs: [][]int{c0, c1},
+		Cands: [][]bitvec.Partial{
+			{bitvec.PartialOf(center.Project(c0)), inverted(c0)},
+			{inverted(c1), bitvec.PartialOf(center.Project(c1))},
+		},
+		Bound: 0,
+	}
+	out := ZeroRadius(env, allPlayers(in.N), space, 0.5)
+	for _, p := range in.Communities[0].Members {
+		if out[p][0] != 0 || out[p][1] != 1 {
+			t.Fatalf("member %d chose candidates (%d,%d), want (0,1)", p, out[p][0], out[p][1])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+)
+
+func TestVirtualSpaceProbe(t *testing.T) {
+	pl, e := singlePlayer(t, "01100110", 40)
+	space := &VirtualSpace{
+		GroupObjs: [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		Cands: [][]bitvec.Partial{
+			{part(t, "1111"), part(t, "0110")},
+			{part(t, "0110"), part(t, "0000")},
+		},
+		Bound: 0,
+	}
+	if space.Len() != 2 {
+		t.Fatal("Len")
+	}
+	if got := space.Probe(pl, 0); got != 1 {
+		t.Fatalf("group 0 chose %d", got)
+	}
+	if got := space.Probe(pl, 1); got != 0 {
+		t.Fatalf("group 1 chose %d", got)
+	}
+	if e.Charged(0) == 0 {
+		t.Fatal("virtual probes performed no real probes")
+	}
+}
+
+func TestLargeRadiusErrorBound(t *testing.T) {
+	// Theorem 5.4: output error O(D/α) for typical players. We check a
+	// concrete constant (≤ 8·D/α) that holds comfortably at this scale.
+	in := prefs.Planted(512, 512, 0.5, 24, 50)
+	env, _ := newTestEnv(t, in, 51)
+	out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 24)
+	c := in.Communities[0]
+	limit := 8 * 24 * 2 // 8·D/α
+	for _, p := range c.Members {
+		if e := in.Err(p, out[p]); e > limit {
+			t.Fatalf("member %d error %d > %d", p, e, limit)
+		}
+	}
+}
+
+func TestLargeRadiusTypicalPlayersAgree(t *testing.T) {
+	// After Step 4 all typical players should share one output vector.
+	in := prefs.Planted(512, 512, 0.5, 20, 52)
+	env, _ := newTestEnv(t, in, 53)
+	out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 20)
+	c := in.Communities[0]
+	first := out[c.Members[0]]
+	agree := 0
+	for _, p := range c.Members {
+		if out[p].Equal(first) {
+			agree++
+		}
+	}
+	if agree < len(c.Members)*9/10 {
+		t.Fatalf("only %d/%d typical players agree on the output", agree, len(c.Members))
+	}
+}
+
+func TestLargeRadiusUnknownBudget(t *testing.T) {
+	// The paper allows up to O(D/α) '?' entries.
+	in := prefs.Planted(512, 512, 0.5, 24, 54)
+	env, _ := newTestEnv(t, in, 55)
+	out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 24)
+	c := in.Communities[0]
+	limit := 8 * 24 * 2
+	for _, p := range c.Members {
+		if q := out[p].UnknownCount(); q > limit {
+			t.Fatalf("member %d has %d ?s", p, q)
+		}
+	}
+}
+
+func TestLargeRadiusEmptyInputs(t *testing.T) {
+	in := prefs.Planted(16, 16, 0.5, 4, 56)
+	env, _ := newTestEnv(t, in, 57)
+	out := LargeRadius(env, nil, seqObjs(16), 0.5, 4)
+	for _, o := range out {
+		if o.Len() != 0 {
+			t.Fatal("output for empty players")
+		}
+	}
+}
+
+func TestLargeRadiusDeterministic(t *testing.T) {
+	in := prefs.Planted(256, 256, 0.5, 16, 58)
+	run := func() []string {
+		env, _ := newTestEnv(t, in, 59)
+		out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 16)
+		ss := make([]string, in.N)
+		for p := range ss {
+			ss[p] = out[p].String()
+		}
+		return ss
+	}
+	a, b := run(), run()
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatalf("nondeterministic at player %d", p)
+		}
+	}
+}
+
+func TestLargeRadiusNoTopicLeak(t *testing.T) {
+	in := prefs.Planted(128, 128, 0.5, 12, 60)
+	env, _ := newTestEnv(t, in, 61)
+	_ = LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 12)
+	if n := env.Board.TopicCount(); n != 0 {
+		t.Fatalf("%d topics leaked", n)
+	}
+}
+
+func TestLargeRadiusSingleGroupDegenerate(t *testing.T) {
+	// d small enough that there is only one group: Large Radius should
+	// still return sane outputs (the dispatcher wouldn't route here, but
+	// the function must not break).
+	in := prefs.Planted(128, 128, 0.5, 4, 62)
+	env, _ := newTestEnv(t, in, 63)
+	out := LargeRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 4)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if e := in.Err(p, out[p]); e > 60 {
+			t.Fatalf("member %d error %d in degenerate single group", p, e)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"tellme/internal/bitvec"
+)
+
+// Regime identifies which sub-algorithm the main dispatcher used.
+type Regime int
+
+// Dispatch regimes, in increasing diameter order (Fig. 1).
+const (
+	RegimeZero Regime = iota
+	RegimeSmall
+	RegimeLarge
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeZero:
+		return "ZeroRadius"
+	case RegimeSmall:
+		return "SmallRadius"
+	case RegimeLarge:
+		return "LargeRadius"
+	default:
+		return "unknown"
+	}
+}
+
+// smallRadiusCutoff is the D below which SmallRadius is used: the
+// paper's "D = O(log n)" branch.
+func smallRadiusCutoff(n int) int {
+	return int(math.Ceil(math.Log(float64(n) + 1)))
+}
+
+// DispatchRegime returns the branch of Fig. 1 taken for diameter d.
+func DispatchRegime(n, d int) Regime {
+	switch {
+	case d == 0:
+		return RegimeZero
+	case d <= smallRadiusCutoff(n):
+		return RegimeSmall
+	default:
+		return RegimeLarge
+	}
+}
+
+// Main implements the main algorithm for known α and D (Fig. 1): it
+// dispatches on D to Zero, Small, or Large Radius and returns every
+// player's output vector over all m objects.
+//
+// out[p] is nil only for n == 0 inputs; outputs may contain '?' entries
+// in the Large Radius regime.
+func Main(env *Env, alpha float64, d int) []bitvec.Partial {
+	players := allPlayers(env.N)
+	objs := allObjects(env.M)
+	out := make([]bitvec.Partial, env.N)
+	switch DispatchRegime(env.N, d) {
+	case RegimeZero:
+		zr := ZeroRadiusBits(env, players, objs, alpha)
+		for _, p := range players {
+			out[p] = bitvec.PartialOf(valsToVector(zr[p]))
+		}
+	case RegimeSmall:
+		sr := SmallRadius(env, players, objs, alpha, d, 0)
+		for _, p := range players {
+			out[p] = bitvec.PartialOf(sr[p])
+		}
+	default:
+		lr := LargeRadius(env, players, objs, alpha, d)
+		for _, p := range players {
+			out[p] = lr[p]
+		}
+	}
+	return out
+}
+
+// allObjects returns [0, m).
+func allObjects(m int) []int {
+	os := make([]int, m)
+	for i := range os {
+		os[i] = i
+	}
+	return os
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"tellme/internal/prefs"
+)
+
+func TestDispatchRegime(t *testing.T) {
+	n := 1024
+	cut := smallRadiusCutoff(n) // ceil(ln 1025) = 7
+	cases := []struct {
+		d    int
+		want Regime
+	}{
+		{0, RegimeZero},
+		{1, RegimeSmall},
+		{cut, RegimeSmall},
+		{cut + 1, RegimeLarge},
+		{512, RegimeLarge},
+	}
+	for _, c := range cases {
+		if got := DispatchRegime(n, c.d); got != c.want {
+			t.Fatalf("D=%d dispatched to %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RegimeZero.String() != "ZeroRadius" ||
+		RegimeSmall.String() != "SmallRadius" ||
+		RegimeLarge.String() != "LargeRadius" {
+		t.Fatal("regime names wrong")
+	}
+	if Regime(99).String() != "unknown" {
+		t.Fatal("unknown regime name")
+	}
+}
+
+func TestMainZeroRegimeExact(t *testing.T) {
+	in := prefs.Identical(128, 128, 0.5, 70)
+	env, _ := newTestEnv(t, in, 71)
+	out := Main(env, 0.5, 0)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if e := in.Err(p, out[p]); e != 0 {
+			t.Fatalf("member %d error %d in zero regime", p, e)
+		}
+	}
+}
+
+func TestMainSmallRegime(t *testing.T) {
+	in := prefs.Planted(256, 256, 0.5, 4, 72)
+	env, _ := newTestEnv(t, in, 73)
+	out := Main(env, 0.5, 4)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if e := in.Err(p, out[p]); e > 20 {
+			t.Fatalf("member %d error %d > 5D", p, e)
+		}
+	}
+}
+
+func TestMainLargeRegime(t *testing.T) {
+	in := prefs.Planted(512, 512, 0.5, 32, 74)
+	env, _ := newTestEnv(t, in, 75)
+	out := Main(env, 0.5, 32)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if e := in.Err(p, out[p]); e > 8*32*2 {
+			t.Fatalf("member %d error %d", p, e)
+		}
+	}
+}
+
+func TestCandidateDs(t *testing.T) {
+	ds := CandidateDs(100)
+	if ds[0] != 0 || ds[1] != 1 {
+		t.Fatalf("ds = %v", ds)
+	}
+	// strictly increasing, ends ≥ m
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatalf("not increasing: %v", ds)
+		}
+	}
+	if last := ds[len(ds)-1]; last < 100 {
+		t.Fatalf("last candidate %d < m", last)
+	}
+}
+
+func TestUnknownDMatchesCommunity(t *testing.T) {
+	// With D unknown, output must still achieve small error — constant
+	// stretch per Theorem 1.1.
+	in := prefs.Planted(128, 128, 0.5, 6, 76)
+	env, _ := newTestEnv(t, in, 77)
+	out := UnknownD(env, 0.5)
+	c := in.Communities[0]
+	diam := in.Diameter(c.Members)
+	if diam == 0 {
+		diam = 1
+	}
+	bad := 0
+	for _, p := range c.Members {
+		if in.Err(p, out[p]) > 10*diam {
+			bad++
+		}
+	}
+	if bad > len(c.Members)/10 {
+		t.Fatalf("%d/%d members exceeded 10× diameter", bad, len(c.Members))
+	}
+}
+
+func TestUnknownDZeroDiameterCommunity(t *testing.T) {
+	in := prefs.Identical(128, 128, 0.5, 78)
+	env, _ := newTestEnv(t, in, 79)
+	out := UnknownD(env, 0.5)
+	c := in.Communities[0]
+	bad := 0
+	for _, p := range c.Members {
+		if in.Err(p, out[p]) > 4 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d members with error > 4 on identical community", bad)
+	}
+}
+
+func TestAnytimeImprovesOverPhases(t *testing.T) {
+	in := prefs.Planted(128, 128, 0.25, 4, 80)
+	env, _ := newTestEnv(t, in, 81)
+	c := in.Communities[0]
+	var phaseErrs []int
+	Anytime(env, 0, func(ph AnytimePhase) bool {
+		worst := 0
+		for _, p := range c.Members {
+			if e := in.Err(p, ph.Outputs[p]); e > worst {
+				worst = e
+			}
+		}
+		phaseErrs = append(phaseErrs, worst)
+		return ph.Phase < 3
+	})
+	if len(phaseErrs) == 0 {
+		t.Fatal("no phases ran")
+	}
+	last := phaseErrs[len(phaseErrs)-1]
+	if last > phaseErrs[0] {
+		t.Fatalf("quality degraded across phases: %v", phaseErrs)
+	}
+	// by the α=1/4 phase the community is found
+	if len(phaseErrs) >= 2 && phaseErrs[1] > 30 {
+		t.Fatalf("phase 2 error %d too large", phaseErrs[1])
+	}
+}
+
+func TestAnytimeRespectsBudget(t *testing.T) {
+	in := prefs.Planted(128, 128, 0.5, 4, 82)
+	env, _ := newTestEnv(t, in, 83)
+	budget := int64(200)
+	Anytime(env, budget, nil)
+	// The budget is checked between phases, so a single phase may
+	// overshoot; it must still terminate and not run unbounded phases.
+	var worst int64
+	for p := 0; p < in.N; p++ {
+		if c := env.Engine.Charged(p); c > worst {
+			worst = c
+		}
+	}
+	if worst == 0 {
+		t.Fatal("anytime did nothing")
+	}
+}
+
+func TestAnytimeStopsAtMinAlpha(t *testing.T) {
+	// With tiny n the α-doubling floor log(n)/n is reached after a
+	// couple of phases; Anytime must terminate on its own even with no
+	// budget and no observer.
+	in := prefs.Planted(24, 24, 0.5, 2, 84)
+	env, _ := newTestEnv(t, in, 85)
+	out := Anytime(env, 0, nil)
+	for p := 0; p < in.N; p++ {
+		if out[p].Len() != in.M {
+			t.Fatalf("player %d output incomplete", p)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// PartitionSuccessful evaluates Lemma 4.1's success predicate: for every
+// part there must be a sub-multiset of at least ⌈|V|/5⌉ vectors that
+// agree on every coordinate of the part.
+//
+// parts holds coordinate indices; vecs are the M vectors of the lemma.
+func PartitionSuccessful(vecs []bitvec.Vector, parts [][]int) bool {
+	if len(vecs) == 0 {
+		return true
+	}
+	need := (len(vecs) + 4) / 5
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue // an empty part is trivially agreed on
+		}
+		counts := make(map[string]int, len(vecs))
+		best := 0
+		for _, v := range vecs {
+			k := v.Project(part).Key()
+			counts[k]++
+			if counts[k] > best {
+				best = counts[k]
+			}
+		}
+		if best < need {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomPartitionTrial draws one random partition of m coordinates into
+// s parts (each coordinate assigned independently and uniformly, as in
+// Lemma 4.1) and reports whether it is successful for vecs.
+func RandomPartitionTrial(r *rng.Rand, vecs []bitvec.Vector, m, s int) bool {
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	parts := assignParts(r, idx, s)
+	return PartitionSuccessful(vecs, parts)
+}
+
+// PartitionFailureBound is Lemma 4.1's explicit upper bound on the
+// failure probability: 10³·5⁵·d³ / (6!·s²).
+func PartitionFailureBound(d, s int) float64 {
+	if s == 0 {
+		return 1
+	}
+	dd := float64(d)
+	ss := float64(s)
+	return 1000 * 3125 * dd * dd * dd / (720 * ss * ss)
+}

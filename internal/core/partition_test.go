@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+func TestPartitionSuccessfulIdenticalVectors(t *testing.T) {
+	r := rng.New(1)
+	v := bitvec.Random(r, 64)
+	vecs := []bitvec.Vector{v, v, v, v, v}
+	parts := [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8}}
+	if !PartitionSuccessful(vecs, parts) {
+		t.Fatal("identical vectors judged unsuccessful")
+	}
+}
+
+func TestPartitionSuccessfulEmpty(t *testing.T) {
+	if !PartitionSuccessful(nil, [][]int{{0, 1}}) {
+		t.Fatal("empty vector set should be trivially successful")
+	}
+	r := rng.New(2)
+	vecs := []bitvec.Vector{bitvec.Random(r, 8)}
+	if !PartitionSuccessful(vecs, [][]int{{}}) {
+		t.Fatal("empty part should be trivially agreed on")
+	}
+}
+
+func TestPartitionUnsuccessfulSpreadDisagreements(t *testing.T) {
+	// 5 vectors pairwise differing inside one part: no 1/5 quorum
+	// (need ⌈5/5⌉=1... use 6 vectors, need 2, all distinct on the part).
+	m := 8
+	vecs := make([]bitvec.Vector, 6)
+	for i := range vecs {
+		v := bitvec.New(m)
+		// encode i in the first 3 coordinates
+		for b := 0; b < 3; b++ {
+			if i>>b&1 == 1 {
+				v.Set(b, 1)
+			}
+		}
+		vecs[i] = v
+	}
+	parts := [][]int{{0, 1, 2}, {3, 4, 5, 6, 7}}
+	if PartitionSuccessful(vecs, parts) {
+		t.Fatal("all-distinct part judged successful")
+	}
+}
+
+func TestLemma41EmpiricalRate(t *testing.T) {
+	// For s ≥ 100·d^{3/2} the failure probability is < 1/2; empirically
+	// it is far smaller. We verify the ≥ 1/2 success claim with margin.
+	r := rng.New(3)
+	m := 2000
+	d := 4
+	s := int(100 * math.Pow(float64(d), 1.5)) // 800
+	center := bitvec.Random(r, m)
+	const M = 30
+	vecs := make([]bitvec.Vector, M)
+	for i := range vecs {
+		v := center.Clone()
+		v.FlipRandom(r, r.Intn(d/2+1))
+		vecs[i] = v
+	}
+	succ := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		if RandomPartitionTrial(r, vecs, m, s) {
+			succ++
+		}
+	}
+	if succ < trials/2 {
+		t.Fatalf("success rate %d/%d below 1/2 at paper's s", succ, trials)
+	}
+}
+
+func TestPartitionFailureBoundFormula(t *testing.T) {
+	// at s = 100·d^{3/2}: bound = 10³·5⁵·d³/(6!·10⁴·d³) = 3125/7200 < 1/2
+	for _, d := range []int{1, 4, 9, 25} {
+		s := int(100 * math.Pow(float64(d), 1.5))
+		b := PartitionFailureBound(d, s)
+		if b >= 0.5 {
+			t.Fatalf("d=%d s=%d: bound %v ≥ 1/2", d, s, b)
+		}
+	}
+	if PartitionFailureBound(3, 0) != 1 {
+		t.Fatal("s=0 should return 1")
+	}
+	// bound decreases in s
+	if PartitionFailureBound(4, 100) <= PartitionFailureBound(4, 200) {
+		t.Fatal("bound not decreasing in s")
+	}
+}

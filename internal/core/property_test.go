@@ -1,0 +1,295 @@
+package core
+
+// Property-based tests (testing/quick) for the core algorithms'
+// structural invariants over randomized inputs.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+)
+
+// qmultiset is a random vector multiset with a planted cluster, for
+// Coalesce properties.
+type qmultiset struct {
+	Vecs  []bitvec.Partial
+	D     int
+	Alpha float64
+	NT    int // planted cluster size
+	M     int
+}
+
+func (qmultiset) Generate(r *rand.Rand, size int) reflect.Value {
+	g := rng.New(r.Uint64())
+	m := 80 + g.Intn(200)
+	d := 1 + g.Intn(8)
+	n := 20 + g.Intn(40)
+	alpha := 0.15 + 0.35*g.Float64()
+	nT := int(math.Ceil(alpha * float64(n)))
+	center := bitvec.Random(g, m)
+	vecs := make([]bitvec.Partial, 0, n)
+	for i := 0; i < nT; i++ {
+		v := center.Clone()
+		v.FlipRandom(g, g.Intn(d/2+1))
+		vecs = append(vecs, bitvec.PartialOf(v))
+	}
+	for len(vecs) < n {
+		vecs = append(vecs, bitvec.PartialOf(bitvec.Random(g, m)))
+	}
+	return reflect.ValueOf(qmultiset{Vecs: vecs, D: d, Alpha: alpha, NT: nT, M: m})
+}
+
+func TestQuickCoalesceCapAndSeparation(t *testing.T) {
+	f := func(q qmultiset) bool {
+		out := Coalesce(q.Vecs, q.D, q.Alpha)
+		// |B| ≤ 1/α
+		if float64(len(out)) > 1/q.Alpha+1e-9 {
+			return false
+		}
+		// all output pairs separated by > 5D (the Step 4 stopping rule)
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if out[i].DistKnown(out[j]) <= 5*q.D {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoalesceClusterRepresented(t *testing.T) {
+	f := func(q qmultiset) bool {
+		out := Coalesce(q.Vecs, q.D, q.Alpha)
+		// some output within 2D of every planted-cluster vector
+		for _, o := range out {
+			ok := true
+			for i := 0; i < q.NT; i++ {
+				if o.DistKnown(q.Vecs[i]) > 2*q.D {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoalesceOrderInvariance(t *testing.T) {
+	f := func(q qmultiset, seed int64) bool {
+		out1 := Coalesce(q.Vecs, q.D, q.Alpha)
+		shuf := append([]bitvec.Partial(nil), q.Vecs...)
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		out2 := Coalesce(shuf, q.D, q.Alpha)
+		if len(out1) != len(out2) {
+			return false
+		}
+		for i := range out1 {
+			if !out1[i].Equal(out2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// qselect is a random Select problem with a planted in-bound candidate.
+type qselect struct {
+	Truth bitvec.Vector
+	Cands []bitvec.Partial
+	D     int
+	Seed  uint64
+}
+
+func (qselect) Generate(r *rand.Rand, size int) reflect.Value {
+	g := rng.New(r.Uint64())
+	m := 30 + g.Intn(150)
+	k := 2 + g.Intn(8)
+	d := g.Intn(10)
+	truth := bitvec.Random(g, m)
+	cands := make([]bitvec.Partial, k)
+	planted := truth.Clone()
+	if d > 0 {
+		planted.FlipRandom(g, g.Intn(d+1))
+	}
+	cands[0] = bitvec.PartialOf(planted)
+	for i := 1; i < k; i++ {
+		v := bitvec.Random(g, m)
+		p := bitvec.PartialOf(v)
+		// sprinkle some ?s
+		for q := 0; q < m/10; q++ {
+			p.SetUnknown(g.Intn(m))
+		}
+		cands[i] = p
+	}
+	g.Shuffle(k, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return reflect.ValueOf(qselect{Truth: truth, Cands: cands, D: d, Seed: r.Uint64()})
+}
+
+func TestQuickSelectBudgetAndOptimality(t *testing.T) {
+	f := func(q qselect) bool {
+		m := q.Truth.Len()
+		in := prefs.FromVectors([]bitvec.Vector{q.Truth})
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(q.Seed))
+		got := SelectPartial(e.Player(0), seqObjs(m), q.Cands, q.D)
+		if e.Charged(0) > int64(len(q.Cands)*(q.D+1)) {
+			return false // Theorem 3.2 budget
+		}
+		best := m + 1
+		for _, c := range q.Cands {
+			if dd := c.DistKnownVec(q.Truth); dd < best {
+				best = dd
+			}
+		}
+		return q.Cands[got].DistKnownVec(q.Truth) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRSelectBudget(t *testing.T) {
+	f := func(q qselect) bool {
+		m := q.Truth.Len()
+		in := prefs.FromVectors([]bitvec.Vector{q.Truth})
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(q.Seed))
+		cLogN := 12
+		_ = RSelect(e.Player(0), rng.New(q.Seed+1), seqObjs(m), q.Cands, cLogN)
+		k := len(q.Cands)
+		return e.Charged(0) <= int64(k*(k-1)/2*cLogN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// qzr is a random identical-community ZeroRadius instance.
+type qzr struct {
+	N     int
+	Alpha float64
+	Seed  uint64
+}
+
+func (qzr) Generate(r *rand.Rand, size int) reflect.Value {
+	ns := []int{64, 96, 128, 192}
+	alphas := []float64{0.4, 0.5, 0.75, 1}
+	return reflect.ValueOf(qzr{
+		N:     ns[r.Intn(len(ns))],
+		Alpha: alphas[r.Intn(len(alphas))],
+		Seed:  r.Uint64(),
+	})
+}
+
+func TestQuickZeroRadiusMembersAgree(t *testing.T) {
+	// Invariant (weaker than exactness, holds even on unlucky seeds):
+	// community members all output the SAME vector — ZeroRadius's
+	// agreement property — and non-members still output total vectors.
+	f := func(q qzr) bool {
+		in := prefs.Identical(q.N, q.N, q.Alpha, q.Seed)
+		b := billboard.New(in.N, in.M)
+		e := probe.NewEngine(in, b, rng.NewSource(q.Seed+1))
+		env := NewEnv(e, nil, rng.NewSource(q.Seed+2), DefaultConfig())
+		out := ZeroRadiusBits(env, allPlayers(in.N), seqObjs(in.M), q.Alpha)
+		c := in.Communities[0]
+		first := out[c.Members[0]]
+		for _, p := range c.Members {
+			for j := range first {
+				if out[p][j] != first[j] {
+					return false
+				}
+			}
+		}
+		for p := 0; p < in.N; p++ {
+			if len(out[p]) != in.M {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// qvals is a random SelectValues problem with a planted in-bound candidate.
+type qvals struct {
+	Truth []uint32
+	Cands [][]uint32
+	D     int
+}
+
+func (qvals) Generate(r *rand.Rand, size int) reflect.Value {
+	g := rng.New(r.Uint64())
+	width := 10 + g.Intn(60)
+	k := 2 + g.Intn(6)
+	d := g.Intn(6)
+	truth := make([]uint32, width)
+	for i := range truth {
+		truth[i] = uint32(g.Intn(4))
+	}
+	cands := make([][]uint32, k)
+	planted := append([]uint32(nil), truth...)
+	for x := 0; x < d; x++ {
+		planted[g.Intn(width)] = uint32(g.Intn(4))
+	}
+	cands[0] = planted
+	for i := 1; i < k; i++ {
+		c := make([]uint32, width)
+		for j := range c {
+			c[j] = uint32(g.Intn(4))
+		}
+		cands[i] = c
+	}
+	g.Shuffle(k, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return reflect.ValueOf(qvals{Truth: truth, Cands: cands, D: d})
+}
+
+func TestQuickSelectValuesBudgetAndOptimality(t *testing.T) {
+	f := func(q qvals) bool {
+		probes := 0
+		got := SelectValues(func(t int) uint32 { probes++; return q.Truth[t] }, q.Cands, q.D)
+		if probes > len(q.Cands)*(q.D+1) {
+			return false
+		}
+		dist := func(c []uint32) int {
+			n := 0
+			for i := range c {
+				if c[i] != q.Truth[i] {
+					n++
+				}
+			}
+			return n
+		}
+		best := dist(q.Cands[0])
+		for _, c := range q.Cands[1:] {
+			if dd := dist(c); dd < best {
+				best = dd
+			}
+		}
+		return dist(q.Cands[got]) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

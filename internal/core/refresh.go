@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// Refresh is the incremental-repair extension motivated by the paper's
+// dynamic-environment scenario (quantified in experiments E17/E20):
+// after communities have agreed on outputs and the world drifts in a
+// bounded number of coordinates, a full re-run costs a fresh
+// polylog(n)/α budget; Refresh instead repairs the stale outputs at
+// ~redundancy·m/(αn) + drift probes per player.
+//
+// The paper's problem statement makes every output vector public ("w(p)
+// is accessible to all players"), which Refresh exploits:
+//
+//  1. Players post their stale outputs; every vector held by at least
+//     alpha·|players| posters identifies a consensus group (one per
+//     community that previously converged).
+//  2. Within each group, a public-coin assignment spreads the group's
+//     coordinates over its holders with the given redundancy; each
+//     holder re-probes its share and posts a patch where the world
+//     disagrees with the group consensus. Holders' stale outputs equal
+//     the consensus, so patches are exactly the drifted coordinates —
+//     players outside the group never post into it, and coverage is
+//     exact rather than probabilistic.
+//  3. Every group member verifies each posted patch coordinate with one
+//     probe of its own (ground truth for that player) and rewrites it.
+//
+// Players not in any consensus group keep their stale output unchanged
+// (they went it alone before; they can re-probe alone too).
+//
+// maxPatches caps per-player verification in case the world drifted
+// beyond expectation; patches past the cap (most-voted first) are
+// dropped, leaving at most that many stale coordinates.
+func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha float64, redundancy, maxPatches int) []bitvec.Partial {
+	out := make([]bitvec.Partial, env.N)
+	if len(players) == 0 || len(objs) == 0 {
+		return out
+	}
+	if redundancy < 1 {
+		redundancy = 1
+	}
+	if maxPatches < 1 {
+		maxPatches = len(objs)
+	}
+	defer env.span("refresh", "players", len(players), "objs", len(objs), "redundancy", redundancy)()
+	tag := env.freshTag("rf")
+	coin := env.Public.Stream(tag, 0)
+
+	// Step 1: identify consensus groups from the (public) stale outputs.
+	staleTopic := tag + "/stale"
+	for _, p := range players {
+		out[p] = stale[p].Clone() // default: keep stale
+		env.Board.Post(staleTopic, p, stale[p])
+	}
+	need := int(alpha * float64(len(players)))
+	if need < 2 {
+		need = 2
+	}
+	votes := env.Board.Votes(staleTopic)
+	env.Board.DropTopic(staleTopic)
+
+	groupID := 0
+	for _, v := range votes {
+		if v.Count < need {
+			continue
+		}
+		refreshGroup(env, coin, objs, v.Voters, v.Vec, out, redundancy, maxPatches,
+			tag, groupID)
+		groupID++
+	}
+	return out
+}
+
+// refreshGroup repairs one consensus group's shared output.
+func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
+	consensus bitvec.Partial, out []bitvec.Partial,
+	redundancy, maxPatches int, tag string, groupID int) {
+
+	topic := tag + "/patches/" + strconv.Itoa(groupID)
+
+	// Public-coin assignment: each coordinate to `redundancy` holders.
+	assigned := make(map[int][]int, len(holders)) // player -> local coords
+	order := coin.Perm(len(objs))
+	for rep := 0; rep < redundancy; rep++ {
+		offset := coin.Intn(len(holders))
+		for i, lc := range order {
+			p := holders[(i+offset)%len(holders)]
+			assigned[p] = append(assigned[p], lc)
+		}
+	}
+
+	// Phase 1: holders re-probe their share against the group consensus.
+	env.Run.Phase(holders, func(p int) {
+		pl := env.Engine.Player(p)
+		for _, lc := range assigned[p] {
+			v := pl.Probe(objs[lc])
+			if consensus.Get(lc) != v {
+				env.Board.PostValues(topic, p, []uint32{uint32(lc), uint32(v)})
+			}
+		}
+	})
+
+	// Collect patch coordinates, most-voted first, capped.
+	byCoord := map[int]int{}
+	for _, v := range env.Board.ValueVotes(topic) {
+		if len(v.Vals) == 2 {
+			byCoord[int(v.Vals[0])] += v.Count
+		}
+	}
+	type patch struct{ lc, count int }
+	patches := make([]patch, 0, len(byCoord))
+	for lc, c := range byCoord {
+		patches = append(patches, patch{lc, c})
+	}
+	sort.Slice(patches, func(i, j int) bool {
+		if patches[i].count != patches[j].count {
+			return patches[i].count > patches[j].count
+		}
+		return patches[i].lc < patches[j].lc
+	})
+	if len(patches) > maxPatches {
+		patches = patches[:maxPatches]
+	}
+
+	// Phase 2: every holder self-verifies each patch coordinate.
+	env.Run.Phase(holders, func(p int) {
+		pl := env.Engine.Player(p)
+		for _, pa := range patches {
+			out[p].SetBit(pa.lc, pl.Probe(objs[pa.lc]))
+		}
+	})
+	env.Board.DropTopic(topic)
+}
+
+// RefreshBudget returns the default re-verification redundancy and
+// patch cap: redundancy 2 and a patch budget of 4·expected-drift
+// (minimum 8).
+func RefreshBudget(expectedDrift int) (redundancy, maxPatches int) {
+	redundancy = 2
+	maxPatches = 4 * expectedDrift
+	if maxPatches < 8 {
+		maxPatches = 8
+	}
+	return redundancy, maxPatches
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+)
+
+// RSelect implements Algorithm RSelect (Fig. 7): the randomized Choose
+// Closest that needs no distance bound.
+//
+// For every pair of distinct candidates it samples up to c·log n of the
+// coordinates on which their non-? values differ, probes them, and
+// declares a loser when at least 2/3 of the probed coordinates favor the
+// other vector. It returns the index of a candidate with zero losses
+// (Theorem 6.1: w.h.p. such a vector exists and is within O(D) of the
+// true closest). If bad luck leaves no undefeated candidate, the one
+// with fewest losses (ties broken lexicographically) is returned, which
+// preserves the probe bound while remaining deterministic given the
+// random stream.
+//
+// The probe budget is O(|V|²·log n): cLogN probes per pair.
+//
+// cands are over the coordinate set objs, as in SelectPartial; r is the
+// player's private random stream.
+func RSelect(pl *probe.Player, r *rng.Rand, objs []int, cands []bitvec.Partial, cLogN int) int {
+	k := len(cands)
+	if k == 0 {
+		panic("core: RSelect with no candidates")
+	}
+	if k == 1 {
+		return 0
+	}
+	if cLogN < 1 {
+		cLogN = 1
+	}
+	losses := make([]int, k)
+	diff := make([]int, 0, len(objs))
+
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			// X: coordinates with differing non-? values.
+			diff = diff[:0]
+			for t := 0; t < len(objs); t++ {
+				a, b := cands[i].Get(t), cands[j].Get(t)
+				if a != bitvec.Unknown && b != bitvec.Unknown && a != b {
+					diff = append(diff, t)
+				}
+			}
+			if len(diff) == 0 {
+				continue // identical on known coordinates; no verdict
+			}
+			sample := diff
+			if len(diff) > cLogN {
+				// uniform sample of cLogN coordinates without replacement
+				r.Shuffle(len(diff), func(x, y int) { diff[x], diff[y] = diff[y], diff[x] })
+				sample = diff[:cLogN]
+			}
+			agreeI := 0
+			for _, t := range sample {
+				if pl.Probe(objs[t]) == cands[i].Get(t) {
+					agreeI++
+				}
+			}
+			// 2/3 majority verdicts (both can lose on a ~50/50 split of a
+			// short sample: then neither is declared loser).
+			if 3*agreeI >= 2*len(sample) {
+				losses[j]++
+			}
+			if 3*(len(sample)-agreeI) >= 2*len(sample) {
+				losses[i]++
+			}
+		}
+	}
+
+	// Final choice among minimal-loss candidates. The ?-ignoring metric
+	// d~ cannot see that a wildcard coordinate is a guaranteed coin-flip
+	// under the output's Fill(0) semantics, so ties prefer the candidate
+	// with fewer '?' entries before the lexicographic rule — otherwise a
+	// mostly-undetermined vector that matches everywhere it is defined
+	// could displace a fully-specified good answer.
+	best := 0
+	for i := 1; i < k; i++ {
+		li, lb := losses[i], losses[best]
+		switch {
+		case li < lb:
+			best = i
+		case li == lb:
+			ui, ub := cands[i].UnknownCount(), cands[best].UnknownCount()
+			if ui < ub || (ui == ub && cands[i].Less(cands[best])) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// RSelSamples converts the config constant into the per-pair sample
+// count c·log n for an n-player instance.
+func RSelSamples(cfg Config, n int) int {
+	s := int(math.Ceil(cfg.RSelC * math.Log(float64(n)+1)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

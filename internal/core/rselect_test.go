@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+)
+
+func TestRSelectFindsExactAmongFar(t *testing.T) {
+	r := rng.New(1)
+	m := 256
+	truth := bitvec.Random(r, m)
+	cands := []bitvec.Partial{
+		bitvec.PartialOf(bitvec.Random(r, m)),
+		bitvec.PartialOf(truth.Clone()),
+		bitvec.PartialOf(bitvec.Random(r, m)),
+		bitvec.PartialOf(bitvec.Random(r, m)),
+	}
+	in := prefs.FromVectors([]bitvec.Vector{truth})
+	e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(2))
+	got := RSelect(e.Player(0), rng.New(3), seqObjs(m), cands, 20)
+	if got != 1 {
+		t.Fatalf("RSelect = %d, want 1", got)
+	}
+}
+
+func TestRSelectErrorWithinConstantFactor(t *testing.T) {
+	// Theorem 6.1: output within O(D) of the true minimum distance.
+	r := rng.New(4)
+	const m = 512
+	fails := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		truth := bitvec.Random(r, m)
+		d := 1 + r.Intn(8)
+		k := 3 + r.Intn(4)
+		cands := make([]bitvec.Partial, k)
+		best := truth.Clone()
+		best.FlipRandom(r, d)
+		cands[0] = bitvec.PartialOf(best)
+		for i := 1; i < k; i++ {
+			v := truth.Clone()
+			v.FlipRandom(r, d*8+20+r.Intn(50))
+			cands[i] = bitvec.PartialOf(v)
+		}
+		in := prefs.FromVectors([]bitvec.Vector{truth})
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(uint64(trial)))
+		got := RSelect(e.Player(0), rng.New(uint64(trial)*7+1), seqObjs(m), cands, 30)
+		if gd := cands[got].DistKnownVec(truth); gd > 6*d {
+			fails++
+		}
+	}
+	if fails > trials/10 {
+		t.Fatalf("RSelect exceeded 6·D in %d/%d trials", fails, trials)
+	}
+}
+
+func TestRSelectProbeBudget(t *testing.T) {
+	// probes ≤ cLogN per pair → ≤ C(k,2)·cLogN overall.
+	r := rng.New(9)
+	m := 1024
+	truth := bitvec.Random(r, m)
+	k := 6
+	cands := make([]bitvec.Partial, k)
+	for i := range cands {
+		cands[i] = bitvec.PartialOf(bitvec.Random(r, m))
+	}
+	in := prefs.FromVectors([]bitvec.Vector{truth})
+	e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(5))
+	cLogN := 25
+	RSelect(e.Player(0), rng.New(6), seqObjs(m), cands, cLogN)
+	budget := int64(k * (k - 1) / 2 * cLogN)
+	if got := e.Charged(0); got > budget {
+		t.Fatalf("probes %d > budget %d", got, budget)
+	}
+}
+
+func TestRSelectIdenticalCandidates(t *testing.T) {
+	pl, e := singlePlayer(t, "0101", 11)
+	cands := []bitvec.Partial{part(t, "1111"), part(t, "1111")}
+	got := RSelect(pl, rng.New(1), seqObjs(4), cands, 10)
+	if got != 0 && got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if e.Charged(0) != 0 {
+		t.Fatalf("identical candidates probed %d times", e.Charged(0))
+	}
+}
+
+func TestRSelectSingleCandidate(t *testing.T) {
+	pl, e := singlePlayer(t, "0101", 12)
+	if got := RSelect(pl, rng.New(1), seqObjs(4), []bitvec.Partial{part(t, "0000")}, 10); got != 0 {
+		t.Fatal("single candidate not returned")
+	}
+	if e.Charged(0) != 0 {
+		t.Fatal("single candidate probed")
+	}
+}
+
+func TestRSelectUnknownsShrinkDifferenceSet(t *testing.T) {
+	// The pair's difference set X only contains coordinates where BOTH
+	// candidates are known, so an all-? candidate is indistinguishable
+	// (zero probes, no verdict) and either output is conformant.
+	pl, e := singlePlayer(t, "00000000", 13)
+	cands := []bitvec.Partial{
+		part(t, "????0000"),
+		part(t, "11110000"),
+	}
+	got := RSelect(pl, rng.New(2), seqObjs(8), cands, 10)
+	if got != 0 && got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if e.Charged(0) != 0 {
+		t.Fatalf("empty X still probed %d times", e.Charged(0))
+	}
+}
+
+func TestRSelectPartialVerdictOnKnownCoords(t *testing.T) {
+	// When the ? candidate still differs on known coordinates, RSelect
+	// must rank by those: cand0 has d~=0, cand1 d~=4 on shared coords.
+	pl, _ := singlePlayer(t, "00000000", 13)
+	cands := []bitvec.Partial{
+		part(t, "0000??00"),
+		part(t, "1111??00"),
+	}
+	got := RSelect(pl, rng.New(2), seqObjs(8), cands, 10)
+	if got != 0 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestRSelectSmallDifferenceSetProbesAll(t *testing.T) {
+	// |X| < cLogN → probe all of X, fully reliable verdict.
+	pl, e := singlePlayer(t, "000000", 14)
+	cands := []bitvec.Partial{
+		part(t, "000001"), // distance 1
+		part(t, "000010"), // distance 1
+	}
+	got := RSelect(pl, rng.New(3), seqObjs(6), cands, 100)
+	// X = {4, 5}, both probed; split 1-1, neither reaches 2/3 → both 0
+	// losses → lexicographic first of equals
+	if got != 0 {
+		t.Fatalf("got %d", got)
+	}
+	if e.Charged(0) != 2 {
+		t.Fatalf("probed %d, want 2", e.Charged(0))
+	}
+}
+
+func TestRSelectDeterministicGivenStream(t *testing.T) {
+	run := func() int {
+		r := rng.New(55)
+		m := 128
+		truth := bitvec.Random(r, m)
+		cands := []bitvec.Partial{
+			bitvec.PartialOf(bitvec.Random(r, m)),
+			bitvec.PartialOf(bitvec.Random(r, m)),
+			bitvec.PartialOf(bitvec.Random(r, m)),
+		}
+		in := prefs.FromVectors([]bitvec.Vector{truth})
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(8))
+		return RSelect(e.Player(0), rng.New(77), seqObjs(m), cands, 15)
+	}
+	if run() != run() {
+		t.Fatal("RSelect not deterministic given identical streams")
+	}
+}
+
+func TestRSelSamples(t *testing.T) {
+	cfg := DefaultConfig()
+	small := RSelSamples(cfg, 2)
+	big := RSelSamples(cfg, 1<<20)
+	if small < 1 || big <= small {
+		t.Fatalf("RSelSamples: small=%d big=%d", small, big)
+	}
+}

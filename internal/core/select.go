@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strconv"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/probe"
+)
+
+// SelectPartial implements Algorithm Select (Fig. 3): the deterministic
+// Choose Closest with a distance bound.
+//
+// cands are candidate vectors defined over the object coordinate set
+// objs — candidate coordinate t corresponds to real object objs[t] — and
+// may contain '?' entries, which all distance computations ignore
+// (Notation 3.2's d~). d is the promised bound: some candidate is within
+// d of the player's true vector on objs.
+//
+// It returns the index of the chosen candidate: the lexicographically
+// first among those closest to the player's vector on the probed set Y.
+// If the promise holds, Theorem 3.2 guarantees the choice is a true
+// closest vector and at most len(cands)·(d+1) probes are spent.
+//
+// Per the paper's remark, Select ignores probes done before its
+// execution: it re-probes coordinates it needs (the engine's default
+// ChargeAll policy also charges them, matching the paper's cost model).
+func SelectPartial(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) int {
+	k := len(cands)
+	if k == 0 {
+		panic("core: SelectPartial with no candidates")
+	}
+	if k == 1 {
+		return 0
+	}
+	for i, c := range cands {
+		if c.Len() != len(objs) {
+			panic("core: candidate length mismatch at " + strconv.Itoa(i))
+		}
+	}
+
+	active := make([]bool, k)
+	for i := range active {
+		active[i] = true
+	}
+	nActive := k
+	disagree := make([]int, k)
+	probed := make([]int8, len(objs)) // -1 unprobed, else observed value
+	for t := range probed {
+		probed[t] = -1
+	}
+
+	// Step 1: repeatedly probe the first unprobed coordinate on which two
+	// active candidates have differing non-? values; drop candidates that
+	// exceed d disagreements.
+	for nActive > 1 {
+		t := nextDisputed(cands, active, probed)
+		if t < 0 {
+			break // X(V) fully probed or empty
+		}
+		val := pl.Probe(objs[t])
+		probed[t] = int8(val)
+		for i := range cands {
+			if !active[i] {
+				continue
+			}
+			b := cands[i].Get(t)
+			if b != bitvec.Unknown && b != val {
+				disagree[i]++
+				if disagree[i] > d {
+					active[i] = false
+					nActive--
+				}
+			}
+		}
+	}
+
+	// Step 2: among the surviving candidates (or all of them, if the
+	// promise was violated and everything was removed), output the
+	// lexicographically first vector closest to v(p) on the probed set Y.
+	pool := active
+	if nActive == 0 {
+		pool = make([]bool, k)
+		for i := range pool {
+			pool[i] = true
+		}
+		// disagree counts stopped when candidates were deactivated;
+		// recompute exactly over Y.
+		for i := range cands {
+			disagree[i] = disagreementsOn(cands[i], probed)
+		}
+	}
+	// Ties on the probed set prefer fewer '?' entries (a wildcard is a
+	// guaranteed coin-flip under Fill(0) output semantics, invisible to
+	// d~), then the paper's lexicographic rule.
+	best := -1
+	for i := range cands {
+		if !pool[i] {
+			continue
+		}
+		if best < 0 || disagree[i] < disagree[best] {
+			best = i
+			continue
+		}
+		if disagree[i] == disagree[best] {
+			ui, ub := cands[i].UnknownCount(), cands[best].UnknownCount()
+			if ui < ub || (ui == ub && cands[i].Less(cands[best])) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// nextDisputed returns the first unprobed coordinate where two active
+// candidates hold differing non-? values, or -1 if none exists.
+func nextDisputed(cands []bitvec.Partial, active []bool, probed []int8) int {
+	for t := range probed {
+		if probed[t] >= 0 {
+			continue
+		}
+		seen := byte(bitvec.Unknown)
+		for i := range cands {
+			if !active[i] {
+				continue
+			}
+			b := cands[i].Get(t)
+			if b == bitvec.Unknown {
+				continue
+			}
+			if seen == bitvec.Unknown {
+				seen = b
+			} else if seen != b {
+				return t
+			}
+		}
+	}
+	return -1
+}
+
+// disagreementsOn counts candidate disagreements with the probed values.
+func disagreementsOn(c bitvec.Partial, probed []int8) int {
+	d := 0
+	for t, v := range probed {
+		if v < 0 {
+			continue
+		}
+		if b := c.Get(t); b != bitvec.Unknown && b != byte(v) {
+			d++
+		}
+	}
+	return d
+}
+
+// SelectValues is Algorithm Select over generic value vectors: candidate
+// i assigns value cands[i][t] to abstract object t, and probeVal(t)
+// reveals the player's own value for t (each invocation is charged by
+// whatever probing probeVal performs). Used by ZeroRadius when its
+// "objects" are object groups whose "values" are Coalesce candidates
+// (Large Radius, Step 4).
+//
+// Returns the index of the lexicographically first closest candidate,
+// with the same k(d+1) probe bound as SelectPartial.
+func SelectValues(probeVal func(t int) uint32, cands [][]uint32, d int) int {
+	k := len(cands)
+	if k == 0 {
+		panic("core: SelectValues with no candidates")
+	}
+	if k == 1 {
+		return 0
+	}
+	width := len(cands[0])
+	for i, c := range cands {
+		if len(c) != width {
+			panic("core: candidate length mismatch at " + strconv.Itoa(i))
+		}
+	}
+
+	active := make([]bool, k)
+	for i := range active {
+		active[i] = true
+	}
+	nActive := k
+	disagree := make([]int, k)
+	probed := make([]int64, width)
+	for t := range probed {
+		probed[t] = -1
+	}
+
+	for nActive > 1 {
+		t := -1
+		for u := 0; u < width && t < 0; u++ {
+			if probed[u] >= 0 {
+				continue
+			}
+			first := uint32(0)
+			have := false
+			for i := range cands {
+				if !active[i] {
+					continue
+				}
+				if !have {
+					first, have = cands[i][u], true
+				} else if cands[i][u] != first {
+					t = u
+					break
+				}
+			}
+		}
+		if t < 0 {
+			break
+		}
+		val := probeVal(t)
+		probed[t] = int64(val)
+		for i := range cands {
+			if active[i] && cands[i][t] != val {
+				disagree[i]++
+				if disagree[i] > d {
+					active[i] = false
+					nActive--
+				}
+			}
+		}
+	}
+
+	pool := active
+	if nActive == 0 {
+		pool = make([]bool, k)
+		for i := range pool {
+			pool[i] = true
+			disagree[i] = 0
+			for t, v := range probed {
+				if v >= 0 && cands[i][t] != uint32(v) {
+					disagree[i]++
+				}
+			}
+		}
+	}
+	best := -1
+	for i := range cands {
+		if !pool[i] {
+			continue
+		}
+		switch {
+		case best < 0,
+			disagree[i] < disagree[best],
+			disagree[i] == disagree[best] && lessU32(cands[i], cands[best]):
+			best = i
+		}
+	}
+	return best
+}
+
+func lessU32(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+	"tellme/internal/rng"
+
+	"tellme/internal/billboard"
+	"tellme/internal/probe"
+)
+
+func TestSelectPicksExactMatch(t *testing.T) {
+	pl, _ := singlePlayer(t, "01101", 1)
+	cands := []bitvec.Partial{
+		part(t, "11111"),
+		part(t, "01101"), // exact
+		part(t, "00000"),
+	}
+	if got := SelectPartial(pl, seqObjs(5), cands, 0); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestSelectRespectsDistanceBound(t *testing.T) {
+	pl, _ := singlePlayer(t, "0000000000", 2)
+	cands := []bitvec.Partial{
+		part(t, "1111100000"), // distance 5
+		part(t, "1100000000"), // distance 2 (within bound)
+		part(t, "1111111111"), // distance 10
+	}
+	if got := SelectPartial(pl, seqObjs(10), cands, 2); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestSelectProbeBudgetTheorem32(t *testing.T) {
+	// Theorem 3.2: probes ≤ k(D+1).
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		m := 64
+		truth := bitvec.Random(r, m)
+		d := r.Intn(6)
+		k := 2 + r.Intn(6)
+		cands := make([]bitvec.Partial, k)
+		// plant one candidate within d
+		planted := truth.Clone()
+		if d > 0 {
+			planted.FlipRandom(r, r.Intn(d+1))
+		}
+		cands[0] = bitvec.PartialOf(planted)
+		for i := 1; i < k; i++ {
+			cands[i] = bitvec.PartialOf(bitvec.Random(r, m))
+		}
+		in := prefs.FromVectors([]bitvec.Vector{truth})
+		e := probe.NewEngine(in, billboard.New(1, m), rng.NewSource(uint64(trial)))
+		pl := e.Player(0)
+		got := SelectPartial(pl, seqObjs(m), cands, d)
+		if spent := e.Charged(0); spent > int64(k*(d+1)) {
+			t.Fatalf("trial %d: %d probes > k(D+1) = %d", trial, spent, k*(d+1))
+		}
+		// output must be a true closest vector
+		bestDist := m + 1
+		for _, c := range cands {
+			if dd := c.DistKnownVec(truth); dd < bestDist {
+				bestDist = dd
+			}
+		}
+		if gd := cands[got].DistKnownVec(truth); gd != bestDist {
+			t.Fatalf("trial %d: selected distance %d, best %d", trial, gd, bestDist)
+		}
+	}
+}
+
+func TestSelectLexicographicTieBreak(t *testing.T) {
+	pl, _ := singlePlayer(t, "0000", 3)
+	// two candidates both at distance 1
+	cands := []bitvec.Partial{
+		part(t, "0100"),
+		part(t, "0010"),
+	}
+	got := SelectPartial(pl, seqObjs(4), cands, 1)
+	// lexicographically first of the two closest is "0010"
+	if got != 1 {
+		t.Fatalf("tie break chose %d", got)
+	}
+}
+
+func TestSelectSingleCandidateFree(t *testing.T) {
+	pl, e := singlePlayer(t, "0101", 4)
+	if got := SelectPartial(pl, seqObjs(4), []bitvec.Partial{part(t, "1111")}, 0); got != 0 {
+		t.Fatal("single candidate not returned")
+	}
+	if e.Charged(0) != 0 {
+		t.Fatalf("single candidate cost %d probes", e.Charged(0))
+	}
+}
+
+func TestSelectIdenticalCandidatesFree(t *testing.T) {
+	pl, e := singlePlayer(t, "0101", 5)
+	cands := []bitvec.Partial{part(t, "1111"), part(t, "1111")}
+	_ = SelectPartial(pl, seqObjs(4), cands, 0)
+	if e.Charged(0) != 0 {
+		t.Fatalf("identical candidates cost %d probes", e.Charged(0))
+	}
+}
+
+func TestSelectIgnoresUnknowns(t *testing.T) {
+	pl, e := singlePlayer(t, "0000", 6)
+	// candidates differ only where one holds '?': X is empty, no probes.
+	cands := []bitvec.Partial{part(t, "0?00"), part(t, "0100")}
+	got := SelectPartial(pl, seqObjs(4), cands, 1)
+	if e.Charged(0) != 0 {
+		t.Fatalf("?-only differences triggered %d probes", e.Charged(0))
+	}
+	// tie on Y (both distance 0); "0100" < "0?00" lexicographically (1 < ?)
+	if got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSelectPartialWithUnknownCandidates(t *testing.T) {
+	pl, _ := singlePlayer(t, "00110", 7)
+	cands := []bitvec.Partial{
+		part(t, "11??1"), // d~ to truth: coords 0,1,4 → 3 diffs
+		part(t, "0011?"), // d~ 0
+	}
+	if got := SelectPartial(pl, seqObjs(5), cands, 2); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSelectViolatedPromiseStillReturns(t *testing.T) {
+	pl, _ := singlePlayer(t, "000000", 8)
+	// no candidate within d=0; all get removed; fall back to closest-on-Y.
+	cands := []bitvec.Partial{
+		part(t, "111111"),
+		part(t, "110000"),
+	}
+	got := SelectPartial(pl, seqObjs(6), cands, 0)
+	if got != 1 {
+		t.Fatalf("fallback chose %d (distance 6 vector over distance 2)", got)
+	}
+}
+
+func TestSelectOffsetObjectSet(t *testing.T) {
+	// candidates over a non-contiguous object subset
+	pl, _ := singlePlayer(t, "0101010101", 9)
+	objs := []int{1, 3, 5, 7, 9} // truth restricted: 11111
+	cands := []bitvec.Partial{
+		part(t, "00000"),
+		part(t, "11111"),
+	}
+	if got := SelectPartial(pl, objs, cands, 0); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSelectValuesBasic(t *testing.T) {
+	truth := []uint32{3, 1, 4, 1, 5}
+	probes := 0
+	probeVal := func(t int) uint32 { probes++; return truth[t] }
+	cands := [][]uint32{
+		{3, 1, 4, 1, 5}, // exact
+		{2, 7, 1, 8, 2},
+		{3, 1, 4, 1, 6}, // distance 1
+	}
+	if got := SelectValues(probeVal, cands, 0); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+	if probes > len(cands)*1 {
+		t.Fatalf("probes %d > k(D+1) = %d", probes, len(cands))
+	}
+}
+
+func TestSelectValuesBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		width := 40
+		k := 2 + r.Intn(5)
+		d := r.Intn(4)
+		truth := make([]uint32, width)
+		for i := range truth {
+			truth[i] = uint32(r.Intn(3))
+		}
+		cands := make([][]uint32, k)
+		planted := append([]uint32(nil), truth...)
+		for x := 0; x < d; x++ {
+			planted[r.Intn(width)] ^= 1
+		}
+		cands[0] = planted
+		for i := 1; i < k; i++ {
+			c := make([]uint32, width)
+			for j := range c {
+				c[j] = uint32(r.Intn(3))
+			}
+			cands[i] = c
+		}
+		probes := 0
+		got := SelectValues(func(t int) uint32 { probes++; return truth[t] }, cands, d)
+		if probes > k*(d+1) {
+			t.Fatalf("probes %d > %d", probes, k*(d+1))
+		}
+		// verify optimality
+		dist := func(c []uint32) int {
+			n := 0
+			for i := range c {
+				if c[i] != truth[i] {
+					n++
+				}
+			}
+			return n
+		}
+		best := dist(cands[0])
+		for _, c := range cands[1:] {
+			if dd := dist(c); dd < best {
+				best = dd
+			}
+		}
+		if dist(cands[got]) != best {
+			t.Fatalf("selected distance %d, best %d", dist(cands[got]), best)
+		}
+	}
+}
+
+func TestSelectValuesSingle(t *testing.T) {
+	probes := 0
+	got := SelectValues(func(int) uint32 { probes++; return 0 }, [][]uint32{{9, 9}}, 0)
+	if got != 0 || probes != 0 {
+		t.Fatalf("got %d with %d probes", got, probes)
+	}
+}
+
+func TestSelectPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	pl, _ := singlePlayer(t, "0", 10)
+	SelectPartial(pl, seqObjs(1), nil, 0)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tellme/internal/bitvec"
+)
+
+// smallRadiusS computes the partition count s = ceil(PartC·D^{3/2}),
+// clamped to [1, nObjs]. (Lemma 4.1 wants s ≥ 100·d^{3/2} for failure
+// probability < 1/2 per iteration; the PartC knob trades constant factor
+// for probe cost and is ablated in experiment E11.)
+func smallRadiusS(cfg Config, d, nObjs int) int {
+	s := int(math.Ceil(cfg.PartC * math.Pow(float64(d), 1.5)))
+	if s < 1 {
+		s = 1
+	}
+	if s > nObjs {
+		s = nObjs
+	}
+	return s
+}
+
+// SmallRadiusPartitions reports the partition count SmallRadius will use
+// for diameter d over nObjs objects under cfg (for reporting/ablation).
+func SmallRadiusPartitions(cfg Config, d, nObjs int) int {
+	return smallRadiusS(cfg, d, nObjs)
+}
+
+// SmallRadius implements Algorithm Small Radius (Fig. 4) for the given
+// players over the object coordinate set objs, with frequency parameter
+// alpha and distance parameter d. k is the confidence parameter K
+// (k ≤ 0 uses the environment default of Θ(log n)).
+//
+// Returns out[p] = player p's output vector of length len(objs)
+// (coordinate j is real object objs[j]); non-participants get the zero
+// Vector. Theorem 4.4: if an (alpha,d)-typical subset of players exists,
+// then w.h.p. every member's output is within 5d of its true vector on
+// objs, at a cost of O(K·D^{3/2}·(D+log n)/α) probes per player.
+func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) []bitvec.Vector {
+	out := make([]bitvec.Vector, env.N)
+	if len(players) == 0 || len(objs) == 0 {
+		return out
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("core: SmallRadius alpha %v out of (0,1]", alpha))
+	}
+	if d == 0 {
+		// Degenerate case: Zero Radius already solves it exactly.
+		zr := ZeroRadiusBits(env, players, objs, alpha)
+		for _, p := range players {
+			out[p] = valsToVector(zr[p])
+		}
+		return out
+	}
+	env.count(CountSmallRadius)
+	defer env.span("smallradius", "players", len(players), "objs", len(objs), "alpha", alpha, "d", d)()
+	if k <= 0 {
+		k = env.confidenceK()
+	}
+	tag := env.freshTag("sr")
+	coin := env.Public.Stream(tag, 0)
+	s := smallRadiusS(env.Cfg, d, len(objs))
+	// Threshold for U_i: vectors output by ≥ alpha·|players|/5 players.
+	uThreshold := int(math.Ceil(alpha * float64(len(players)) / 5))
+	if uThreshold < 1 {
+		uThreshold = 1
+	}
+
+	local := make([]int, len(objs)) // local coordinate ids 0..len-1
+	for i := range local {
+		local[i] = i
+	}
+
+	// iterVecs[t][p] is u^t(p), the stitched vector of iteration t.
+	iterVecs := make([][]bitvec.Vector, k)
+
+	for t := 0; t < k; t++ {
+		// Step 1a: random partition of the (local) object coordinates.
+		parts := assignParts(coin, local, s)
+
+		uT := make([]bitvec.Vector, env.N)
+		for _, p := range players {
+			uT[p] = bitvec.New(len(objs))
+		}
+
+		for _, partLocal := range parts {
+			if len(partLocal) == 0 {
+				continue
+			}
+			//
+
+			// Step 1b: Zero Radius on this part with parameter alpha/5.
+			partObjs := make([]int, len(partLocal))
+			for j, lc := range partLocal {
+				partObjs[j] = objs[lc]
+			}
+			zr := ZeroRadiusBits(env, players, partObjs, alpha/5)
+			ui := popularOutputs(players, zr, uThreshold)
+			if len(ui) == 0 {
+				// Premise failed: no vector is popular enough. Use every
+				// distinct output so players can still stitch something.
+				ui = popularOutputs(players, zr, 1)
+			}
+
+			// Step 1c: every player adopts the closest popular vector.
+			env.Run.Phase(players, func(p int) {
+				pl := env.Engine.Player(p)
+				win := ui[SelectPartial(pl, partObjs, ui, d)]
+				for j, lc := range partLocal {
+					if b := win.Get(j); b == 1 {
+						uT[p].Set(lc, 1)
+					}
+				}
+			})
+		}
+		iterVecs[t] = uT
+	}
+
+	// Step 2: each player selects among its k stitched vectors with
+	// distance bound 5d.
+	env.Run.Phase(players, func(p int) {
+		pl := env.Engine.Player(p)
+		cands := make([]bitvec.Partial, k)
+		for t := 0; t < k; t++ {
+			cands[t] = bitvec.PartialOf(iterVecs[t][p])
+		}
+		win := SelectPartial(pl, objs, cands, 5*d)
+		out[p] = iterVecs[win][p]
+	})
+	return out
+}
+
+// popularOutputs tallies ZeroRadius outputs over the participants and
+// returns the distinct vectors with at least minVotes supporters as
+// fully-known Partials, deterministically ordered (vote count desc,
+// then lexicographic).
+func popularOutputs(players []int, zr [][]uint32, minVotes int) []bitvec.Partial {
+	type group struct {
+		vec   bitvec.Partial
+		count int
+	}
+	byKey := make(map[string]*group)
+	for _, p := range players {
+		if zr[p] == nil {
+			continue
+		}
+		v := valsToVector(zr[p])
+		k := v.Key()
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{vec: bitvec.PartialOf(v)}
+			byKey[k] = g
+		}
+		g.count++
+	}
+	var groups []*group
+	for _, g := range byKey {
+		if g.count >= minVotes {
+			groups = append(groups, g)
+		}
+	}
+	// deterministic order
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0; j-- {
+			a, b := groups[j], groups[j-1]
+			if a.count > b.count || (a.count == b.count && a.vec.Less(b.vec)) {
+				groups[j], groups[j-1] = groups[j-1], groups[j]
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]bitvec.Partial, len(groups))
+	for i, g := range groups {
+		out[i] = g.vec
+	}
+	return out
+}
+
+// valsToVector converts a 0/1 value vector to a packed Vector.
+func valsToVector(vals []uint32) bitvec.Vector {
+	v := bitvec.New(len(vals))
+	for i, x := range vals {
+		if x != 0 {
+			v.Set(i, 1)
+		}
+	}
+	return v
+}

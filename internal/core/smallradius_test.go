@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"tellme/internal/prefs"
+)
+
+func TestSmallRadiusErrorBound(t *testing.T) {
+	// Theorem 4.4: every typical player's output within 5D of its truth.
+	for _, d := range []int{2, 4, 8} {
+		in := prefs.Planted(256, 256, 0.5, d, uint64(d))
+		env, _ := newTestEnv(t, in, uint64(d)+100)
+		out := SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, d, 0)
+		c := in.Communities[0]
+		for _, p := range c.Members {
+			if e := out[p].Dist(in.Truth[p]); e > 5*d {
+				t.Fatalf("D=%d: member %d error %d > 5D=%d", d, p, e, 5*d)
+			}
+		}
+	}
+}
+
+func TestSmallRadiusZeroDFallsBackToZeroRadius(t *testing.T) {
+	in := prefs.Identical(128, 128, 0.5, 21)
+	env, _ := newTestEnv(t, in, 22)
+	out := SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 0, 0)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if !out[p].Equal(c.Center) {
+			t.Fatalf("member %d wrong with D=0", p)
+		}
+	}
+}
+
+func TestSmallRadiusCheaperThanSolo(t *testing.T) {
+	// The collaboration gain is asymptotic: the α/5 leaf threshold of the
+	// inner ZeroRadius must be well below m/s, which needs n in the
+	// thousands at these α and D (experiment E4 sweeps this). Below that
+	// regime the algorithm degrades gracefully to per-part brute force.
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	in := prefs.Planted(4096, 4096, 0.5, 2, 23)
+	env, _ := newTestEnv(t, in, 24)
+	out := SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 2, 4)
+	var maxProbes int64
+	for p := 0; p < in.N; p++ {
+		if c := env.Engine.Charged(p); c > maxProbes {
+			maxProbes = c
+		}
+	}
+	if maxProbes >= int64(in.M) {
+		t.Fatalf("max per-player probes %d ≥ m=%d (no better than solo)", maxProbes, in.M)
+	}
+	c := in.Communities[0]
+	bad := 0
+	for _, p := range c.Members {
+		if out[p].Dist(in.Truth[p]) > 5*2 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d members exceeded 5D with K=4", bad)
+	}
+}
+
+func TestSmallRadiusSubsetObjects(t *testing.T) {
+	in := prefs.Planted(128, 256, 0.5, 4, 25)
+	env, _ := newTestEnv(t, in, 26)
+	objs := make([]int, 0, 128)
+	for o := 0; o < 256; o += 2 {
+		objs = append(objs, o)
+	}
+	out := SmallRadius(env, allPlayers(in.N), objs, 0.5, 4, 0)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if e := out[p].Dist(in.Truth[p].Project(objs)); e > 5*4 {
+			t.Fatalf("member %d error %d on object subset", p, e)
+		}
+	}
+}
+
+func TestSmallRadiusSubsetPlayers(t *testing.T) {
+	in := prefs.Planted(200, 128, 0.6, 4, 27)
+	env, _ := newTestEnv(t, in, 28)
+	players := allPlayers(100)
+	inComm := map[int]bool{}
+	for _, p := range in.Communities[0].Members {
+		inComm[p] = true
+	}
+	commCount := 0
+	for _, p := range players {
+		if inComm[p] {
+			commCount++
+		}
+	}
+	alpha := float64(commCount) / float64(len(players))
+	if alpha < 0.3 {
+		t.Skip("unlucky overlap")
+	}
+	out := SmallRadius(env, players, seqObjs(in.M), alpha, 4, 0)
+	for _, p := range players {
+		if inComm[p] {
+			if e := out[p].Dist(in.Truth[p]); e > 20 {
+				t.Fatalf("member %d error %d", p, e)
+			}
+		}
+	}
+	if out[150].Len() != 0 {
+		t.Fatal("non-participant has output")
+	}
+}
+
+func TestSmallRadiusEmptyInputs(t *testing.T) {
+	in := prefs.Planted(16, 16, 0.5, 2, 29)
+	env, _ := newTestEnv(t, in, 30)
+	out := SmallRadius(env, nil, seqObjs(16), 0.5, 2, 0)
+	for _, v := range out {
+		if v.Len() != 0 {
+			t.Fatal("output for empty players")
+		}
+	}
+	out = SmallRadius(env, allPlayers(16), nil, 0.5, 2, 0)
+	for _, v := range out {
+		if v.Len() != 0 {
+			t.Fatal("output for empty objects")
+		}
+	}
+}
+
+func TestSmallRadiusDeterministic(t *testing.T) {
+	in := prefs.Planted(64, 64, 0.5, 3, 31)
+	run := func() []string {
+		env, _ := newTestEnv(t, in, 32)
+		out := SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 3, 4)
+		ss := make([]string, in.N)
+		for p := range ss {
+			ss[p] = out[p].String()
+		}
+		return ss
+	}
+	a, b := run(), run()
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatalf("nondeterministic at player %d", p)
+		}
+	}
+}
+
+func TestSmallRadiusKOne(t *testing.T) {
+	// K=1 still produces valid (if less reliable) outputs; the error
+	// bound is checked loosely since a single iteration may fail.
+	in := prefs.Planted(256, 256, 0.5, 4, 33)
+	env, _ := newTestEnv(t, in, 34)
+	out := SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 4, 1)
+	c := in.Communities[0]
+	bad := 0
+	for _, p := range c.Members {
+		if out[p].Dist(in.Truth[p]) > 20 {
+			bad++
+		}
+	}
+	if bad > len(c.Members)/2 {
+		t.Fatalf("K=1 failed for %d/%d members", bad, len(c.Members))
+	}
+}
+
+func TestSmallRadiusSPartitionCount(t *testing.T) {
+	cfg := DefaultConfig()
+	if s := smallRadiusS(cfg, 4, 1000); s != 8 {
+		t.Fatalf("s(4) = %d, want 8 (1·4^1.5)", s)
+	}
+	if s := smallRadiusS(cfg, 4, 5); s != 5 {
+		t.Fatal("s not clamped to object count")
+	}
+	if s := smallRadiusS(cfg, 0, 10); s != 1 {
+		t.Fatal("s(0) != 1")
+	}
+}
+
+func BenchmarkSmallRadius512D4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(512, 512, 0.5, 4, uint64(i))
+		env, _ := newTestEnv(b, in, uint64(i)+1)
+		_ = SmallRadius(env, allPlayers(in.N), seqObjs(in.M), 0.5, 4, 0)
+	}
+}

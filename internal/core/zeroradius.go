@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tellme/internal/probe"
+)
+
+// ObjectSpace abstracts the objects ZeroRadius divides and probes.
+//
+// For the plain algorithm the abstract objects are real objects and a
+// probe is one billboard probe (BinarySpace). For Large Radius, Step 4,
+// each abstract object is a whole object group whose possible values are
+// Coalesce candidates; probing it runs Select over the group
+// (VirtualSpace in largeradius.go).
+type ObjectSpace interface {
+	// Len returns the number of abstract objects.
+	Len() int
+	// Probe reveals player pl's value for abstract object j, charging
+	// pl for whatever real probing that takes.
+	Probe(pl *probe.Player, j int) uint32
+}
+
+// BinarySpace is the identity ObjectSpace: abstract object j is the real
+// object Objs[j] and its value is the player's 0/1 grade.
+type BinarySpace struct {
+	Objs []int
+}
+
+// Len implements ObjectSpace.
+func (s BinarySpace) Len() int { return len(s.Objs) }
+
+// Probe implements ObjectSpace.
+func (s BinarySpace) Probe(pl *probe.Player, j int) uint32 {
+	return uint32(pl.Probe(s.Objs[j]))
+}
+
+// zrNode is one node of the ZeroRadius recursion tree. The tree is built
+// by the shared coin, so every player knows the full structure.
+type zrNode struct {
+	id          int
+	depth       int
+	players     []int
+	objs        []int // abstract object ids
+	left, right *zrNode
+}
+
+func (nd *zrNode) leaf() bool { return nd.left == nil }
+
+// ZeroRadius implements Algorithm Zero Radius (Fig. 2) for the players
+// in `players` over the given object space, with frequency parameter
+// alpha.
+//
+// Returns out[p] = player p's output value vector (length space.Len(),
+// indexed by abstract object id); entries for non-participating players
+// are nil. If at least alpha·len(players) participants share identical
+// value vectors, Theorem 3.1 says w.h.p. they all output that shared
+// vector, after O(log n/α) probes each (times the per-probe cost of the
+// space).
+func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]uint32 {
+	if len(players) == 0 {
+		return make([][]uint32, env.N)
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("core: ZeroRadius alpha %v out of (0,1]", alpha))
+	}
+	env.count(CountZeroRadius)
+	defer env.span("zeroradius", "players", len(players), "objs", space.Len(), "alpha", alpha)()
+	tag := env.freshTag("zr")
+	threshold := env.leafThreshold(alpha)
+
+	// Build the recursion tree with public coins.
+	coin := env.Public.Stream(tag, 0)
+	nextID := 0
+	objs := make([]int, space.Len())
+	for i := range objs {
+		objs[i] = i
+	}
+	var build func(ps, os []int, depth int) *zrNode
+	var byLevel [][]*zrNode
+	build = func(ps, os []int, depth int) *zrNode {
+		nd := &zrNode{id: nextID, depth: depth, players: ps, objs: os}
+		nextID++
+		for len(byLevel) <= depth {
+			byLevel = append(byLevel, nil)
+		}
+		byLevel[depth] = append(byLevel[depth], nd)
+		if min(len(ps), len(os)) >= threshold {
+			pa, pb := splitHalf(coin, ps)
+			oa, ob := splitHalf(coin, os)
+			nd.left = build(pa, oa, depth+1)
+			nd.right = build(pb, ob, depth+1)
+		}
+		return nd
+	}
+	root := build(players, objs, 0)
+
+	// childAt[p] tracks the node player p most recently completed, so an
+	// internal node knows which child p came from.
+	childAt := make([]*zrNode, env.N)
+	out := make([][]uint32, env.N)
+	for _, p := range players {
+		out[p] = make([]uint32, space.Len())
+	}
+
+	topicOf := func(nd *zrNode) string { return fmt.Sprintf("%s/%d", tag, nd.id) }
+
+	// Process levels bottom-up. At each level, leaves probe everything
+	// they own and post; internal nodes adopt the sibling half's popular
+	// vector via Select and post the combined vector.
+	//
+	// The vote tally over a sibling's postings is identical for every
+	// reader (the billboard's deterministic Votes order), so it is
+	// computed once per node before the phase rather than once per
+	// player — the distributed "scan the billboard" step costs no
+	// probes, and recomputing it n times per level would dominate
+	// simulation time.
+	for level := len(byLevel) - 1; level >= 0; level-- {
+		var phasePlayers []int
+		nodeAt := make(map[int]*zrNode)
+		candsOf := make(map[*zrNode][][]uint32)
+		for _, nd := range byLevel[level] {
+			for _, p := range nd.players {
+				nodeAt[p] = nd
+			}
+			phasePlayers = append(phasePlayers, nd.players...)
+			if !nd.leaf() {
+				for _, child := range [2]*zrNode{nd.left, nd.right} {
+					candsOf[child] = popularValueCands(env, topicOf(child), child, alpha)
+				}
+			}
+		}
+		env.Run.Phase(phasePlayers, func(p int) {
+			nd := nodeAt[p]
+			pl := env.Engine.Player(p)
+			if nd.leaf() {
+				// Step 1: probe every object of the node.
+				vals := make([]uint32, len(nd.objs))
+				for j, obj := range nd.objs {
+					vals[j] = space.Probe(pl, obj)
+					out[p][obj] = vals[j]
+				}
+				env.Board.PostValues(topicOf(nd), p, vals)
+				childAt[p] = nd
+				return
+			}
+			// Step 4: adopt the sibling half's output for its objects.
+			mine := childAt[p]
+			sib := nd.left
+			if sib == mine {
+				sib = nd.right
+			}
+			adoptSibling(pl, space, out[p], sib, candsOf[sib])
+			childAt[p] = nd
+			// Post the combined vector for this node.
+			vals := make([]uint32, len(nd.objs))
+			for j, obj := range nd.objs {
+				vals[j] = out[p][obj]
+			}
+			env.Board.PostValues(topicOf(nd), p, vals)
+		})
+		// Completed child topics are no longer read; free them.
+		if level+1 < len(byLevel) {
+			for _, nd := range byLevel[level+1] {
+				env.Board.DropTopic(topicOf(nd))
+			}
+		}
+	}
+	env.Board.DropTopic(topicOf(root))
+	return out
+}
+
+// popularValueCands tallies a node's posted vectors and returns those
+// with at least VoteFrac·alpha·|players| votes (Fig. 2, Step 4's set V),
+// falling back to all posted vectors when none is popular enough (the
+// premise-violated case Theorem 3.1 does not cover).
+func popularValueCands(env *Env, topic string, nd *zrNode, alpha float64) [][]uint32 {
+	votes := env.Board.ValueVotes(topic)
+	need := int(math.Ceil(alpha * env.Cfg.VoteFrac * float64(len(nd.players))))
+	if need < 1 {
+		need = 1
+	}
+	var cands [][]uint32
+	for _, v := range votes {
+		if v.Count >= need {
+			cands = append(cands, v.Vals)
+		}
+	}
+	if len(cands) == 0 {
+		for _, v := range votes {
+			cands = append(cands, v.Vals)
+		}
+	}
+	return cands
+}
+
+// adoptSibling performs Fig. 2's Step 4 for one player: run Select with
+// distance bound 0 over the sibling's popular vectors and write the
+// winner into dst at the sibling's object positions.
+func adoptSibling(pl *probe.Player, space ObjectSpace, dst []uint32, sib *zrNode, cands [][]uint32) {
+	if len(cands) == 0 {
+		return // sibling posted nothing (empty node); leave zeros
+	}
+	probeVal := func(t int) uint32 { return space.Probe(pl, sib.objs[t]) }
+	win := cands[SelectValues(probeVal, cands, 0)]
+	for j, obj := range sib.objs {
+		dst[obj] = win[j]
+	}
+}
+
+// ZeroRadiusBits runs ZeroRadius over real binary objects and returns
+// each participating player's output as a bit slice aligned with objs.
+func ZeroRadiusBits(env *Env, players []int, objs []int, alpha float64) [][]uint32 {
+	return ZeroRadius(env, players, BinarySpace{Objs: objs}, alpha)
+}

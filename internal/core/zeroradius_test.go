@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/prefs"
+)
+
+// runZR runs ZeroRadius over a full instance and returns outputs.
+func runZR(t testing.TB, in *prefs.Instance, alpha float64, seed uint64) ([][]uint32, *Env) {
+	t.Helper()
+	env, _ := newTestEnv(t, in, seed)
+	out := ZeroRadiusBits(env, allPlayers(in.N), seqObjs(in.M), alpha)
+	return out, env
+}
+
+// bitsToVec converts a ZeroRadius value vector to a bitvec.Vector.
+func bitsToVec(vals []uint32) bitvec.Vector {
+	v := bitvec.New(len(vals))
+	for i, x := range vals {
+		if x != 0 {
+			v.Set(i, 1)
+		}
+	}
+	return v
+}
+
+func TestZeroRadiusIdenticalCommunityExact(t *testing.T) {
+	in := prefs.Identical(256, 256, 0.5, 1)
+	out, _ := runZR(t, in, 0.5, 2)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if got := bitsToVec(out[p]); !got.Equal(c.Center) {
+			t.Fatalf("member %d output distance %d from center", p, got.Dist(c.Center))
+		}
+	}
+}
+
+func TestZeroRadiusAllIdentical(t *testing.T) {
+	in := prefs.Identical(128, 128, 1.0, 3)
+	out, _ := runZR(t, in, 1.0, 4)
+	c := in.Communities[0]
+	for p := 0; p < in.N; p++ {
+		if !bitsToVec(out[p]).Equal(c.Center) {
+			t.Fatalf("player %d wrong", p)
+		}
+	}
+}
+
+func TestZeroRadiusSmallAlphaCommunity(t *testing.T) {
+	in := prefs.Identical(512, 512, 0.125, 5)
+	out, _ := runZR(t, in, 0.125, 6)
+	c := in.Communities[0]
+	bad := 0
+	for _, p := range c.Members {
+		if !bitsToVec(out[p]).Equal(c.Center) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d/%d community members failed", bad, len(c.Members))
+	}
+}
+
+func TestZeroRadiusProbeComplexity(t *testing.T) {
+	// Theorem 3.1: O(log n / α) probes per player (for m = Θ(n)).
+	// Measured against the explicit bound C·(log n)/α with a generous C;
+	// the point is polylog scaling, checked across sizes in E1.
+	for _, n := range []int{128, 256, 512} {
+		in := prefs.Identical(n, n, 0.5, uint64(n))
+		out, env := runZR(t, in, 0.5, uint64(n)+1)
+		_ = out
+		var maxProbes int64
+		for p := 0; p < n; p++ {
+			if c := env.Engine.Charged(p); c > maxProbes {
+				maxProbes = c
+			}
+		}
+		bound := int64(60 * math.Log(float64(n)) / 0.5)
+		if maxProbes > bound {
+			t.Fatalf("n=%d: max probes %d > %d (not polylog?)", n, maxProbes, bound)
+		}
+		if maxProbes >= int64(in.M) {
+			t.Fatalf("n=%d: probing as much as going solo (%d)", n, maxProbes)
+		}
+	}
+}
+
+func TestZeroRadiusAdversarialOutsiders(t *testing.T) {
+	// Colluding outsider blocks must not corrupt community outputs.
+	in := prefs.AdversarialVoteSplit(256, 256, 0.3, 0, 7)
+	out, _ := runZR(t, in, 0.3, 8)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		if !bitsToVec(out[p]).Equal(c.Center) {
+			t.Fatalf("adversarial split corrupted member %d", p)
+		}
+	}
+}
+
+func TestZeroRadiusTinyInstanceBruteForce(t *testing.T) {
+	// Below the leaf threshold the algorithm must just probe everything.
+	in := prefs.Identical(2, 8, 1.0, 9)
+	out, env := runZR(t, in, 1.0, 10)
+	for p := 0; p < in.N; p++ {
+		if got := bitsToVec(out[p]); !got.Equal(in.Truth[p]) {
+			t.Fatalf("player %d wrong on brute-force path", p)
+		}
+	}
+	// Everyone probed all 8 objects.
+	for p := 0; p < in.N; p++ {
+		if env.Engine.Charged(p) != 8 {
+			t.Fatalf("player %d probed %d, want 8", p, env.Engine.Charged(p))
+		}
+	}
+}
+
+func TestZeroRadiusSubsetOfObjects(t *testing.T) {
+	in := prefs.Identical(128, 256, 0.5, 11)
+	env, _ := newTestEnv(t, in, 12)
+	objs := []int{3, 10, 17, 50, 99, 130, 200, 255, 8, 77, 123, 180}
+	out := ZeroRadiusBits(env, allPlayers(in.N), objs, 0.5)
+	c := in.Communities[0]
+	for _, p := range c.Members {
+		for j, o := range objs {
+			if byte(out[p][j]) != c.Center.Get(o) {
+				t.Fatalf("member %d object %d wrong", p, o)
+			}
+		}
+	}
+}
+
+func TestZeroRadiusSubsetOfPlayers(t *testing.T) {
+	in := prefs.Identical(200, 128, 0.5, 13)
+	env, _ := newTestEnv(t, in, 14)
+	// Only the first 100 players participate; community overlap is ~50.
+	players := allPlayers(100)
+	inComm := map[int]bool{}
+	for _, p := range in.Communities[0].Members {
+		inComm[p] = true
+	}
+	commCount := 0
+	for _, p := range players {
+		if inComm[p] {
+			commCount++
+		}
+	}
+	alpha := float64(commCount) / float64(len(players))
+	if alpha < 0.3 {
+		t.Skip("unlucky overlap")
+	}
+	out := ZeroRadius(env, players, BinarySpace{Objs: seqObjs(in.M)}, alpha)
+	for _, p := range players {
+		if inComm[p] {
+			if !bitsToVec(out[p][:in.M]).Equal(in.Communities[0].Center.Project(seqObjs(in.M))) {
+				t.Fatalf("participant member %d wrong", p)
+			}
+		}
+	}
+	// Non-participants have nil outputs.
+	if out[150] != nil {
+		t.Fatal("non-participant has output")
+	}
+}
+
+func TestZeroRadiusDeterministic(t *testing.T) {
+	in := prefs.Identical(64, 64, 0.5, 15)
+	a, _ := runZR(t, in, 0.5, 16)
+	b, _ := runZR(t, in, 0.5, 16)
+	for p := 0; p < in.N; p++ {
+		for j := range a[p] {
+			if a[p][j] != b[p][j] {
+				t.Fatalf("run not reproducible at player %d obj %d", p, j)
+			}
+		}
+	}
+}
+
+func TestZeroRadiusEmptyPlayers(t *testing.T) {
+	in := prefs.Identical(8, 8, 1.0, 17)
+	env, _ := newTestEnv(t, in, 18)
+	out := ZeroRadius(env, nil, BinarySpace{Objs: seqObjs(8)}, 1.0)
+	for _, o := range out {
+		if o != nil {
+			t.Fatal("output for empty player set")
+		}
+	}
+}
+
+func TestZeroRadiusDropsTopics(t *testing.T) {
+	in := prefs.Identical(128, 128, 0.5, 19)
+	_, env := runZR(t, in, 0.5, 20)
+	if n := env.Board.TopicCount(); n != 0 {
+		t.Fatalf("%d topics leaked", n)
+	}
+}
+
+func BenchmarkZeroRadius1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.Identical(1024, 1024, 0.5, uint64(i))
+		env, _ := newTestEnv(b, in, uint64(i)+1)
+		_ = ZeroRadiusBits(env, allPlayers(in.N), seqObjs(in.M), 0.5)
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Ablations: confidence K, partition constant, vote threshold",
+		Claim: "design choices behind Theorems 3.1 and 4.4",
+		Run:   runE11,
+	})
+}
+
+// runE11 sweeps the three constants DESIGN.md calls out:
+//
+//   - K (SmallRadius iterations): failure should decay like 2^{-Ω(K)};
+//   - PartC (s = PartC·D^{3/2}): Lemma 4.1's knee — too few parts break
+//     the within-part agreement property;
+//   - VoteFrac (ZeroRadius vote threshold): too high a threshold starves
+//     the candidate set under adversarial vote splits.
+func runE11(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	n := 256 * o.Scale
+	alpha := 0.5
+	d := 4
+
+	// --- K sweep ---
+	tK := &metrics.Table{
+		Title:  "E11a — SmallRadius confidence parameter K",
+		Note:   "fail = fraction of community members with error > 5D",
+		Header: []string{"K", "fail frac", "maxErr", "probes(max)"},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		var fails, maxErrs, probes []float64
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(k*100 + s)
+			in := prefs.Planted(n, n, alpha, d, seed)
+			ses := newSession(in, seed+1, core.DefaultConfig())
+			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, k)
+			c := ses.community()
+			bad, worst := 0, 0
+			for _, p := range c {
+				e := sr[p].Dist(in.Truth[p])
+				if e > 5*d {
+					bad++
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+			fails = append(fails, float64(bad)/float64(len(c)))
+			maxErrs = append(maxErrs, float64(worst))
+			probes = append(probes, float64(ses.probeStats().Max))
+		}
+		tK.AddRow(k, metrics.Summarize(fails).Mean, metrics.Summarize(maxErrs).Max,
+			metrics.Summarize(probes).Mean)
+		o.logf("E11a K=%d done", k)
+	}
+
+	// --- PartC sweep ---
+	tS := &metrics.Table{
+		Title:  "E11b — SmallRadius partition constant (s = PartC·D^{3/2})",
+		Header: []string{"PartC", "s", "maxErr", "5D", "probes(max)"},
+	}
+	for _, pc := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.PartC = pc
+		var maxErrs, probes []float64
+		s := 0
+		for seedI := 0; seedI < o.Seeds; seedI++ {
+			seed := uint64(seedI) + uint64(pc*1000)
+			in := prefs.Planted(n, n, alpha, d, seed)
+			ses := newSession(in, seed+1, cfg)
+			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, 0)
+			c := ses.community()
+			worst := 0
+			for _, p := range c {
+				if e := sr[p].Dist(in.Truth[p]); e > worst {
+					worst = e
+				}
+			}
+			maxErrs = append(maxErrs, float64(worst))
+			probes = append(probes, float64(ses.probeStats().Max))
+		}
+		_ = s
+		tS.AddRow(pc, sOf(cfg, d, n), metrics.Summarize(maxErrs).Max, 5*d,
+			metrics.Summarize(probes).Mean)
+		o.logf("E11b PartC=%v done", pc)
+	}
+
+	// --- VoteFrac sweep ---
+	tV := &metrics.Table{
+		Title:  "E11c — ZeroRadius vote threshold under adversarial splits",
+		Note:   "success = exact recovery fraction in the identical community",
+		Header: []string{"VoteFrac", "success", "probes(max)"},
+	}
+	for _, vf := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cfg := core.DefaultConfig()
+		cfg.VoteFrac = vf
+		var succ, probes []float64
+		for seedI := 0; seedI < o.Seeds; seedI++ {
+			seed := uint64(seedI) + uint64(vf*100)
+			in := prefs.AdversarialVoteSplit(n, n, 0.3, 0, seed)
+			ses := newSession(in, seed+1, cfg)
+			out := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), 0.3)
+			c := ses.community()
+			exact := 0
+			for _, p := range c {
+				v := bitvec.New(n)
+				for j, x := range out[p] {
+					if x != 0 {
+						v.Set(j, 1)
+					}
+				}
+				if v.Equal(in.Communities[0].Center) {
+					exact++
+				}
+			}
+			succ = append(succ, float64(exact)/float64(len(c)))
+			probes = append(probes, float64(ses.probeStats().Max))
+		}
+		tV.AddRow(vf, metrics.Summarize(succ).Mean, metrics.Summarize(probes).Mean)
+		o.logf("E11c VoteFrac=%v done", vf)
+	}
+	return []*metrics.Table{tK, tS, tV}
+}
+
+// sOf exposes the partition count the config yields (for the table).
+func sOf(cfg core.Config, d, m int) int {
+	return core.SmallRadiusPartitions(cfg, d, m)
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"math"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/rng"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Title: "Coalesce: ≤1/α candidates, unique 2D-close representative, ≤5D/α wildcards",
+		Claim: "Theorem 5.3",
+		Run:   runE5,
+	})
+}
+
+// runE5 feeds Coalesce vector multisets containing one planted diameter-D
+// cluster of frequency α plus noise, and measures all three guarantees
+// of Theorem 5.3 over many trials.
+func runE5(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title: "E5 — Coalesce (Theorem 5.3)",
+		Note:  "unique = exactly one output within 2D of all planted vectors",
+		Header: []string{
+			"alpha", "D", "|B|(max)", "cap 1/α", "unique frac", "?s(max)", "cap 5D/α",
+		},
+	}
+	m := 400 * o.Scale
+	const nVecs = 80
+	trials := 10 * o.Seeds
+	for _, alpha := range []float64{0.5, 0.25, 0.2} {
+		for _, d := range []int{2, 6, 12} {
+			maxB, maxQ := 0, 0
+			unique := 0
+			r := rng.New(uint64(d)*31 + uint64(alpha*1000))
+			for trial := 0; trial < trials; trial++ {
+				nT := int(math.Ceil(alpha * nVecs))
+				center := bitvec.Random(r, m)
+				vecs := make([]bitvec.Partial, 0, nVecs)
+				for i := 0; i < nT; i++ {
+					v := center.Clone()
+					v.FlipRandom(r, r.Intn(d/2+1))
+					vecs = append(vecs, bitvec.PartialOf(v))
+				}
+				for len(vecs) < nVecs {
+					vecs = append(vecs, bitvec.PartialOf(bitvec.Random(r, m)))
+				}
+				out := core.Coalesce(vecs, d, alpha)
+				if len(out) > maxB {
+					maxB = len(out)
+				}
+				cnt := 0
+				var rep bitvec.Partial
+				for _, b := range out {
+					ok := true
+					for i := 0; i < nT; i++ {
+						if b.DistKnown(vecs[i]) > 2*d {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						cnt++
+						rep = b
+					}
+				}
+				if cnt == 1 {
+					unique++
+					if q := rep.UnknownCount(); q > maxQ {
+						maxQ = q
+					}
+				}
+			}
+			t.AddRow(alpha, d, maxB, metrics.FormatFloat(1/alpha), float64(unique)/float64(trials),
+				maxQ, metrics.FormatFloat(5*float64(d)/alpha))
+		}
+		o.logf("E5 alpha=%v done", alpha)
+	}
+	return []*metrics.Table{t}
+}

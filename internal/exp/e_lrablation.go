@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E18",
+		Title: "LargeRadius constants: group count, λ margin, Coalesce radius",
+		Claim: "design choices behind Theorem 5.4's O(·) knobs",
+		Run:   runE18,
+	})
+}
+
+// runE18 ablates the three Large Radius constants that the paper leaves
+// as O(·) choices and that materially change behavior at simulator
+// scale:
+//
+//   - GroupC (groups = GroupC·D/log n): more groups mean smaller
+//     per-group diameter λ but smaller groups for Coalesce to vote over;
+//   - LambdaC (λ = LambdaC·D/groups + 4): the concentration margin over
+//     the expected per-group distance — too small starves SmallRadius's
+//     distance bound, too large inflates every downstream radius;
+//   - CoalDC (coalD = CoalDC·λ, capped at ⅓ of the group size): the
+//     clustering radius — too small breaks the community's ball quorum,
+//     too large merges the community with colluders or degenerates to
+//     first-poster-wins (the failure the cap guards against).
+func runE18(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	n := 512 * o.Scale
+	alpha := 0.5
+	d := 48
+
+	run := func(cfg core.Config) (maxErr, probes float64) {
+		var errs, costs []float64
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(700 + s)
+			in := prefs.Planted(n, n, alpha, d, seed)
+			ses := newSession(in, seed+1, cfg)
+			out := core.LargeRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d)
+			errs = append(errs, float64(metrics.Discrepancy(in, ses.community(), out)))
+			costs = append(costs, float64(ses.probeStats().Max))
+		}
+		return metrics.Summarize(errs).Max, metrics.Summarize(costs).Mean
+	}
+
+	tG := &metrics.Table{
+		Title:  "E18a — GroupC (number of object groups)",
+		Header: []string{"GroupC", "maxErr", "err/(D/α)", "probes(max)"},
+	}
+	for _, gc := range []float64{0.5, 1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.GroupC = gc
+		e, p := run(cfg)
+		tG.AddRow(gc, e, e/(float64(d)/alpha), p)
+		o.logf("E18a GroupC=%v done", gc)
+	}
+
+	tL := &metrics.Table{
+		Title:  "E18b — LambdaC (per-group distance margin)",
+		Header: []string{"LambdaC", "maxErr", "err/(D/α)", "probes(max)"},
+	}
+	for _, lc := range []float64{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.LambdaC = lc
+		e, p := run(cfg)
+		tL.AddRow(lc, e, e/(float64(d)/alpha), p)
+		o.logf("E18b LambdaC=%v done", lc)
+	}
+
+	tC := &metrics.Table{
+		Title:  "E18c — CoalDC (Coalesce clustering radius)",
+		Header: []string{"CoalDC", "maxErr", "err/(D/α)", "probes(max)"},
+	}
+	for _, cc := range []float64{1, 2, 3, 6, 11} {
+		cfg := core.DefaultConfig()
+		cfg.CoalDC = cc
+		e, p := run(cfg)
+		tC.AddRow(cc, e, e/(float64(d)/alpha), p)
+		o.logf("E18c CoalDC=%v done", cc)
+	}
+	return []*metrics.Table{tG, tL, tC}
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Main result: constant stretch with unknown D in polylog rounds",
+		Claim: "Theorem 1.1",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "Anytime algorithm: quality vs probing budget with unknown α",
+		Claim: "Section 6",
+		Run:   runE10,
+	})
+}
+
+// runE8 is the headline reproduction: unknown D (the Section 6 wrapper
+// over Fig. 1), planted communities across diameters and sizes. The
+// stretch ρ = Δ/D must be bounded by a constant, and the rounds (max
+// probes per player) must grow polylogarithmically — compare the probe
+// column across the n rows against the linear solo column.
+func runE8(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title: "E8 — main result (Theorem 1.1), unknown D",
+		Note:  "stretch = discrepancy/diameter over the planted community",
+		Header: []string{
+			"n=m", "alpha", "D(planted)", "D(realized)", "discrepancy", "stretch", "probes(max)", "solo(m)",
+		},
+	}
+	base := 128 * o.Scale
+	alpha := 0.5
+	for _, n := range []int{base, base * 2} {
+		for _, d := range []int{0, 4, 16, 64} {
+			var stretches, discs, probes []float64
+			realized := 0
+			for s := 0; s < o.Seeds; s++ {
+				seed := uint64(n*10+d) + uint64(s)
+				in := prefs.Planted(n, n, alpha, d, seed)
+				ses := newSession(in, seed+1, core.DefaultConfig())
+				out := core.UnknownD(ses.env, alpha)
+				c := ses.community()
+				realized = in.Diameter(c)
+				discs = append(discs, float64(metrics.Discrepancy(in, c, out)))
+				stretches = append(stretches, metrics.Stretch(in, c, out))
+				probes = append(probes, float64(ses.probeStats().Max))
+			}
+			t.AddRow(n, alpha, d, realized,
+				metrics.Summarize(discs).Max,
+				metrics.Summarize(stretches).Max,
+				metrics.Summarize(probes).Mean, n)
+			o.logf("E8 n=%d D=%d done", n, d)
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// runE10 traces the anytime algorithm: after each α-doubling phase it
+// records the budget spent and the community discrepancy, showing
+// quality improving as the budget grows (Section 6's anytime property).
+func runE10(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E10 — anytime algorithm (Section 6)",
+		Note:   "one row per phase; quality at each budget close to best possible",
+		Header: []string{"phase", "alpha tried", "probes(max)", "discrepancy", "stretch"},
+	}
+	n := 128 * o.Scale
+	in := prefs.Planted(n, n, 0.25, 8, 4242)
+	ses := newSession(in, 4243, core.DefaultConfig())
+	c := ses.community()
+	core.Anytime(ses.env, 0, func(ph core.AnytimePhase) bool {
+		disc := metrics.Discrepancy(in, c, ph.Outputs)
+		t.AddRow(ph.Phase, ph.Alpha, ph.MaxProbes, disc, metrics.Stretch(in, c, ph.Outputs))
+		o.logf("E10 phase=%d done", ph.Phase)
+		return ph.Phase < 4
+	})
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"tellme/internal/billboard"
+	"tellme/internal/metrics"
+	"tellme/internal/onegood"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E15",
+		Title: "One good object via recommendation propagation (reference [4])",
+		Claim: "Awerbuch–Patt-Shamir–Peleg–Tuttle, SODA'05: O(m + |P|·log|P|) total community probes",
+		Run:   runE15,
+	})
+}
+
+// runE15 reproduces the qualitative claim of the paper's reference [4]
+// on shared-liked-set instances: with L liked objects among m, pure
+// random probing costs each community member ~m/L probes (Θ(n·m/L)
+// total), while the recommendation algorithm needs one member to get
+// lucky and then propagates the discovery in O(log |P|) rounds. The
+// rounds and per-member probe columns should be near-flat in m for the
+// recommendation algorithm and grow linearly for random probing.
+func runE15(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title: "E15 — one good object (reference [4])",
+		Note:  "community of αn players sharing L liked objects; rounds = last member's finish",
+		Header: []string{
+			"n", "m", "L", "rec rounds", "rec probes/member", "random rounds", "random probes/member",
+		},
+	}
+	n := 256 * o.Scale
+	alpha := 0.5
+	const liked = 4
+	for _, m := range []int{n, 2 * n, 4 * n, 8 * n} {
+		var recRounds, recProbes, rndRounds, rndProbes []float64
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(m*10 + s)
+			in := prefs.SharedLikes(n, m, alpha, liked, liked, seed)
+			comm := in.Communities[0].Members
+
+			e1 := probe.NewEngine(in, billboard.New(n, m), rng.NewSource(seed+1))
+			rec := onegood.Run(e1, sim.NewRunner(0), rng.NewSource(seed+2), 0)
+			recRounds = append(recRounds, float64(rec.RoundsToCover(comm)))
+			recProbes = append(recProbes, meanFoundAt(rec, comm))
+
+			e2 := probe.NewEngine(in, billboard.New(n, m), rng.NewSource(seed+3))
+			rnd := onegood.RandomOnly(e2, sim.NewRunner(0), rng.NewSource(seed+4), 0)
+			rndRounds = append(rndRounds, float64(rnd.RoundsToCover(comm)))
+			rndProbes = append(rndProbes, meanFoundAt(rnd, comm))
+		}
+		t.AddRow(n, m, liked,
+			metrics.Summarize(recRounds).Mean,
+			metrics.Summarize(recProbes).Mean,
+			metrics.Summarize(rndRounds).Mean,
+			metrics.Summarize(rndProbes).Mean)
+		o.logf("E15 m=%d done", m)
+	}
+	return []*metrics.Table{t}
+}
+
+// meanFoundAt averages the finish round (= probes spent) over players.
+func meanFoundAt(r onegood.Result, players []int) float64 {
+	s := 0
+	for _, p := range players {
+		s += r.FoundAt[p]
+	}
+	return float64(s) / float64(len(players))
+}

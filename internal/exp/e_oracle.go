@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E19",
+		Title: "Per-player oracle benchmark: error vs D_p(α)",
+		Claim: "abstract / §1.1: output close to the best possible approximation",
+		Run:   runE19,
+	})
+}
+
+// runE19 instantiates the paper's headline yardstick directly: for each
+// player p and fraction α, the oracle-optimal community radius is
+// D_p(α) — the smallest D such that an α fraction of players lies
+// within D of p (Section 6). The abstract promises every player "a
+// vector close to the best possible approximation", i.e. error within a
+// constant factor of D_p(α). We run the unknown-D wrapper on a
+// multi-community instance (so different players have very different
+// D_p) and report the distribution of err(p)/max(D_p(α),1) over all
+// community members — the per-player stretch against the oracle, which
+// must be bounded by a constant.
+func runE19(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E19 — error vs per-player oracle D_p(α)",
+		Note:   "ratio = err(p)/max(D_p(α),1) over members of all planted communities",
+		Header: []string{"n=m", "alpha", "ratio(mean)", "ratio(p95)", "ratio(max)", "players"},
+	}
+	n := 128 * o.Scale
+	alpha := 0.2
+	for seedBase := 0; seedBase < 1; seedBase++ { // one config, multi-seed
+		var ratios []float64
+		players := 0
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(800 + s)
+			in := prefs.MultiCommunity(n, n, []prefs.CommunitySpec{
+				{Alpha: 0.35, D: 0},
+				{Alpha: 0.25, D: 8},
+				{Alpha: 0.20, D: 24},
+			}, seed)
+			ses := newSession(in, seed+1, core.DefaultConfig())
+			out := core.UnknownD(ses.env, alpha)
+			for _, c := range in.Communities {
+				for _, p := range c.Members {
+					dp := in.BestD(p, alpha)
+					if dp < 1 {
+						dp = 1
+					}
+					ratios = append(ratios, float64(in.Err(p, out[p]))/float64(dp))
+					players++
+				}
+			}
+			o.logf("E19 seed %d done", s)
+		}
+		sum := metrics.Summarize(ratios)
+		t.AddRow(n, alpha, sum.Mean, metrics.Percentile(ratios, 0.95), sum.Max, players)
+	}
+	return []*metrics.Table{t}
+}

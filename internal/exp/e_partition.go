@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"math"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/rng"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "Random partition success probability (Lemma 4.1)",
+		Claim: "Lemma 4.1",
+		Run:   runE3,
+	})
+}
+
+// runE3 draws vector families of diameter ≤ d and random partitions into
+// s parts, and measures the empirical failure rate of the success
+// predicate against the lemma's bound 10³·5⁵·d³/(6!·s²).
+//
+// Two families:
+//
+//   - ball: vectors are a random center with ≤ d/2 flips spread over all
+//     m coordinates — the generative shape the algorithms face. Spread
+//     disagreements make almost every partition successful, far inside
+//     the lemma's bound.
+//   - window: all flips concentrate in a window of 2d coordinates, the
+//     hard case — a part that receives too many window coordinates has
+//     no 1/5-quorum. Failures appear when s is small and vanish as s
+//     grows, exposing the knee the lemma's 1/s² decay predicts.
+func runE3(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E3 — partition success (Lemma 4.1)",
+		Note:   "fail(empirical) vs the lemma's bound; s* = 100·d^{3/2} is the paper's setting",
+		Header: []string{"family", "d", "s", "s/d^1.5", "fail(empirical)", "fail(bound)", "paper s*"},
+	}
+	m := 1500 * o.Scale
+	const M = 25 // vectors per family
+	trials := 40 * o.Seeds
+	for _, family := range []string{"ball", "window"} {
+		for _, d := range []int{2, 4, 8} {
+			sStar := int(100 * math.Pow(float64(d), 1.5))
+			for _, mult := range []float64{0.25, 0.5, 1, 2, 8, 100} {
+				s := int(mult * math.Pow(float64(d), 1.5))
+				if s < 1 {
+					s = 1
+				}
+				fails := 0
+				r := rng.New(uint64(d*1000+s) + uint64(len(family)))
+				for trial := 0; trial < trials; trial++ {
+					vecs := e3Family(r, family, m, d, M)
+					if !core.RandomPartitionTrial(r, vecs, m, s) {
+						fails++
+					}
+				}
+				bound := core.PartitionFailureBound(d, s)
+				if bound > 1 {
+					bound = 1
+				}
+				t.AddRow(family, d, s, mult, float64(fails)/float64(trials), bound, sStar)
+			}
+			o.logf("E3 %s d=%d done", family, d)
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// e3Family draws M vectors of pairwise distance ≤ d.
+func e3Family(r *rng.Rand, family string, m, d, count int) []bitvec.Vector {
+	center := bitvec.Random(r, m)
+	vecs := make([]bitvec.Vector, count)
+	switch family {
+	case "ball":
+		for i := range vecs {
+			v := center.Clone()
+			v.FlipRandom(r, r.Intn(d/2+1))
+			vecs[i] = v
+		}
+	case "window":
+		// all flips inside a window of 2d coordinates (window at a random
+		// offset so partitions can't be lucky by position)
+		w := 2 * d
+		if w > m {
+			w = m
+		}
+		off := r.Intn(m - w + 1)
+		for i := range vecs {
+			v := center.Clone()
+			flips := d / 2
+			if flips < 1 {
+				flips = 1
+			}
+			perm := r.Perm(w)
+			for _, j := range perm[:flips] {
+				v.Flip(off + j)
+			}
+			vecs[i] = v
+		}
+	default:
+		panic("unknown family " + family)
+	}
+	return vecs
+}

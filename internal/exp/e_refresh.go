@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E20",
+		Title: "Incremental repair (Refresh) vs fresh re-run after drift",
+		Claim: "extension: repair cost redundancy·m/(αn) + k vs a fresh polylog run",
+		Run:   runE20,
+	})
+}
+
+// runE20 quantifies the Refresh extension: a community converges, the
+// world drifts in k coordinates, and we compare repairing the stale
+// consensus (Refresh) against re-running ZeroRadius from scratch. Both
+// end exact; the probe columns show the repair discount, which is
+// largest for small drift and shrinks as k approaches the fresh-run
+// cost.
+func runE20(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E20 — Refresh vs fresh re-run (extension)",
+		Note:   "identical community, coherent drift of k coordinates; probes = max/player",
+		Header: []string{"n=m", "drift k", "refresh probes", "refresh err", "rerun probes", "rerun err"},
+	}
+	n := 256 * o.Scale
+	alpha := 0.5
+	for _, k := range []int{1, 4, 16, 64} {
+		var rfP, rfE, rrP, rrE []float64
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(900 + k*10 + s)
+			in := prefs.Identical(n, n, alpha, seed)
+			ses := newSession(in, seed+1, core.DefaultConfig())
+			zr := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), alpha)
+			stale := make([]bitvec.Partial, n)
+			for p := 0; p < n; p++ {
+				stale[p] = bitvec.PartialOf(valsVec(zr[p], n))
+			}
+			in2 := prefs.Drift(in, k, 0, seed+2)
+			comm := in2.Communities[0].Members
+
+			ses2 := newSession(in2, seed+3, core.DefaultConfig())
+			red, maxP := core.RefreshBudget(k)
+			out := core.Refresh(ses2.env, allPlayers(n), seqObjs(n), stale, alpha, red, maxP)
+			rfP = append(rfP, float64(ses2.probeStats().Max))
+			rfE = append(rfE, float64(metrics.Discrepancy(in2, comm, out)))
+
+			ses3 := newSession(in2, seed+4, core.DefaultConfig())
+			zr2 := core.ZeroRadiusBits(ses3.env, allPlayers(n), seqObjs(n), alpha)
+			out2 := make([]bitvec.Partial, n)
+			for p := 0; p < n; p++ {
+				out2[p] = bitvec.PartialOf(valsVec(zr2[p], n))
+			}
+			rrP = append(rrP, float64(ses3.probeStats().Max))
+			rrE = append(rrE, float64(metrics.Discrepancy(in2, comm, out2)))
+		}
+		t.AddRow(n, k,
+			metrics.Summarize(rfP).Mean, metrics.Summarize(rfE).Max,
+			metrics.Summarize(rrP).Mean, metrics.Summarize(rrE).Max)
+		o.logf("E20 k=%d done", k)
+	}
+	return []*metrics.Table{t}
+}

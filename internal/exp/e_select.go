@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+	"tellme/internal/rng"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Select: probe budget k(D+1) and exact closest output",
+		Claim: "Theorem 3.2",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "RSelect: O(k² log n) probes, O(D) error without a bound",
+		Claim: "Theorem 6.1",
+		Run:   runE7,
+	})
+}
+
+// selectTrial builds a candidate set with one vector planted within d of
+// a random truth vector and k-1 decoys at the given distance, returning
+// (probes, pickedDistance, bestDistance).
+func selectTrial(seed uint64, m, k, d, decoyDist int, useRSelect bool, cLogN int) (int64, int, int) {
+	r := rng.New(seed)
+	truth := bitvec.Random(r, m)
+	cands := make([]bitvec.Partial, k)
+	planted := truth.Clone()
+	if d > 0 {
+		planted.FlipRandom(r, r.Intn(d+1))
+	}
+	cands[0] = bitvec.PartialOf(planted)
+	for i := 1; i < k; i++ {
+		v := truth.Clone()
+		v.FlipRandom(r, decoyDist)
+		cands[i] = bitvec.PartialOf(v)
+	}
+	// deterministic shuffle so the planted vector isn't always first
+	r.Shuffle(k, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	in := prefs.FromVectors([]bitvec.Vector{truth})
+	ses := newSession(in, seed+99, core.DefaultConfig())
+	pl := ses.engine.Player(0)
+	objs := seqObjs(m)
+	var got int
+	if useRSelect {
+		got = core.RSelect(pl, rng.New(seed+7), objs, cands, cLogN)
+	} else {
+		got = core.SelectPartial(pl, objs, cands, d)
+	}
+	best := m + 1
+	for _, c := range cands {
+		if dd := c.DistKnownVec(truth); dd < best {
+			best = dd
+		}
+	}
+	return ses.engine.Charged(0), cands[got].DistKnownVec(truth), best
+}
+
+func runE2(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E2 — Select (Theorem 3.2)",
+		Note:   "probes must never exceed k(D+1); picked must equal best",
+		Header: []string{"k", "D", "probes(mean)", "probes(max)", "bound k(D+1)", "optimal"},
+	}
+	m := 256 * o.Scale
+	for _, k := range []int{2, 4, 8, 16} {
+		for _, d := range []int{0, 2, 8, 24} {
+			var probes []float64
+			maxP := int64(0)
+			optimal := true
+			for s := 0; s < o.Seeds*10; s++ {
+				p, picked, best := selectTrial(uint64(k*1000+d*10+s), m, k, d, m/3+d+1, false, 0)
+				probes = append(probes, float64(p))
+				if p > maxP {
+					maxP = p
+				}
+				if picked != best {
+					optimal = false
+				}
+			}
+			t.AddRow(k, d, metrics.Summarize(probes).Mean, maxP, k*(d+1), optimal)
+		}
+		o.logf("E2 k=%d done", k)
+	}
+	return []*metrics.Table{t}
+}
+
+func runE7(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title:  "E7 — RSelect (Theorem 6.1)",
+		Note:   "no distance bound given; error within a constant factor of optimal",
+		Header: []string{"k", "D", "probes(mean)", "budget k²·c·log n", "err/optimal ≤ 4 frac"},
+	}
+	m := 512 * o.Scale
+	cLogN := 30
+	for _, k := range []int{2, 4, 8} {
+		for _, d := range []int{2, 8, 24} {
+			var probes []float64
+			within := 0
+			trials := o.Seeds * 10
+			for s := 0; s < trials; s++ {
+				p, picked, best := selectTrial(uint64(k*7777+d*13+s), m, k, d, 8*d+40, true, cLogN)
+				probes = append(probes, float64(p))
+				if best == 0 {
+					best = 1
+				}
+				if picked <= 4*best {
+					within++
+				}
+			}
+			budget := k * (k - 1) / 2 * cLogN
+			t.AddRow(k, d, metrics.Summarize(probes).Mean, budget, float64(within)/float64(trials))
+		}
+		o.logf("E7 k=%d done", k)
+	}
+	return []*metrics.Table{t}
+}

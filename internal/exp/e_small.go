@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/prefs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "SmallRadius: 5D error bound, D^{3/2}-scaled probe cost",
+		Claim: "Theorem 4.4",
+		Run:   runE4,
+	})
+}
+
+// runE4 sweeps the community diameter D on planted instances and checks
+// Theorem 4.4's two claims: every typical player ends within 5D of its
+// true vector, and the probe cost scales polynomially in D but stays
+// sublinear in m once n is large enough relative to log n/α.
+func runE4(o Options) []*metrics.Table {
+	o = o.withDefaults()
+	t := &metrics.Table{
+		Title: "E4 — SmallRadius (Theorem 4.4)",
+		Note:  "maxErr must stay ≤ 5D; probes/player vs solo cost m",
+		Header: []string{
+			"n=m", "alpha", "D", "maxErr", "5D", "meanErr", "probes(max)", "solo(m)",
+		},
+	}
+	n := 512 * o.Scale
+	alpha := 0.5
+	for _, d := range []int{1, 2, 4, 8} {
+		var maxErrs, meanErrs, probes []float64
+		for s := 0; s < o.Seeds; s++ {
+			seed := uint64(d*100 + s)
+			in := prefs.Planted(n, n, alpha, d, seed)
+			ses := newSession(in, seed+1, core.DefaultConfig())
+			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, 0)
+			out := make([]bitvec.Partial, n)
+			for p := 0; p < n; p++ {
+				out[p] = bitvec.PartialOf(sr[p])
+			}
+			c := ses.community()
+			maxErrs = append(maxErrs, float64(metrics.Discrepancy(in, c, out)))
+			meanErrs = append(meanErrs, metrics.MeanErr(in, c, out))
+			probes = append(probes, float64(ses.probeStats().Max))
+		}
+		t.AddRow(n, alpha, d,
+			metrics.Summarize(maxErrs).Max, 5*d,
+			metrics.Summarize(meanErrs).Mean,
+			metrics.Summarize(probes).Mean, n)
+		o.logf("E4 D=%d done", d)
+	}
+	return []*metrics.Table{t}
+}

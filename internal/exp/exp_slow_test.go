@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"testing"
+)
+
+// The heavyweight experiments run full algorithm stacks; they are
+// exercised at minimum scale and skipped with -short.
+
+func TestE6QuickErrorShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	pt := runQuick(t, "E6")[0]
+	for r := range pt.rows {
+		if ratio := pt.floatAt(r, "err/(D/α)"); ratio > 10 {
+			t.Fatalf("E6 row %d error ratio %v not O(D/α)-shaped", r, ratio)
+		}
+		// The polylog bound's constants exceed m at this n (honestly
+		// reported in EXPERIMENTS.md); sanity-check the envelope and
+		// that cost does not grow with D (more diameter = fewer, larger
+		// groups = cheaper virtual stage).
+		if pt.floatAt(r, "probes(max)") > 20*pt.floatAt(r, "solo(m)") {
+			t.Fatalf("E6 row %d cost out of envelope", r)
+		}
+		if r > 0 && pt.floatAt(r, "probes(max)") > 1.5*pt.floatAt(r-1, "probes(max)") {
+			t.Fatalf("E6 row %d cost grew with D", r)
+		}
+	}
+}
+
+func TestE8QuickStretch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	pt := runQuick(t, "E8")[0]
+	for r := range pt.rows {
+		if s := pt.floatAt(r, "stretch"); s > 12 {
+			t.Fatalf("E8 row %d stretch %v not constant-shaped", r, s)
+		}
+	}
+}
+
+func TestE9QuickComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tabs := runQuick(t, "E9")
+	if len(tabs) != 2 {
+		t.Fatalf("E9 returned %d tables", len(tabs))
+	}
+	adv := tabs[0]
+	find := func(pt *parsedTable, name string) int {
+		for r, row := range pt.rows {
+			if row[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return -1
+	}
+	// On the adversarial D=0 family, ZeroRadius must recover the
+	// community exactly at a fraction of solo cost, while every
+	// budget-matched baseline errs substantially.
+	tm := find(adv, "tellme")
+	if e := adv.floatAt(tm, "maxErr"); e != 0 {
+		t.Fatalf("tellme maxErr %v on adversarial D=0", e)
+	}
+	soloCost := adv.floatAt(find(adv, "solo(full)"), "budget/player")
+	if c := adv.floatAt(tm, "probes(max)"); c >= soloCost/2 {
+		t.Fatalf("tellme probes %v not well below solo %v", c, soloCost)
+	}
+	for _, b := range []string{"majority", "kNN", "spectral"} {
+		if bm := adv.floatAt(find(adv, b), "maxErr"); bm < 5 {
+			t.Fatalf("baseline %s maxErr %v suspiciously low at matched budget", b, bm)
+		}
+	}
+}
+
+func TestE10QuickAnytime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	pt := runQuick(t, "E10")[0]
+	if len(pt.rows) < 2 {
+		t.Fatalf("E10 has %d phases", len(pt.rows))
+	}
+	first := pt.floatAt(0, "discrepancy")
+	last := pt.floatAt(len(pt.rows)-1, "discrepancy")
+	if last > first {
+		t.Fatalf("anytime quality degraded: %v → %v", first, last)
+	}
+}
+
+func TestE14QuickCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	pt := runQuick(t, "E14")[0]
+	// ZeroRadius must beat solo on every row, by a growing factor.
+	prev := 1.0
+	for r := range pt.rows {
+		ratio := pt.floatAt(r, "ZR/solo")
+		if ratio >= 1 {
+			t.Fatalf("E14 row %d: ZeroRadius not below solo (%v)", r, ratio)
+		}
+		if ratio > prev {
+			t.Fatalf("E14 row %d: ZR/solo ratio not shrinking (%v after %v)", r, ratio, prev)
+		}
+		prev = ratio
+	}
+	// SmallRadius must cross below solo by the largest n.
+	last := len(pt.rows) - 1
+	if sr := pt.floatAt(last, "SR/solo"); sr >= 1 {
+		t.Fatalf("E14: SmallRadius never crossed solo (final ratio %v)", sr)
+	}
+	// and stay within its error bound
+	for r := range pt.rows {
+		if e := pt.floatAt(r, "SR maxErr"); e > 10 {
+			t.Fatalf("E14 row %d: SmallRadius error %v > 5D", r, e)
+		}
+	}
+}
+
+func TestE18QuickAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	tabs := runQuick(t, "E18")
+	if len(tabs) != 3 {
+		t.Fatalf("E18 returned %d tables", len(tabs))
+	}
+	// defaults (GroupC=1, LambdaC=2, CoalDC=3) must be on each table's
+	// efficient frontier: error ratio within 2× of that table's best.
+	defaults := map[int]string{0: "1", 1: "2", 2: "3"}
+	for ti, pt := range tabs {
+		best := -1.0
+		defRatio := -1.0
+		for r := range pt.rows {
+			ratio := pt.floatAt(r, "err/(D/α)")
+			if best < 0 || ratio < best {
+				best = ratio
+			}
+			if pt.rows[r][0] == defaults[ti] {
+				defRatio = ratio
+			}
+		}
+		if defRatio < 0 {
+			t.Fatalf("table %d missing default row", ti)
+		}
+		if defRatio > 2*best+1 {
+			t.Fatalf("table %d: default ratio %v far off frontier best %v", ti, defRatio, best)
+		}
+	}
+}
+
+func TestE19QuickOracleRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	pt := runQuick(t, "E19")[0]
+	if r := pt.floatAt(0, "ratio(p95)"); r > 10 {
+		t.Fatalf("E19 p95 oracle ratio %v not constant-shaped", r)
+	}
+}

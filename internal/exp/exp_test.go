@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	all := All()
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %v, want %v", ids, want)
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("position %d: %s, want %s (sorted?)", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E4"); !ok {
+		t.Fatal("E4 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 found")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seeds < 1 || o.Scale < 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+// runQuick executes an experiment at the smallest scale and sanity-checks
+// its tables.
+func runQuick(t *testing.T, id string) []*parsedTable {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	tables := e.Run(Options{Seeds: 1, Scale: 1})
+	if len(tables) == 0 {
+		t.Fatalf("%s returned no tables", id)
+	}
+	var out []*parsedTable
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced an empty table %q", id, tab.Title)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), tab.Header[0]) {
+			t.Fatalf("%s render missing header", id)
+		}
+		pt := &parsedTable{header: tab.Header}
+		for _, r := range tab.Rows {
+			pt.rows = append(pt.rows, r)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+type parsedTable struct {
+	header []string
+	rows   [][]string
+}
+
+func (p *parsedTable) col(name string) int {
+	for i, h := range p.header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *parsedTable) floatAt(row int, name string) float64 {
+	c := p.col(name)
+	v, err := strconv.ParseFloat(p.rows[row][c], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestE1QuickSuccess(t *testing.T) {
+	tabs := runQuick(t, "E1")
+	pt := tabs[0]
+	for r := range pt.rows {
+		if s := pt.floatAt(r, "success"); s < 0.99 {
+			t.Fatalf("E1 row %d success %v", r, s)
+		}
+		solo := pt.floatAt(r, "solo(m)")
+		if probes := pt.floatAt(r, "probes/player(max)"); probes >= solo {
+			t.Fatalf("E1 row %d: probes %v ≥ solo %v", r, probes, solo)
+		}
+	}
+}
+
+func TestE2QuickBudget(t *testing.T) {
+	pt := runQuick(t, "E2")[0]
+	for r := range pt.rows {
+		if pt.floatAt(r, "probes(max)") > pt.floatAt(r, "bound k(D+1)") {
+			t.Fatalf("E2 row %d exceeds Theorem 3.2 budget", r)
+		}
+		if pt.rows[r][pt.col("optimal")] != "true" {
+			t.Fatalf("E2 row %d not optimal", r)
+		}
+	}
+}
+
+func TestE3QuickBound(t *testing.T) {
+	pt := runQuick(t, "E3")[0]
+	for r := range pt.rows {
+		emp := pt.floatAt(r, "fail(empirical)")
+		// at the paper's multiplier (s/d^1.5 = 100) failure must be < 1/2
+		if pt.floatAt(r, "s/d^1.5") >= 100 && emp >= 0.5 {
+			t.Fatalf("E3 row %d: empirical failure %v ≥ 1/2 at paper's s", r, emp)
+		}
+	}
+}
+
+func TestE4QuickErrorBound(t *testing.T) {
+	pt := runQuick(t, "E4")[0]
+	for r := range pt.rows {
+		if pt.floatAt(r, "maxErr") > pt.floatAt(r, "5D") {
+			t.Fatalf("E4 row %d violates 5D bound", r)
+		}
+	}
+}
+
+func TestE5QuickCaps(t *testing.T) {
+	pt := runQuick(t, "E5")[0]
+	for r := range pt.rows {
+		if pt.floatAt(r, "|B|(max)") > pt.floatAt(r, "cap 1/α")+1e-9 {
+			t.Fatalf("E5 row %d exceeds 1/α cap", r)
+		}
+		if u := pt.floatAt(r, "unique frac"); u < 0.9 {
+			t.Fatalf("E5 row %d uniqueness %v", r, u)
+		}
+		if pt.floatAt(r, "?s(max)") > pt.floatAt(r, "cap 5D/α")+1e-9 {
+			t.Fatalf("E5 row %d exceeds ? cap", r)
+		}
+	}
+}
+
+func TestE7QuickQuality(t *testing.T) {
+	pt := runQuick(t, "E7")[0]
+	for r := range pt.rows {
+		if f := pt.floatAt(r, "err/optimal ≤ 4 frac"); f < 0.85 {
+			t.Fatalf("E7 row %d quality %v", r, f)
+		}
+	}
+}
+
+func TestE11QuickTables(t *testing.T) {
+	tabs := runQuick(t, "E11")
+	if len(tabs) != 3 {
+		t.Fatalf("E11 returned %d tables", len(tabs))
+	}
+}
+
+func TestE12QuickAdversarial(t *testing.T) {
+	pt := runQuick(t, "E12")[0]
+	for r := range pt.rows {
+		if s := pt.floatAt(r, "success"); s < 0.99 {
+			t.Fatalf("E12 row %d success %v under adversarial split", r, s)
+		}
+	}
+}
+
+func TestE13QuickNoiseShape(t *testing.T) {
+	pt := runQuick(t, "E13")[0]
+	// noise-free row must be exact
+	if f := pt.floatAt(0, "exact frac"); f < 0.99 {
+		t.Fatalf("E13 noise-free exactness %v", f)
+	}
+	// degradation should be graceful: mean error at 5%% noise well below
+	// random guessing (m/2)
+	for r := range pt.rows {
+		if pt.rows[r][pt.col("flip")] == "0.05" {
+			m := pt.floatAt(r, "n=m")
+			if me := pt.floatAt(r, "meanErr"); me > m/4 {
+				t.Fatalf("E13 at 5%% noise meanErr %v not graceful", me)
+			}
+		}
+	}
+}
+
+func TestE15QuickPropagation(t *testing.T) {
+	pt := runQuick(t, "E15")[0]
+	for r := range pt.rows {
+		rec := pt.floatAt(r, "rec probes/member")
+		rnd := pt.floatAt(r, "random probes/member")
+		if rec*2 > rnd {
+			t.Fatalf("E15 row %d: rec %v not well below random %v", r, rec, rnd)
+		}
+	}
+	// random cost grows ~linearly in m; rec cost must grow much slower
+	first, last := 0, len(pt.rows)-1
+	mGrowth := pt.floatAt(last, "m") / pt.floatAt(first, "m")
+	recGrowth := pt.floatAt(last, "rec probes/member") / pt.floatAt(first, "rec probes/member")
+	if recGrowth > mGrowth/2 {
+		t.Fatalf("E15: rec cost grew %vx while m grew %vx", recGrowth, mGrowth)
+	}
+}
+
+func TestE16QuickPolicy(t *testing.T) {
+	pt := runQuick(t, "E16")[0]
+	// cache-aware charging never exceeds paper charging, invocations
+	// identical per algorithm, and errors unaffected.
+	byAlgo := map[string][]int{}
+	for r := range pt.rows {
+		byAlgo[pt.rows[r][0]] = append(byAlgo[pt.rows[r][0]], r)
+	}
+	for algo, rows := range byAlgo {
+		if len(rows) != 2 {
+			t.Fatalf("%s has %d rows", algo, len(rows))
+		}
+		paper, cached := rows[0], rows[1]
+		if pt.floatAt(cached, "charged(max)") > pt.floatAt(paper, "charged(max)") {
+			t.Fatalf("%s: cache-aware charged more", algo)
+		}
+		if pt.floatAt(cached, "invoked(max)") != pt.floatAt(paper, "invoked(max)") {
+			t.Fatalf("%s: invocation counts differ across policies", algo)
+		}
+		if pt.floatAt(cached, "maxErr") != pt.floatAt(paper, "maxErr") {
+			t.Fatalf("%s: outputs differ across policies", algo)
+		}
+	}
+}
+
+func TestE17QuickDrift(t *testing.T) {
+	pt := runQuick(t, "E17")[0]
+	for r := range pt.rows {
+		if e := pt.floatAt(r, "epoch2 err"); e != 0 {
+			t.Fatalf("E17 row %d: re-convergence failed (err %v)", r, e)
+		}
+		if g, k := pt.floatAt(r, "stale output gap"), pt.floatAt(r, "drift k"); g != k {
+			t.Fatalf("E17 row %d: stale gap %v != drift %v", r, g, k)
+		}
+	}
+}
+
+func TestE20QuickRefresh(t *testing.T) {
+	pt := runQuick(t, "E20")[0]
+	for r := range pt.rows {
+		if e := pt.floatAt(r, "refresh err"); e != 0 {
+			t.Fatalf("E20 row %d refresh err %v", r, e)
+		}
+		k := pt.floatAt(r, "drift k")
+		if k <= 4 {
+			if pt.floatAt(r, "refresh probes") >= pt.floatAt(r, "rerun probes") {
+				t.Fatalf("E20 row %d: no repair discount at k=%v", r, k)
+			}
+		}
+	}
+}
+
+func TestOptionsProgressLogging(t *testing.T) {
+	var buf bytes.Buffer
+	o := Options{Seeds: 1, Scale: 1, Progress: &buf}.withDefaults()
+	o.logf("hello %d", 7)
+	if got := buf.String(); got != "hello 7\n" {
+		t.Fatalf("progress log = %q", got)
+	}
+	// nil Progress must not panic
+	Options{}.withDefaults().logf("ignored")
+}

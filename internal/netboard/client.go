@@ -1,0 +1,279 @@
+package netboard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+)
+
+// Client implements billboard.Interface against a remote Server.
+//
+// billboard.Interface is error-free (the model treats the billboard as
+// reliable shared memory), so transport failures are routed to OnError,
+// which defaults to panicking with a descriptive message. Set OnError to
+// intercept failures when the transport is expected to be flaky.
+type Client struct {
+	// BaseURL is the server's root, e.g. "http://localhost:7070".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// OnError handles transport/protocol failures; default panics.
+	OnError func(error)
+	// Retries is the number of times a failed request is retried with
+	// linear backoff before OnError fires (0 = no retries). 4xx
+	// responses are not retried — they are protocol errors, not
+	// transient failures.
+	Retries int
+	// RetryBackoff is the per-attempt backoff unit (default 50ms).
+	RetryBackoff time.Duration
+}
+
+var _ billboard.Interface = (*Client)(nil)
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) fail(err error) {
+	if c.OnError != nil {
+		c.OnError(err)
+		return
+	}
+	panic(fmt.Sprintf("netboard: %v", err))
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// backoff sleeps before retry attempt i (1-based).
+func (c *Client) backoff(i int) {
+	unit := c.RetryBackoff
+	if unit <= 0 {
+		unit = 50 * time.Millisecond
+	}
+	time.Sleep(time.Duration(i) * unit)
+}
+
+// post sends a JSON POST and expects 2xx, retrying transient failures.
+func (c *Client) post(path string, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		resp, err := c.httpc().Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		if code/100 == 2 {
+			resp.Body.Close()
+			return
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("POST %s: %s: %s", path, resp.Status, msg)
+		if code/100 == 4 {
+			break // protocol error; retrying cannot help
+		}
+	}
+	c.fail(lastErr)
+}
+
+// get fetches JSON into out, retrying transient failures.
+func (c *Client) get(path string, query url.Values, out any) {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		resp, err := c.httpc().Get(u)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		if code/100 != 2 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET %s: %s: %s", path, resp.Status, msg)
+			if code/100 == 4 {
+				break
+			}
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("GET %s: decode: %v", path, err)
+			continue
+		}
+		return
+	}
+	c.fail(lastErr)
+}
+
+// PostProbe implements billboard.Interface.
+func (c *Client) PostProbe(p, o int, val byte) {
+	c.post(PathProbe, probePost{Player: p, Object: o, Value: val})
+}
+
+// LookupProbe implements billboard.Interface.
+func (c *Client) LookupProbe(p, o int) (byte, bool) {
+	var reply probeReply
+	c.get(PathProbe, url.Values{
+		"player": {strconv.Itoa(p)},
+		"object": {strconv.Itoa(o)},
+	}, &reply)
+	return reply.Value, reply.OK
+}
+
+// ProbedObjects implements billboard.Interface.
+func (c *Client) ProbedObjects(p int) map[int]byte {
+	var reply probedObjectsReply
+	c.get(PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
+	out := make(map[int]byte, len(reply.Objects))
+	for _, og := range reply.Objects {
+		out[og.Object] = og.Grade
+	}
+	return out
+}
+
+// ProbeCount implements billboard.Interface.
+func (c *Client) ProbeCount() int64 { return c.stats().ProbeCount }
+
+// Post implements billboard.Interface.
+func (c *Client) Post(name string, player int, v bitvec.Partial) {
+	c.post(PathVector, vectorPost{Topic: name, Player: player, Bits: v.String()})
+}
+
+// PostVector implements billboard.Interface.
+func (c *Client) PostVector(name string, player int, v bitvec.Vector) {
+	c.Post(name, player, bitvec.PartialOf(v))
+}
+
+// Postings implements billboard.Interface.
+func (c *Client) Postings(name string) []billboard.Posting {
+	var reply []postingJSON
+	c.get(PathPostings, url.Values{"topic": {name}}, &reply)
+	out := make([]billboard.Posting, len(reply))
+	for i, p := range reply {
+		vec, err := parsePartial(p.Bits)
+		if err != nil {
+			c.fail(err)
+			return nil
+		}
+		out[i] = billboard.Posting{Player: p.Player, Vec: vec}
+	}
+	return out
+}
+
+// Votes implements billboard.Interface.
+func (c *Client) Votes(name string) []billboard.Vote {
+	var reply []voteJSON
+	c.get(PathVotes, url.Values{"topic": {name}}, &reply)
+	out := make([]billboard.Vote, len(reply))
+	for i, v := range reply {
+		vec, err := parsePartial(v.Bits)
+		if err != nil {
+			c.fail(err)
+			return nil
+		}
+		out[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+	}
+	return out
+}
+
+// PopularVectors implements billboard.Interface.
+func (c *Client) PopularVectors(name string, minVotes int) []bitvec.Partial {
+	var out []bitvec.Partial
+	for _, v := range c.Votes(name) {
+		if v.Count >= minVotes {
+			out = append(out, v.Vec)
+		}
+	}
+	return out
+}
+
+// PostValues implements billboard.Interface.
+func (c *Client) PostValues(name string, player int, vals []uint32) {
+	c.post(PathValues, valuesPost{Topic: name, Player: player, Vals: vals})
+}
+
+// ValuePostings implements billboard.Interface.
+func (c *Client) ValuePostings(name string) []billboard.ValuePosting {
+	var reply []valuePostingJSON
+	c.get(PathValuePostings, url.Values{"topic": {name}}, &reply)
+	out := make([]billboard.ValuePosting, len(reply))
+	for i, p := range reply {
+		out[i] = billboard.ValuePosting{Player: p.Player, Vals: p.Vals}
+	}
+	return out
+}
+
+// ValueVotes implements billboard.Interface.
+func (c *Client) ValueVotes(name string) []billboard.ValueVote {
+	var reply []valueVoteJSON
+	c.get(PathValueVotes, url.Values{"topic": {name}}, &reply)
+	out := make([]billboard.ValueVote, len(reply))
+	for i, v := range reply {
+		out[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+	}
+	return out
+}
+
+// DropTopic implements billboard.Interface.
+func (c *Client) DropTopic(name string) {
+	c.post(PathDropTopic, dropPost{Topic: name})
+}
+
+// TopicCount implements billboard.Interface.
+func (c *Client) TopicCount() int { return c.stats().TopicCount }
+
+// VectorPostCount implements billboard.Interface.
+func (c *Client) VectorPostCount() int64 { return c.stats().VectorPostCount }
+
+func (c *Client) stats() statsReply {
+	var reply statsReply
+	c.get(PathStats, nil, &reply)
+	return reply
+}
+
+// parsePartial decodes the wire form of a partial vector.
+func parsePartial(bits string) (bitvec.Partial, error) {
+	v, err := bitvec.PartialFromString(bits)
+	if err != nil {
+		return bitvec.Partial{}, fmt.Errorf("netboard: bad vector %q: %v", truncate(bits, 32), err)
+	}
+	return v, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

@@ -1,0 +1,105 @@
+// Package netboard exposes a billboard over HTTP, turning the paper's
+// shared billboard into an actual service: a Server wraps an in-memory
+// billboard.Board, and a Client implements billboard.Interface against
+// it, so the unchanged algorithm code runs with players and board in
+// different processes.
+//
+// The wire format is JSON. Vectors travel as their '0'/'1'/'?' string
+// form (debuggable with curl); value vectors as plain arrays. The
+// protocol is a research transport, not a hardened API: there is no
+// authentication, and the Client converts transport errors into panics
+// (configurable via OnError) because billboard.Interface is error-free
+// by design — the in-memory board cannot fail, and the algorithms treat
+// the billboard as reliable shared memory exactly as the model does.
+package netboard
+
+// Paths of the HTTP endpoints.
+const (
+	PathProbe         = "/v1/probe"          // POST: post a probe result; GET: look one up
+	PathProbedObjects = "/v1/probed-objects" // GET: all of one player's probe results
+	PathVector        = "/v1/vector"         // POST: post a partial vector
+	PathPostings      = "/v1/postings"       // GET: vector postings of a topic
+	PathVotes         = "/v1/votes"          // GET: tallied vector votes of a topic
+	PathValues        = "/v1/values"         // POST: post a value vector
+	PathValuePostings = "/v1/value-postings" // GET: value postings of a topic
+	PathValueVotes    = "/v1/value-votes"    // GET: tallied value votes of a topic
+	PathDropTopic     = "/v1/drop-topic"     // POST: delete a topic
+	PathStats         = "/v1/stats"          // GET: counters
+)
+
+// probePost is the POST body for PathProbe.
+type probePost struct {
+	Player int  `json:"player"`
+	Object int  `json:"object"`
+	Value  byte `json:"value"`
+}
+
+// probeReply answers a PathProbe GET.
+type probeReply struct {
+	Value byte `json:"value"`
+	OK    bool `json:"ok"`
+}
+
+// probedObjectsReply answers PathProbedObjects; pairs of (object, grade).
+type probedObjectsReply struct {
+	Objects []objGrade `json:"objects"`
+}
+
+type objGrade struct {
+	Object int  `json:"object"`
+	Grade  byte `json:"grade"`
+}
+
+// vectorPost is the POST body for PathVector.
+type vectorPost struct {
+	Topic  string `json:"topic"`
+	Player int    `json:"player"`
+	Bits   string `json:"bits"` // '0'/'1'/'?' string form of the Partial
+}
+
+// postingJSON is one vector posting in replies.
+type postingJSON struct {
+	Player int    `json:"player"`
+	Bits   string `json:"bits"`
+}
+
+// voteJSON is one tallied vector vote in replies.
+type voteJSON struct {
+	Bits   string `json:"bits"`
+	Count  int    `json:"count"`
+	Voters []int  `json:"voters"`
+}
+
+// valuesPost is the POST body for PathValues.
+type valuesPost struct {
+	Topic  string   `json:"topic"`
+	Player int      `json:"player"`
+	Vals   []uint32 `json:"vals"`
+}
+
+// valuePostingJSON is one value posting in replies.
+type valuePostingJSON struct {
+	Player int      `json:"player"`
+	Vals   []uint32 `json:"vals"`
+}
+
+// valueVoteJSON is one tallied value vote in replies.
+type valueVoteJSON struct {
+	Vals   []uint32 `json:"vals"`
+	Count  int      `json:"count"`
+	Voters []int    `json:"voters"`
+}
+
+// dropPost is the POST body for PathDropTopic.
+type dropPost struct {
+	Topic string `json:"topic"`
+}
+
+// statsReply answers PathStats.
+type statsReply struct {
+	ProbeCount      int64 `json:"probeCount"`
+	VectorPostCount int64 `json:"vectorPostCount"`
+	TopicCount      int   `json:"topicCount"`
+	N               int   `json:"n"`
+	M               int   `json:"m"`
+}

@@ -1,0 +1,208 @@
+package netboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tellme/internal/billboard"
+)
+
+// Server serves a billboard.Board over HTTP.
+type Server struct {
+	board *billboard.Board
+	mux   *http.ServeMux
+}
+
+// NewServer wraps board in an HTTP handler.
+func NewServer(board *billboard.Board) *Server {
+	s := &Server{board: board, mux: http.NewServeMux()}
+	s.mux.HandleFunc(PathProbe, s.handleProbe)
+	s.mux.HandleFunc(PathProbedObjects, s.handleProbedObjects)
+	s.mux.HandleFunc(PathVector, s.handleVector)
+	s.mux.HandleFunc(PathPostings, s.handlePostings)
+	s.mux.HandleFunc(PathVotes, s.handleVotes)
+	s.mux.HandleFunc(PathValues, s.handleValues)
+	s.mux.HandleFunc(PathValuePostings, s.handleValuePostings)
+	s.mux.HandleFunc(PathValueVotes, s.handleValueVotes)
+	s.mux.HandleFunc(PathDropTopic, s.handleDropTopic)
+	s.mux.HandleFunc(PathStats, s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing further to do.
+		return
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// playerParam parses the player query parameter and validates range.
+func (s *Server) playerParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	p, err := strconv.Atoi(r.URL.Query().Get("player"))
+	if err != nil || p < 0 || p >= s.board.N() {
+		http.Error(w, "invalid player", http.StatusBadRequest)
+		return 0, false
+	}
+	return p, true
+}
+
+func (s *Server) validPlayerObject(w http.ResponseWriter, player, object int) bool {
+	if player < 0 || player >= s.board.N() {
+		http.Error(w, "invalid player", http.StatusBadRequest)
+		return false
+	}
+	if object < 0 || object >= s.board.M() {
+		http.Error(w, "invalid object", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req probePost
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !s.validPlayerObject(w, req.Player, req.Object) {
+			return
+		}
+		if req.Value > 1 {
+			http.Error(w, "grade must be 0 or 1", http.StatusBadRequest)
+			return
+		}
+		s.board.PostProbe(req.Player, req.Object, req.Value)
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		p, ok := s.playerParam(w, r)
+		if !ok {
+			return
+		}
+		o, err := strconv.Atoi(r.URL.Query().Get("object"))
+		if err != nil || o < 0 || o >= s.board.M() {
+			http.Error(w, "invalid object", http.StatusBadRequest)
+			return
+		}
+		v, found := s.board.LookupProbe(p, o)
+		writeJSON(w, probeReply{Value: v, OK: found})
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleProbedObjects(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.playerParam(w, r)
+	if !ok {
+		return
+	}
+	m := s.board.ProbedObjects(p)
+	reply := probedObjectsReply{Objects: make([]objGrade, 0, len(m))}
+	for o, g := range m {
+		reply.Objects = append(reply.Objects, objGrade{Object: o, Grade: g})
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	var req vectorPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	vec, err := parsePartial(req.Bits)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.board.Post(req.Topic, req.Player, vec)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
+	topic := r.URL.Query().Get("topic")
+	postings := s.board.Postings(topic)
+	out := make([]postingJSON, len(postings))
+	for i, p := range postings {
+		out[i] = postingJSON{Player: p.Player, Bits: p.Vec.String()}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
+	topic := r.URL.Query().Get("topic")
+	votes := s.board.Votes(topic)
+	out := make([]voteJSON, len(votes))
+	for i, v := range votes {
+		out[i] = voteJSON{Bits: v.Vec.String(), Count: v.Count, Voters: v.Voters}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	var req valuesPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.board.PostValues(req.Topic, req.Player, req.Vals)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleValuePostings(w http.ResponseWriter, r *http.Request) {
+	topic := r.URL.Query().Get("topic")
+	postings := s.board.ValuePostings(topic)
+	out := make([]valuePostingJSON, len(postings))
+	for i, p := range postings {
+		out[i] = valuePostingJSON{Player: p.Player, Vals: p.Vals}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleValueVotes(w http.ResponseWriter, r *http.Request) {
+	topic := r.URL.Query().Get("topic")
+	votes := s.board.ValueVotes(topic)
+	out := make([]valueVoteJSON, len(votes))
+	for i, v := range votes {
+		out[i] = valueVoteJSON{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
+	var req dropPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.board.DropTopic(req.Topic)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsReply{
+		ProbeCount:      s.board.ProbeCount(),
+		VectorPostCount: s.board.VectorPostCount(),
+		TopicCount:      s.board.TopicCount(),
+		N:               s.board.N(),
+		M:               s.board.M(),
+	})
+}

@@ -1,0 +1,208 @@
+// Package onegood implements the one-good-object algorithm of the
+// paper's reference [4] (B. Awerbuch, B. Patt-Shamir, D. Peleg,
+// M. Tuttle, "Improved recommendation systems", SODA 2005).
+//
+// The objective is weaker than the main paper's: each player only needs
+// to find ONE object it likes (grade 1), not its whole preference
+// vector. [4] shows a very simple combinatorial algorithm achieves this
+// with O(m + n·log|P|) total probes for any player set P sharing a
+// commonly-liked object, with no assumptions on the preference matrix —
+// the qualitative precursor of the main paper's result.
+//
+// The algorithm alternates two kinds of probes per round, chosen by a
+// fair coin per player:
+//
+//   - explore: probe a uniformly random not-yet-probed object;
+//   - exploit: pick a random recommendation from the billboard (an
+//     object some player announced liking) and probe it.
+//
+// A player that finds a liked object posts it as a recommendation and
+// stops probing. Within a community sharing liked objects, a single
+// discovery propagates in O(log |P|) rounds (each satisfied member's
+// recommendation converts others), while explore probes cover the
+// object space at rate n per round — giving the O(m/n + log n) rounds
+// ≈ O(m + n log n) total probes of [4].
+package onegood
+
+import (
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+// recTopic is the billboard topic recommendations are posted under.
+const recTopic = "onegood/recs"
+
+// Result reports one run.
+type Result struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// FoundAt[p] is the round (1-based) at which player p found a liked
+	// object, or 0 if it never did.
+	FoundAt []int
+	// Liked[p] is the liked object player p found (-1 if none).
+	Liked []int
+	// TotalProbes sums probes over all players.
+	TotalProbes int64
+	// Unsatisfied is the number of players that never found a liked
+	// object (players whose vector is all zeros can never succeed).
+	Unsatisfied int
+}
+
+// AllFound reports whether every player in the given set succeeded.
+func (r Result) AllFound(players []int) bool {
+	for _, p := range players {
+		if r.FoundAt[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundsToCover returns the first round by which every player in the
+// set had succeeded, or 0 if some never did.
+func (r Result) RoundsToCover(players []int) int {
+	worst := 0
+	for _, p := range players {
+		if r.FoundAt[p] == 0 {
+			return 0
+		}
+		if r.FoundAt[p] > worst {
+			worst = r.FoundAt[p]
+		}
+	}
+	return worst
+}
+
+// Run executes the randomized recommendation algorithm for at most
+// maxRounds synchronous rounds (0 means 4·m, enough for any satisfiable
+// player to finish w.h.p.).
+func Run(e *probe.Engine, runner *sim.Runner, src rng.Source, maxRounds int) Result {
+	in := e.Instance()
+	n, m := in.N, in.M
+	if maxRounds <= 0 {
+		maxRounds = 4 * m
+	}
+	res := Result{
+		FoundAt: make([]int, n),
+		Liked:   make([]int, n),
+	}
+	for p := range res.Liked {
+		res.Liked[p] = -1
+	}
+
+	rands := make([]*rng.Rand, n)
+	probed := make([]map[int]bool, n)
+	for p := 0; p < n; p++ {
+		rands[p] = src.Stream("onegood", p)
+		probed[p] = make(map[int]bool, 16)
+	}
+
+	var active []int
+	for p := 0; p < n; p++ {
+		active = append(active, p)
+	}
+
+	for round := 1; round <= maxRounds && len(active) > 0; round++ {
+		// Snapshot current recommendations once per round (a billboard
+		// read is free and identical for all players).
+		recPostings := e.Board().ValuePostings(recTopic)
+		recs := make([]int, len(recPostings))
+		for i, rp := range recPostings {
+			recs[i] = int(rp.Vals[0])
+		}
+
+		found := make([]int, len(active)) // -1 or found object
+		runner.Phase(seq(len(active)), func(i int) {
+			p := active[i]
+			r := rands[p]
+			pl := e.Player(p)
+			found[i] = -1
+
+			var obj int
+			if len(recs) > 0 && r.Bool() {
+				obj = recs[r.Intn(len(recs))] // exploit a recommendation
+			} else {
+				obj = r.Intn(m) // explore
+			}
+			if probed[p][obj] {
+				// Re-probing wastes the round (as in [4]'s analysis, a
+				// constant-factor loss); pick a fresh random object.
+				obj = r.Intn(m)
+			}
+			probed[p][obj] = true
+			if pl.Probe(obj) == 1 {
+				found[i] = obj
+			}
+		})
+
+		// Post discoveries and retire satisfied players.
+		next := active[:0]
+		for i, p := range active {
+			if found[i] >= 0 {
+				res.FoundAt[p] = round
+				res.Liked[p] = found[i]
+				e.Board().PostValues(recTopic, p, []uint32{uint32(found[i])})
+			} else {
+				next = append(next, p)
+			}
+		}
+		active = next
+		res.Rounds = round
+	}
+	res.Unsatisfied = len(active)
+	for p := 0; p < n; p++ {
+		res.TotalProbes += e.Charged(p)
+	}
+	e.Board().DropTopic(recTopic)
+	return res
+}
+
+// RandomOnly is the strawman comparator: pure random probing with no
+// recommendation sharing. Expected probes per player are m/L for L
+// liked objects, i.e. Θ(n·m/L) total — the polynomial overhead [4]
+// eliminates.
+func RandomOnly(e *probe.Engine, runner *sim.Runner, src rng.Source, maxRounds int) Result {
+	in := e.Instance()
+	n, m := in.N, in.M
+	if maxRounds <= 0 {
+		maxRounds = 4 * m
+	}
+	res := Result{
+		FoundAt: make([]int, n),
+		Liked:   make([]int, n),
+	}
+	for p := range res.Liked {
+		res.Liked[p] = -1
+	}
+	runner.PhaseAll(n, func(p int) {
+		r := src.Stream("rand-only", p)
+		pl := e.Player(p)
+		perm := r.Perm(m)
+		for round := 1; round <= maxRounds && round <= m; round++ {
+			if pl.Probe(perm[round-1]) == 1 {
+				res.FoundAt[p] = round
+				res.Liked[p] = perm[round-1]
+				return
+			}
+		}
+	})
+	for p := 0; p < n; p++ {
+		if res.FoundAt[p] > res.Rounds {
+			res.Rounds = res.FoundAt[p]
+		}
+		if res.FoundAt[p] == 0 {
+			res.Unsatisfied++
+		}
+		res.TotalProbes += e.Charged(p)
+	}
+	return res
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package onegood
+
+import (
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+func setup(t testing.TB, in *prefs.Instance, seed uint64) (*probe.Engine, *sim.Runner, rng.Source) {
+	t.Helper()
+	b := billboard.New(in.N, in.M)
+	e := probe.NewEngine(in, b, rng.NewSource(seed))
+	return e, sim.NewRunner(0), rng.NewSource(seed + 1)
+}
+
+func TestRunFindsLikedObjects(t *testing.T) {
+	in := prefs.SharedLikes(128, 1024, 0.5, 4, 4, 1)
+	e, runner, src := setup(t, in, 2)
+	res := Run(e, runner, src, 0)
+	comm := in.Communities[0].Members
+	if !res.AllFound(comm) {
+		t.Fatalf("%d community members unsatisfied", res.Unsatisfied)
+	}
+	// every reported find must actually be liked
+	for p := 0; p < in.N; p++ {
+		if res.Liked[p] >= 0 && in.Grade(p, res.Liked[p]) != 1 {
+			t.Fatalf("player %d 'found' a disliked object %d", p, res.Liked[p])
+		}
+		if (res.FoundAt[p] == 0) != (res.Liked[p] < 0) {
+			t.Fatalf("player %d inconsistent found state", p)
+		}
+	}
+}
+
+func TestRunPropagationBeatsRandom(t *testing.T) {
+	// With a tiny liked set (4 of 2048 objects), random probing needs
+	// ~m/L = 512 probes per member; recommendation propagation should
+	// satisfy the whole community in far fewer rounds.
+	in := prefs.SharedLikes(256, 2048, 0.5, 4, 4, 3)
+	comm := in.Communities[0].Members
+
+	e1, r1, s1 := setup(t, in, 4)
+	rec := Run(e1, r1, s1, 0)
+	if !rec.AllFound(comm) {
+		t.Fatal("recommendation algorithm left members unsatisfied")
+	}
+	e2, r2, s2 := setup(t, in, 5)
+	rnd := RandomOnly(e2, r2, s2, 0)
+	if !rnd.AllFound(comm) {
+		t.Fatal("random-only left members unsatisfied (should finish within m)")
+	}
+	recRounds := rec.RoundsToCover(comm)
+	rndRounds := rnd.RoundsToCover(comm)
+	if recRounds*4 > rndRounds {
+		t.Fatalf("propagation not clearly faster: %d vs %d rounds", recRounds, rndRounds)
+	}
+	// [4]'s guarantee covers the players sharing a liked object; each
+	// member's probe count equals its finish round. Outsiders chasing
+	// others' recommendations gain nothing (and are charged for it), so
+	// they are excluded — that asymmetry is the theorem's content.
+	sum := func(r Result) int {
+		s := 0
+		for _, p := range comm {
+			s += r.FoundAt[p]
+		}
+		return s
+	}
+	if 4*sum(rec) > sum(rnd) {
+		t.Fatalf("community probes %d not well below random %d", sum(rec), sum(rnd))
+	}
+}
+
+func TestRunAllZeroPlayerNeverSatisfied(t *testing.T) {
+	// Outsiders with zero liked objects can never succeed; the run must
+	// terminate anyway.
+	in := prefs.SharedLikes(32, 256, 0.5, 2, 0, 6)
+	e, runner, src := setup(t, in, 7)
+	res := Run(e, runner, src, 300)
+	if res.Unsatisfied != 16 {
+		t.Fatalf("unsatisfied = %d, want the 16 all-zero outsiders", res.Unsatisfied)
+	}
+	if !res.AllFound(in.Communities[0].Members) {
+		t.Fatal("community members should all succeed")
+	}
+}
+
+func TestRunMaxRoundsRespected(t *testing.T) {
+	in := prefs.SharedLikes(16, 4096, 0.5, 1, 0, 8)
+	e, runner, src := setup(t, in, 9)
+	res := Run(e, runner, src, 3)
+	if res.Rounds > 3 {
+		t.Fatalf("ran %d rounds with cap 3", res.Rounds)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	in := prefs.SharedLikes(64, 512, 0.5, 3, 3, 10)
+	run := func() Result {
+		e, runner, src := setup(t, in, 11)
+		return Run(e, runner, src, 0)
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.TotalProbes != b.TotalProbes {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Rounds, b.Rounds)
+	}
+	for p := range a.FoundAt {
+		if a.FoundAt[p] != b.FoundAt[p] {
+			t.Fatalf("player %d found at %d vs %d", p, a.FoundAt[p], b.FoundAt[p])
+		}
+	}
+}
+
+func TestRandomOnlyFindsEverything(t *testing.T) {
+	in := prefs.SharedLikes(32, 512, 0.5, 8, 8, 12)
+	e, runner, src := setup(t, in, 13)
+	res := RandomOnly(e, runner, src, 0)
+	if res.Unsatisfied != 0 {
+		t.Fatalf("%d unsatisfied with full budget", res.Unsatisfied)
+	}
+	for p := 0; p < in.N; p++ {
+		if in.Grade(p, res.Liked[p]) != 1 {
+			t.Fatalf("player %d found disliked object", p)
+		}
+	}
+}
+
+func TestSharedLikesInstanceShape(t *testing.T) {
+	in := prefs.SharedLikes(50, 200, 0.4, 5, 3, 14)
+	c := in.Communities[0]
+	if len(c.Members) != 20 {
+		t.Fatalf("community size %d", len(c.Members))
+	}
+	for _, p := range c.Members {
+		if in.Truth[p].OnesCount() != 5 {
+			t.Fatalf("member %d likes %d objects, want 5", p, in.Truth[p].OnesCount())
+		}
+		if !in.Truth[p].Equal(c.Center) {
+			t.Fatal("member vector differs from center")
+		}
+	}
+	inComm := map[int]bool{}
+	for _, p := range c.Members {
+		inComm[p] = true
+	}
+	for p := 0; p < in.N; p++ {
+		if !inComm[p] && in.Truth[p].OnesCount() != 3 {
+			t.Fatalf("outsider %d likes %d objects, want 3", p, in.Truth[p].OnesCount())
+		}
+	}
+}
+
+func BenchmarkE15OneGood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := prefs.SharedLikes(256, 2048, 0.5, 4, 4, uint64(i))
+		board := billboard.New(in.N, in.M)
+		e := probe.NewEngine(in, board, rng.NewSource(uint64(i)+1))
+		_ = Run(e, sim.NewRunner(0), rng.NewSource(uint64(i)+2), 0)
+	}
+}

@@ -1,0 +1,95 @@
+package prefs
+
+import "testing"
+
+func TestBestDIdenticalCommunity(t *testing.T) {
+	in := Identical(100, 200, 0.4, 21)
+	c := in.Communities[0]
+	p := c.Members[0]
+	// 40 players share p's vector: for α ≤ 0.4, D_p(α) = 0.
+	if d := in.BestD(p, 0.4); d != 0 {
+		t.Fatalf("BestD(0.4) = %d, want 0", d)
+	}
+	if d := in.BestD(p, 0.3); d != 0 {
+		t.Fatalf("BestD(0.3) = %d, want 0", d)
+	}
+	// asking for more than the community forces distant players in
+	if d := in.BestD(p, 0.9); d <= 0 {
+		t.Fatalf("BestD(0.9) = %d, want > 0", d)
+	}
+}
+
+func TestBestDMonotoneInAlpha(t *testing.T) {
+	in := Planted(80, 120, 0.5, 10, 22)
+	p := in.Communities[0].Members[0]
+	prev := -1
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		d := in.BestD(p, a)
+		if d < prev {
+			t.Fatalf("BestD not monotone: alpha=%v d=%d prev=%d", a, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBestDSelfOnly(t *testing.T) {
+	in := UniformRandom(10, 50, 23)
+	// tiny alpha → community of 1 → distance 0 (yourself)
+	if d := in.BestD(3, 0.05); d != 0 {
+		t.Fatalf("BestD tiny alpha = %d", d)
+	}
+}
+
+func TestBestCommunityContainsSelfAndBounds(t *testing.T) {
+	in := Planted(60, 100, 0.5, 8, 24)
+	p := in.Communities[0].Members[0]
+	members := in.BestCommunity(p, 8)
+	foundSelf := false
+	for _, q := range members {
+		if q == p {
+			foundSelf = true
+		}
+		if in.Truth[p].Dist(in.Truth[q]) > 8 {
+			t.Fatalf("member %d outside radius", q)
+		}
+	}
+	if !foundSelf {
+		t.Fatal("BestCommunity excludes self")
+	}
+	// radius 0 community of a planted member includes at least itself
+	if len(in.BestCommunity(p, 0)) < 1 {
+		t.Fatal("empty radius-0 community")
+	}
+	// consistency with BestD: community at BestD(α) has ≥ αn members
+	alpha := 0.5
+	d := in.BestD(p, alpha)
+	if got := len(in.BestCommunity(p, d)); got < int(alpha*60) {
+		t.Fatalf("community at BestD has %d members", got)
+	}
+}
+
+func TestCommunityOf(t *testing.T) {
+	in := MultiCommunity(60, 80, []CommunitySpec{{Alpha: 0.3, D: 0}, {Alpha: 0.3, D: 4}}, 25)
+	for ci, c := range in.Communities {
+		for _, p := range c.Members {
+			if got := in.CommunityOf(p); got != ci {
+				t.Fatalf("CommunityOf(%d) = %d, want %d", p, got, ci)
+			}
+		}
+	}
+	// a player outside all communities
+	inAny := map[int]bool{}
+	for _, c := range in.Communities {
+		for _, p := range c.Members {
+			inAny[p] = true
+		}
+	}
+	for p := 0; p < in.N; p++ {
+		if !inAny[p] {
+			if in.CommunityOf(p) != -1 {
+				t.Fatalf("outsider %d assigned to a community", p)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package prefs
+
+// Instance serialization: a compact, versioned binary format plus JSON,
+// so experiment inputs can be archived and replayed exactly. The binary
+// format packs the preference matrix at one bit per entry; JSON trades
+// size for greppability.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tellme/internal/bitvec"
+)
+
+// binMagic identifies the binary format; the trailing byte is a
+// format version.
+var binMagic = [8]byte{'T', 'M', 'W', 'I', 'A', 'v', '0', '1'}
+
+// WriteBinary serializes the instance to w in the packed binary format.
+func (in *Instance) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeInts := func(xs []int) error {
+		if err := writeU64(uint64(len(xs))); err != nil {
+			return err
+		}
+		for _, x := range xs {
+			if err := writeU64(uint64(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeU64(uint64(in.N)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(in.M)); err != nil {
+		return err
+	}
+	if err := writeU64(in.Seed); err != nil {
+		return err
+	}
+	name := []byte(in.Name)
+	if err := writeU64(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	// matrix rows, packed
+	rowBytes := (in.M + 7) / 8
+	row := make([]byte, rowBytes)
+	for p := 0; p < in.N; p++ {
+		for i := range row {
+			row[i] = 0
+		}
+		for o := 0; o < in.M; o++ {
+			if in.Truth[p].Get(o) == 1 {
+				row[o/8] |= 1 << (o % 8)
+			}
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	// communities
+	if err := writeU64(uint64(len(in.Communities))); err != nil {
+		return err
+	}
+	for _, c := range in.Communities {
+		if err := writeInts(c.Members); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(c.D)); err != nil {
+			return err
+		}
+		for i := range row {
+			row[i] = 0
+		}
+		for o := 0; o < in.M; o++ {
+			if c.Center.Get(o) == 1 {
+				row[o/8] |= 1 << (o % 8)
+			}
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes an instance written by WriteBinary.
+func ReadBinary(r io.Reader) (*Instance, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("prefs: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("prefs: bad magic %q", magic[:])
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	const maxDim = 1 << 24 // sanity cap against corrupted headers
+	readDim := func(what string) (int, error) {
+		v, err := readU64()
+		if err != nil {
+			return 0, err
+		}
+		if v > maxDim {
+			return 0, fmt.Errorf("prefs: %s %d exceeds sanity cap", what, v)
+		}
+		return int(v), nil
+	}
+	n, err := readDim("n")
+	if err != nil {
+		return nil, err
+	}
+	m, err := readDim("m")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("prefs: empty instance %dx%d", n, m)
+	}
+	seed, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := readDim("name length")
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	in := &Instance{Name: string(name), N: n, M: m, Seed: seed, Truth: make([]bitvec.Vector, n)}
+	rowBytes := (m + 7) / 8
+	row := make([]byte, rowBytes)
+	readVec := func() (bitvec.Vector, error) {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return bitvec.Vector{}, err
+		}
+		v := bitvec.New(m)
+		for o := 0; o < m; o++ {
+			if row[o/8]>>(o%8)&1 == 1 {
+				v.Set(o, 1)
+			}
+		}
+		return v, nil
+	}
+	for p := 0; p < n; p++ {
+		if in.Truth[p], err = readVec(); err != nil {
+			return nil, fmt.Errorf("prefs: row %d: %w", p, err)
+		}
+	}
+	nComm, err := readDim("community count")
+	if err != nil {
+		return nil, err
+	}
+	for ci := 0; ci < nComm; ci++ {
+		var c Community
+		sz, err := readDim("community size")
+		if err != nil {
+			return nil, err
+		}
+		c.Members = make([]int, sz)
+		for i := range c.Members {
+			v, err := readDim("member")
+			if err != nil {
+				return nil, err
+			}
+			if v >= n {
+				return nil, fmt.Errorf("prefs: member %d out of range", v)
+			}
+			c.Members[i] = v
+		}
+		if c.D, err = readDim("community D"); err != nil {
+			return nil, err
+		}
+		if c.Center, err = readVec(); err != nil {
+			return nil, fmt.Errorf("prefs: community %d center: %w", ci, err)
+		}
+		in.Communities = append(in.Communities, c)
+	}
+	return in, nil
+}
+
+// instanceJSON is the JSON shape (vectors as '0'/'1' strings).
+type instanceJSON struct {
+	Name        string          `json:"name"`
+	N           int             `json:"n"`
+	M           int             `json:"m"`
+	Seed        uint64          `json:"seed"`
+	Rows        []string        `json:"rows"`
+	Communities []communityJSON `json:"communities,omitempty"`
+}
+
+type communityJSON struct {
+	Members []int  `json:"members"`
+	D       int    `json:"d"`
+	Center  string `json:"center"`
+}
+
+// WriteJSON serializes the instance as JSON.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	doc := instanceJSON{Name: in.Name, N: in.N, M: in.M, Seed: in.Seed}
+	doc.Rows = make([]string, in.N)
+	for p := 0; p < in.N; p++ {
+		doc.Rows[p] = in.Truth[p].String()
+	}
+	for _, c := range in.Communities {
+		doc.Communities = append(doc.Communities, communityJSON{
+			Members: c.Members, D: c.D, Center: c.Center.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON deserializes an instance written by WriteJSON.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var doc instanceJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("prefs: %w", err)
+	}
+	if doc.N != len(doc.Rows) {
+		return nil, fmt.Errorf("prefs: n=%d but %d rows", doc.N, len(doc.Rows))
+	}
+	if doc.N == 0 || doc.M == 0 {
+		return nil, fmt.Errorf("prefs: empty instance")
+	}
+	in := &Instance{Name: doc.Name, N: doc.N, M: doc.M, Seed: doc.Seed, Truth: make([]bitvec.Vector, doc.N)}
+	for p, s := range doc.Rows {
+		if len(s) != doc.M {
+			return nil, fmt.Errorf("prefs: row %d has %d objects, want %d", p, len(s), doc.M)
+		}
+		v, err := bitvec.FromString(s)
+		if err != nil {
+			return nil, fmt.Errorf("prefs: row %d: %w", p, err)
+		}
+		in.Truth[p] = v
+	}
+	for ci, c := range doc.Communities {
+		center, err := bitvec.FromString(c.Center)
+		if err != nil || center.Len() != doc.M {
+			return nil, fmt.Errorf("prefs: community %d center invalid", ci)
+		}
+		for _, p := range c.Members {
+			if p < 0 || p >= doc.N {
+				return nil, fmt.Errorf("prefs: community %d member %d out of range", ci, p)
+			}
+		}
+		in.Communities = append(in.Communities, Community{
+			Members: append([]int(nil), c.Members...), D: c.D, Center: center,
+		})
+	}
+	return in, nil
+}

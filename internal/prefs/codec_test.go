@@ -1,0 +1,173 @@
+package prefs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sameInstance(t *testing.T, a, b *Instance) {
+	t.Helper()
+	if a.N != b.N || a.M != b.M || a.Seed != b.Seed || a.Name != b.Name {
+		t.Fatalf("headers differ: %v/%v", a.Name, b.Name)
+	}
+	for p := 0; p < a.N; p++ {
+		if !a.Truth[p].Equal(b.Truth[p]) {
+			t.Fatalf("row %d differs", p)
+		}
+	}
+	if len(a.Communities) != len(b.Communities) {
+		t.Fatalf("community counts %d vs %d", len(a.Communities), len(b.Communities))
+	}
+	for i := range a.Communities {
+		ca, cb := a.Communities[i], b.Communities[i]
+		if ca.D != cb.D || !ca.Center.Equal(cb.Center) || len(ca.Members) != len(cb.Members) {
+			t.Fatalf("community %d differs", i)
+		}
+		for j := range ca.Members {
+			if ca.Members[j] != cb.Members[j] {
+				t.Fatalf("community %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := Planted(60, 130, 0.4, 8, 42)
+	var buf bytes.Buffer
+	if err := in.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInstance(t, in, got)
+}
+
+func TestBinaryRoundTripMultiCommunity(t *testing.T) {
+	in := MultiCommunity(50, 64, []CommunitySpec{{Alpha: 0.3, D: 4}, {Alpha: 0.2, D: 0}}, 7)
+	var buf bytes.Buffer
+	if err := in.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInstance(t, in, got)
+}
+
+func TestBinaryCompact(t *testing.T) {
+	in := UniformRandom(256, 256, 9)
+	var buf bytes.Buffer
+	if err := in.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// ~n·m/8 bytes plus small header
+	if buf.Len() > 256*256/8+256 {
+		t.Fatalf("binary form is %d bytes, not compact", buf.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not an instance file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	in := Planted(20, 40, 0.5, 4, 1)
+	var buf bytes.Buffer
+	if err := in.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{9, 20, buf.Len() / 2, buf.Len() - 3} {
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsHugeDims(t *testing.T) {
+	// craft a header with an absurd n
+	var buf bytes.Buffer
+	in := Planted(4, 8, 0.5, 2, 1)
+	if err := in.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for i := 8; i < 16; i++ {
+		b[i] = 0xff // n = 2^64-1
+	}
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("absurd dimension accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := AdversarialVoteSplit(30, 48, 0.3, 4, 11)
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInstance(t, in, got)
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"n":2,"m":3,"rows":["010"]}`, // row count mismatch
+		`{"n":1,"m":3,"rows":["01"]}`,  // row length mismatch
+		`{"n":1,"m":2,"rows":["0x"]}`,  // bad character
+		`{"n":0,"m":0,"rows":[]}`,      // empty
+		`{"n":1,"m":2,"rows":["01"],"communities":[{"members":[5],"d":0,"center":"01"}]}`, // member range
+		`{"n":1,"m":2,"rows":["01"],"communities":[{"members":[0],"d":0,"center":"0"}]}`,  // center length
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestJSONIsGreppable(t *testing.T) {
+	in := Identical(3, 4, 1.0, 5)
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"rows"`, `"communities"`, in.Truth[0].String()} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func BenchmarkBinaryWrite1024(b *testing.B) {
+	in := Planted(1024, 1024, 0.5, 8, 1)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = in.WriteBinary(&buf)
+	}
+}
+
+func BenchmarkBinaryRead1024(b *testing.B) {
+	in := Planted(1024, 1024, 0.5, 8, 1)
+	var buf bytes.Buffer
+	_ = in.WriteBinary(&buf)
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ReadBinary(bytes.NewReader(data))
+	}
+}

@@ -1,0 +1,63 @@
+package prefs
+
+import (
+	"fmt"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// Drift models the paper's motivating "time-variable factors (noise,
+// weather, mood)": it returns a copy of the instance in which the world
+// has moved. For each community, `communityFlips` shared coordinates
+// flip in the center and in every member's vector (the community's
+// taste shifts coherently); additionally every player — member or
+// outsider — suffers up to `playerFlips` idiosyncratic flips of its
+// own. Community diameter bounds grow by at most 2·playerFlips.
+//
+// Algorithms re-run on the drifted instance to measure re-convergence
+// cost (experiment E17).
+func Drift(in *Instance, communityFlips, playerFlips int, seed uint64) *Instance {
+	if communityFlips < 0 || playerFlips < 0 {
+		panic("prefs: negative drift")
+	}
+	if communityFlips > in.M || playerFlips > in.M {
+		panic(fmt.Sprintf("prefs: drift exceeds m=%d", in.M))
+	}
+	r := rng.NewSource(seed).Stream("drift", 0)
+	out := &Instance{
+		Name: in.Name + fmt.Sprintf("+drift(%d,%d)", communityFlips, playerFlips),
+		N:    in.N, M: in.M,
+		Seed:  seed,
+		Truth: make([]bitvec.Vector, in.N),
+	}
+	for p := 0; p < in.N; p++ {
+		out.Truth[p] = in.Truth[p].Clone()
+	}
+	for _, c := range in.Communities {
+		// shared coherent shift
+		shift := make([]int, 0, communityFlips)
+		perm := r.Perm(in.M)
+		shift = append(shift, perm[:communityFlips]...)
+		center := c.Center.Clone()
+		for _, o := range shift {
+			center.Flip(o)
+		}
+		for _, p := range c.Members {
+			for _, o := range shift {
+				out.Truth[p].Flip(o)
+			}
+		}
+		out.Communities = append(out.Communities, Community{
+			Members: append([]int(nil), c.Members...),
+			Center:  center,
+			D:       c.D + 2*playerFlips,
+		})
+	}
+	if playerFlips > 0 {
+		for p := 0; p < in.N; p++ {
+			out.Truth[p].FlipRandom(r, r.Intn(playerFlips+1))
+		}
+	}
+	return out
+}

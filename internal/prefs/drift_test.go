@@ -1,0 +1,85 @@
+package prefs
+
+import "testing"
+
+func TestDriftCommunityCoherent(t *testing.T) {
+	in := Identical(60, 200, 0.5, 50)
+	out := Drift(in, 10, 0, 51)
+	c := in.Communities[0]
+	oc := out.Communities[0]
+	// members still identical to the NEW center
+	for _, p := range oc.Members {
+		if !out.Truth[p].Equal(oc.Center) {
+			t.Fatalf("member %d diverged from drifted center", p)
+		}
+	}
+	// the center moved by exactly 10
+	if d := c.Center.Dist(oc.Center); d != 10 {
+		t.Fatalf("center moved %d, want 10", d)
+	}
+	// diameter still 0 (no player flips)
+	if d := out.Diameter(oc.Members); d != 0 {
+		t.Fatalf("diameter %d after coherent drift", d)
+	}
+	// original instance untouched
+	for _, p := range c.Members {
+		if !in.Truth[p].Equal(c.Center) {
+			t.Fatal("Drift mutated the source instance")
+		}
+	}
+}
+
+func TestDriftPlayerFlipsBoundDiameter(t *testing.T) {
+	in := Planted(80, 200, 0.5, 6, 52)
+	out := Drift(in, 4, 3, 53)
+	oc := out.Communities[0]
+	if oc.D != 6+2*3 {
+		t.Fatalf("declared D = %d", oc.D)
+	}
+	if got := out.Diameter(oc.Members); got > oc.D {
+		t.Fatalf("realized diameter %d > declared %d", got, oc.D)
+	}
+}
+
+func TestDriftOutsidersAlsoDrift(t *testing.T) {
+	in := Identical(40, 300, 0.5, 54)
+	out := Drift(in, 0, 5, 55)
+	moved := 0
+	for p := 0; p < in.N; p++ {
+		if !in.Truth[p].Equal(out.Truth[p]) {
+			moved++
+		}
+	}
+	if moved < in.N/2 {
+		t.Fatalf("only %d/%d players drifted", moved, in.N)
+	}
+}
+
+func TestDriftZeroIsCopy(t *testing.T) {
+	in := Planted(20, 50, 0.5, 4, 56)
+	out := Drift(in, 0, 0, 57)
+	for p := 0; p < in.N; p++ {
+		if !in.Truth[p].Equal(out.Truth[p]) {
+			t.Fatal("zero drift changed vectors")
+		}
+	}
+	// but it is a deep copy
+	out.Truth[0].Flip(0)
+	if in.Truth[0].Get(0) == out.Truth[0].Get(0) {
+		t.Fatal("not a deep copy")
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	in := Planted(8, 16, 0.5, 2, 58)
+	for _, bad := range [][2]int{{-1, 0}, {0, -1}, {17, 0}, {0, 17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("drift %v accepted", bad)
+				}
+			}()
+			Drift(in, bad[0], bad[1], 1)
+		}()
+	}
+}

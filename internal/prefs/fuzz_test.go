@@ -1,0 +1,60 @@
+package prefs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary checks that arbitrary bytes never crash the binary
+// decoder, and that anything it accepts round-trips.
+func FuzzReadBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := Planted(8, 16, 0.5, 2, 1).WriteBinary(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TMWIAv01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := in.WriteBinary(&out); err != nil {
+			t.Fatalf("accepted instance fails to re-encode: %v", err)
+		}
+		in2, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded instance fails to decode: %v", err)
+		}
+		if in2.N != in.N || in2.M != in.M {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON decoder against arbitrary input.
+func FuzzReadJSON(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := Identical(4, 8, 0.5, 2).WriteJSON(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte(`{"n":1,"m":2,"rows":["01"]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if in.N <= 0 || in.M <= 0 || len(in.Truth) != in.N {
+			t.Fatalf("accepted malformed instance: n=%d m=%d rows=%d", in.N, in.M, len(in.Truth))
+		}
+		for p := 0; p < in.N; p++ {
+			if in.Truth[p].Len() != in.M {
+				t.Fatal("accepted row with wrong length")
+			}
+		}
+	})
+}

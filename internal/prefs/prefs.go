@@ -1,0 +1,446 @@
+// Package prefs generates preference-matrix instances for the
+// recommendation-system simulator.
+//
+// The paper is a worst-case theory result with no datasets, so instances
+// are synthetic by construction. The generators below produce exactly the
+// structures the paper's theorems quantify over:
+//
+//   - Identical: an (α,0)-typical set — players with identical vectors
+//     (Theorem 3.1's precondition).
+//   - Planted: an (α,D)-typical set — a random center with each member at
+//     Hamming distance ≤ D/2 from it, hence pairwise diameter ≤ D
+//     (Theorems 4.4 and 5.4).
+//   - AdversarialVoteSplit: a planted community plus colluding outsider
+//     blocks that agree with each other but not with the community, so
+//     vote-counting steps face competing popular vectors.
+//   - TypesMixture: the low-entropy generative model of the
+//     non-interactive literature (players draw a "type" vector and add
+//     independent flip noise), used for baseline comparisons.
+//   - UniformRandom: no structure at all (sanity floor).
+package prefs
+
+import (
+	"fmt"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// Community records a planted (α,D)-typical set inside an Instance.
+type Community struct {
+	// Members lists the player indices of the community.
+	Members []int
+	// Center is the vector the members were perturbed from.
+	Center bitvec.Vector
+	// D is the diameter bound the generator guaranteed (pairwise
+	// Hamming distance of members is ≤ D). The exact realized diameter
+	// may be smaller; see Instance.Diameter.
+	D int
+}
+
+// Alpha returns the community's player fraction |members|/n.
+func (c Community) Alpha(n int) float64 {
+	return float64(len(c.Members)) / float64(n)
+}
+
+// Instance is a complete ground-truth preference matrix together with
+// the planted structure that generated it.
+type Instance struct {
+	// Name identifies the generator and parameters (for reports).
+	Name string
+	// N is the number of players, M the number of objects.
+	N, M int
+	// Truth holds each player's hidden preference vector.
+	Truth []bitvec.Vector
+	// Communities lists planted typical sets, largest first.
+	Communities []Community
+	// Seed reproduces the instance.
+	Seed uint64
+}
+
+// Grade returns player p's true grade for object o — the value a probe
+// reveals.
+func (in *Instance) Grade(p, o int) byte { return in.Truth[p].Get(o) }
+
+// Vector returns player p's full hidden preference vector.
+func (in *Instance) Vector(p int) bitvec.Vector { return in.Truth[p] }
+
+// Diameter computes the exact pairwise Hamming diameter of the given
+// player set. It is quadratic in len(players); use on communities, not
+// on the full instance, for large n.
+func (in *Instance) Diameter(players []int) int {
+	d := 0
+	for i := 0; i < len(players); i++ {
+		for j := i + 1; j < len(players); j++ {
+			if dd := in.Truth[players[i]].Dist(in.Truth[players[j]]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// MaxErr returns max_p dist(out[p], truth[p]) over the given player set —
+// the paper's discrepancy Δ. Outputs may contain '?', which counts as an
+// error when it hides a coordinate (we charge Fill(0) semantics: an
+// unknown coordinate that should be 1 is an error, matching the paper's
+// remark that ? entries "may be set to 0").
+func (in *Instance) MaxErr(players []int, out []bitvec.Partial) int {
+	worst := 0
+	for _, p := range players {
+		if e := in.Err(p, out[p]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Err returns dist(w, v(p)) for player p's output w, with ? filled by 0.
+func (in *Instance) Err(p int, w bitvec.Partial) int {
+	return w.Fill(0).Dist(in.Truth[p])
+}
+
+func check(n, m int, alpha float64) {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("prefs: invalid dimensions n=%d m=%d", n, m))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("prefs: alpha %v out of (0,1]", alpha))
+	}
+}
+
+// pickMembers chooses round(alpha*n) distinct players. The member set is
+// a random subset so community membership is uncorrelated with player id.
+func pickMembers(r *rng.Rand, n int, alpha float64) []int {
+	k := int(alpha*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := r.Perm(n)
+	members := append([]int(nil), perm[:k]...)
+	return members
+}
+
+// Identical builds an instance whose planted community of ≥ αn players
+// all share one uniformly random preference vector; every other player
+// is uniformly random.
+func Identical(n, m int, alpha float64, seed uint64) *Instance {
+	check(n, m, alpha)
+	src := rng.NewSource(seed)
+	r := src.Stream("identical", 0)
+	center := bitvec.Random(r, m)
+	in := &Instance{
+		Name: fmt.Sprintf("identical(n=%d,m=%d,a=%.3g)", n, m, alpha),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	members := pickMembers(r, n, alpha)
+	inComm := make([]bool, n)
+	for _, p := range members {
+		inComm[p] = true
+	}
+	for p := 0; p < n; p++ {
+		if inComm[p] {
+			in.Truth[p] = center
+		} else {
+			in.Truth[p] = bitvec.Random(r, m)
+		}
+	}
+	in.Communities = []Community{{Members: members, Center: center, D: 0}}
+	return in
+}
+
+// Planted builds an instance with one (α,D)-typical set: members are the
+// center with at most D/2 random coordinate flips each, so the pairwise
+// diameter is at most D. Outsiders are uniformly random.
+func Planted(n, m int, alpha float64, d int, seed uint64) *Instance {
+	check(n, m, alpha)
+	if d < 0 || d > m {
+		panic(fmt.Sprintf("prefs: D=%d out of [0,%d]", d, m))
+	}
+	src := rng.NewSource(seed)
+	r := src.Stream("planted", 0)
+	center := bitvec.Random(r, m)
+	in := &Instance{
+		Name: fmt.Sprintf("planted(n=%d,m=%d,a=%.3g,D=%d)", n, m, alpha, d),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	members := pickMembers(r, n, alpha)
+	inComm := make([]bool, n)
+	for _, p := range members {
+		inComm[p] = true
+	}
+	radius := d / 2
+	for p := 0; p < n; p++ {
+		if inComm[p] {
+			v := center.Clone()
+			if radius > 0 {
+				v.FlipRandom(r, r.Intn(radius+1))
+			}
+			in.Truth[p] = v
+		} else {
+			in.Truth[p] = bitvec.Random(r, m)
+		}
+	}
+	in.Communities = []Community{{Members: members, Center: center, D: d}}
+	return in
+}
+
+// CommunitySpec describes one planted community for MultiCommunity.
+type CommunitySpec struct {
+	Alpha float64 // player fraction
+	D     int     // diameter bound
+}
+
+// MultiCommunity builds an instance with several disjoint planted
+// communities (centers independently random, so distinct communities are
+// far apart w.h.p.). Fractions must sum to at most 1; leftover players
+// are uniformly random.
+func MultiCommunity(n, m int, specs []CommunitySpec, seed uint64) *Instance {
+	if n <= 0 || m <= 0 {
+		panic("prefs: invalid dimensions")
+	}
+	var total float64
+	for _, s := range specs {
+		if s.Alpha <= 0 || s.D < 0 || s.D > m {
+			panic("prefs: invalid community spec")
+		}
+		total += s.Alpha
+	}
+	if total > 1+1e-9 {
+		panic("prefs: community fractions exceed 1")
+	}
+	src := rng.NewSource(seed)
+	r := src.Stream("multi", 0)
+	in := &Instance{
+		Name: fmt.Sprintf("multi(n=%d,m=%d,k=%d)", n, m, len(specs)),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	perm := r.Perm(n)
+	next := 0
+	for _, s := range specs {
+		k := int(s.Alpha*float64(n) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if next+k > n {
+			k = n - next
+		}
+		members := append([]int(nil), perm[next:next+k]...)
+		next += k
+		center := bitvec.Random(r, m)
+		radius := s.D / 2
+		for _, p := range members {
+			v := center.Clone()
+			if radius > 0 {
+				v.FlipRandom(r, r.Intn(radius+1))
+			}
+			in.Truth[p] = v
+		}
+		in.Communities = append(in.Communities, Community{Members: members, Center: center, D: s.D})
+	}
+	for ; next < n; next++ {
+		in.Truth[perm[next]] = bitvec.Random(r, m)
+	}
+	return in
+}
+
+// AdversarialVoteSplit plants an (α,D)-typical community and fills the
+// remaining players with colluding blocks: each block shares a single
+// far vector (at distance ≥ max(2D+2, m/2) from the community center).
+// Block size is 60% of the community — large enough to pass the α/2
+// vote thresholds inside ZeroRadius (stressing Select-based vote
+// disambiguation and Coalesce uniqueness), and enough blocks that on a
+// constant fraction of coordinates the blocks' combined mass out-votes
+// the community, defeating global-majority prediction.
+func AdversarialVoteSplit(n, m int, alpha float64, d int, seed uint64) *Instance {
+	check(n, m, alpha)
+	src := rng.NewSource(seed)
+	r := src.Stream("advsplit", 0)
+	center := bitvec.Random(r, m)
+	in := &Instance{
+		Name: fmt.Sprintf("advsplit(n=%d,m=%d,a=%.3g,D=%d)", n, m, alpha, d),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	members := pickMembers(r, n, alpha)
+	inComm := make([]bool, n)
+	for _, p := range members {
+		inComm[p] = true
+	}
+	radius := d / 2
+	for _, p := range members {
+		v := center.Clone()
+		if radius > 0 {
+			v.FlipRandom(r, r.Intn(radius+1))
+		}
+		in.Truth[p] = v
+	}
+	// Colluding outsider blocks: far from the center, sized so that a
+	// few aligned blocks out-vote the community on a coordinate.
+	blockSize := (len(members)*3 + 4) / 5
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	sep := 2*d + 2
+	if sep < m/2 {
+		sep = m / 2
+	}
+	if sep > m {
+		sep = m
+	}
+	var block bitvec.Vector
+	filled := 0
+	for p := 0; p < n; p++ {
+		if inComm[p] {
+			continue
+		}
+		if filled%blockSize == 0 {
+			block = center.Clone()
+			block.FlipRandom(r, sep)
+		}
+		in.Truth[p] = block
+		filled++
+	}
+	in.Communities = []Community{{Members: members, Center: center, D: d}}
+	return in
+}
+
+// TypesMixture is the generative model of the non-interactive literature:
+// k canonical type vectors; each player copies a uniform type and flips
+// every coordinate independently with probability noise.
+// No community metadata is planted (the realized diameter of a type's
+// players concentrates around 2·noise·m).
+func TypesMixture(n, m, k int, noise float64, seed uint64) *Instance {
+	if k <= 0 || noise < 0 || noise > 0.5 {
+		panic("prefs: invalid mixture parameters")
+	}
+	src := rng.NewSource(seed)
+	r := src.Stream("mixture", 0)
+	types := make([]bitvec.Vector, k)
+	for i := range types {
+		types[i] = bitvec.Random(r, m)
+	}
+	in := &Instance{
+		Name: fmt.Sprintf("mixture(n=%d,m=%d,k=%d,p=%.3g)", n, m, k, noise),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	memberOf := make([][]int, k)
+	for p := 0; p < n; p++ {
+		t := r.Intn(k)
+		memberOf[t] = append(memberOf[t], p)
+		v := types[t].Clone()
+		for o := 0; o < m; o++ {
+			if r.Float64() < noise {
+				v.Flip(o)
+			}
+		}
+		in.Truth[p] = v
+	}
+	for t := 0; t < k; t++ {
+		if len(memberOf[t]) == 0 {
+			continue
+		}
+		in.Communities = append(in.Communities, Community{
+			Members: memberOf[t],
+			Center:  types[t],
+			D:       in.Diameter(memberOf[t]),
+		})
+	}
+	return in
+}
+
+// FromVectors wraps explicit preference vectors into an Instance (used
+// by tests and by callers embedding their own data). All vectors must
+// share one length. No community metadata is attached.
+func FromVectors(vs []bitvec.Vector) *Instance {
+	if len(vs) == 0 {
+		panic("prefs: FromVectors with no players")
+	}
+	m := vs[0].Len()
+	for i, v := range vs {
+		if v.Len() != m {
+			panic(fmt.Sprintf("prefs: vector %d has length %d, want %d", i, v.Len(), m))
+		}
+	}
+	return &Instance{
+		Name: fmt.Sprintf("explicit(n=%d,m=%d)", len(vs), m),
+		N:    len(vs), M: m,
+		Truth: vs,
+	}
+}
+
+// UniformRandom builds an instance with every preference vector uniform
+// and independent — the unstructured floor where no collaboration helps.
+func UniformRandom(n, m int, seed uint64) *Instance {
+	if n <= 0 || m <= 0 {
+		panic("prefs: invalid dimensions")
+	}
+	r := rng.NewSource(seed).Stream("uniform", 0)
+	in := &Instance{
+		Name: fmt.Sprintf("uniform(n=%d,m=%d)", n, m),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	for p := 0; p < n; p++ {
+		in.Truth[p] = bitvec.Random(r, m)
+	}
+	return in
+}
+
+// SharedLikes builds the one-good-object instance of the paper's
+// reference [4]: a community of ≥ alpha·n players who like exactly the
+// same small set of `liked` objects (their vectors are 1 on that set, 0
+// elsewhere), while every outsider likes `outsiderLikes` random objects
+// of its own. With liked ≪ m, random probing needs Θ(m/liked) probes per
+// player, while recommendation sharing needs O(m/n + log n) rounds.
+func SharedLikes(n, m int, alpha float64, liked, outsiderLikes int, seed uint64) *Instance {
+	check(n, m, alpha)
+	if liked < 1 || liked > m || outsiderLikes < 0 || outsiderLikes > m {
+		panic(fmt.Sprintf("prefs: invalid liked counts %d/%d", liked, outsiderLikes))
+	}
+	src := rng.NewSource(seed)
+	r := src.Stream("sharedlikes", 0)
+	in := &Instance{
+		Name: fmt.Sprintf("sharedlikes(n=%d,m=%d,a=%.3g,L=%d)", n, m, alpha, liked),
+		N:    n, M: m,
+		Truth: make([]bitvec.Vector, n),
+		Seed:  seed,
+	}
+	center := bitvec.New(m)
+	perm := r.Perm(m)
+	for _, o := range perm[:liked] {
+		center.Set(o, 1)
+	}
+	members := pickMembers(r, n, alpha)
+	inComm := make([]bool, n)
+	for _, p := range members {
+		inComm[p] = true
+	}
+	for p := 0; p < n; p++ {
+		if inComm[p] {
+			in.Truth[p] = center
+			continue
+		}
+		v := bitvec.New(m)
+		op := r.Perm(m)
+		for _, o := range op[:outsiderLikes] {
+			v.Set(o, 1)
+		}
+		in.Truth[p] = v
+	}
+	in.Communities = []Community{{Members: members, Center: center, D: 0}}
+	return in
+}

@@ -1,0 +1,274 @@
+package prefs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tellme/internal/bitvec"
+)
+
+func TestIdenticalCommunity(t *testing.T) {
+	in := Identical(100, 200, 0.3, 7)
+	if in.N != 100 || in.M != 200 {
+		t.Fatalf("dims %dx%d", in.N, in.M)
+	}
+	c := in.Communities[0]
+	if len(c.Members) != 30 {
+		t.Fatalf("community size %d, want 30", len(c.Members))
+	}
+	for _, p := range c.Members {
+		if !in.Truth[p].Equal(c.Center) {
+			t.Fatalf("member %d differs from center", p)
+		}
+	}
+	if d := in.Diameter(c.Members); d != 0 {
+		t.Fatalf("identical community diameter %d", d)
+	}
+}
+
+func TestIdenticalDeterministic(t *testing.T) {
+	a := Identical(50, 60, 0.5, 42)
+	b := Identical(50, 60, 0.5, 42)
+	for p := 0; p < 50; p++ {
+		if !a.Truth[p].Equal(b.Truth[p]) {
+			t.Fatalf("seed 42 not reproducible at player %d", p)
+		}
+	}
+	c := Identical(50, 60, 0.5, 43)
+	same := 0
+	for p := 0; p < 50; p++ {
+		if a.Truth[p].Equal(c.Truth[p]) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical instance")
+	}
+}
+
+func TestPlantedDiameterBound(t *testing.T) {
+	for _, d := range []int{0, 1, 4, 10, 40} {
+		in := Planted(80, 300, 0.25, d, 11)
+		c := in.Communities[0]
+		if got := in.Diameter(c.Members); got > d {
+			t.Fatalf("D=%d: realized diameter %d exceeds bound", d, got)
+		}
+		// every member within D/2 of center
+		for _, p := range c.Members {
+			if dd := in.Truth[p].Dist(c.Center); dd > d/2 {
+				t.Fatalf("member at distance %d > D/2=%d from center", dd, d/2)
+			}
+		}
+	}
+}
+
+func TestPlantedPanicsOnBadD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on D > m")
+		}
+	}()
+	Planted(10, 20, 0.5, 21, 1)
+}
+
+func TestGradeMatchesTruth(t *testing.T) {
+	in := Planted(20, 50, 0.5, 6, 3)
+	for p := 0; p < in.N; p++ {
+		for o := 0; o < in.M; o++ {
+			if in.Grade(p, o) != in.Truth[p].Get(o) {
+				t.Fatalf("Grade(%d,%d) mismatch", p, o)
+			}
+		}
+	}
+}
+
+func TestMultiCommunityDisjoint(t *testing.T) {
+	in := MultiCommunity(120, 400, []CommunitySpec{
+		{Alpha: 0.4, D: 10},
+		{Alpha: 0.3, D: 0},
+		{Alpha: 0.1, D: 4},
+	}, 5)
+	if len(in.Communities) != 3 {
+		t.Fatalf("%d communities", len(in.Communities))
+	}
+	seen := map[int]bool{}
+	for ci, c := range in.Communities {
+		if got := in.Diameter(c.Members); got > c.D {
+			t.Fatalf("community %d diameter %d > %d", ci, got, c.D)
+		}
+		for _, p := range c.Members {
+			if seen[p] {
+				t.Fatalf("player %d in two communities", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestMultiCommunityRejectsOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when fractions exceed 1")
+		}
+	}()
+	MultiCommunity(10, 10, []CommunitySpec{{Alpha: 0.7, D: 0}, {Alpha: 0.7, D: 0}}, 1)
+}
+
+func TestAdversarialVoteSplitStructure(t *testing.T) {
+	in := AdversarialVoteSplit(100, 500, 0.2, 8, 9)
+	c := in.Communities[0]
+	if got := in.Diameter(c.Members); got > 8 {
+		t.Fatalf("community diameter %d > 8", got)
+	}
+	// outsiders should sit at distance > D from the center and collude
+	inComm := map[int]bool{}
+	for _, p := range c.Members {
+		inComm[p] = true
+	}
+	blockKeys := map[string]int{}
+	for p := 0; p < in.N; p++ {
+		if inComm[p] {
+			continue
+		}
+		if d := in.Truth[p].Dist(c.Center); d <= 8 {
+			t.Fatalf("outsider %d at distance %d ≤ D from center", p, d)
+		}
+		blockKeys[in.Truth[p].Key()]++
+	}
+	// colluding blocks: at least one block of size ≥ 2
+	max := 0
+	for _, v := range blockKeys {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 2 {
+		t.Fatal("no colluding outsider block formed")
+	}
+}
+
+func TestTypesMixtureCoversPlayers(t *testing.T) {
+	in := TypesMixture(90, 120, 4, 0.05, 13)
+	covered := 0
+	for _, c := range in.Communities {
+		covered += len(c.Members)
+	}
+	if covered != 90 {
+		t.Fatalf("mixture covered %d/90 players", covered)
+	}
+	// realized diameter should be recorded and roughly 2*noise*m scale
+	for _, c := range in.Communities {
+		if len(c.Members) >= 2 && c.D == 0 {
+			t.Fatal("suspicious zero diameter with noise > 0 (possible, but with 120 coords improbable)")
+		}
+	}
+}
+
+func TestUniformRandomNoCommunities(t *testing.T) {
+	in := UniformRandom(30, 40, 17)
+	if len(in.Communities) != 0 {
+		t.Fatal("uniform instance has communities")
+	}
+	// vectors should mostly differ
+	if in.Truth[0].Equal(in.Truth[1]) && in.Truth[1].Equal(in.Truth[2]) {
+		t.Fatal("uniform vectors equal")
+	}
+}
+
+func TestMaxErrAndErr(t *testing.T) {
+	in := Identical(10, 16, 1.0, 3)
+	c := in.Communities[0]
+	outs := make([]bitvec.Partial, in.N)
+	for p := 0; p < in.N; p++ {
+		outs[p] = bitvec.PartialOf(in.Truth[p])
+	}
+	if e := in.MaxErr(c.Members, outs); e != 0 {
+		t.Fatalf("perfect outputs have MaxErr %d", e)
+	}
+	// Corrupt player 0: flip one known coordinate, and ?-out one
+	// coordinate whose true value is 1 (charged as an error under the
+	// Fill(0) convention).
+	w := outs[0]
+	w.SetBit(0, 1-in.Truth[0].Get(0))
+	hid := -1
+	for o := 1; o < in.M; o++ {
+		if in.Truth[0].Get(o) == 1 {
+			hid = o
+			break
+		}
+	}
+	if hid < 0 {
+		t.Skip("degenerate all-zero truth vector")
+	}
+	w.SetUnknown(hid)
+	if e := in.Err(0, w); e != 2 {
+		t.Fatalf("Err = %d, want 2", e)
+	}
+	if e := in.MaxErr(c.Members, outs); e != 2 {
+		t.Fatalf("MaxErr = %d, want 2", e)
+	}
+}
+
+type qparams struct {
+	N, M  int
+	Alpha float64
+	D     int
+	Seed  uint64
+}
+
+func (qparams) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(60) + 4
+	m := r.Intn(120) + 8
+	return reflect.ValueOf(qparams{
+		N:     n,
+		M:     m,
+		Alpha: 0.1 + 0.9*r.Float64(),
+		D:     r.Intn(m/2 + 1),
+		Seed:  r.Uint64(),
+	})
+}
+
+func TestQuickPlantedInvariants(t *testing.T) {
+	f := func(q qparams) bool {
+		in := Planted(q.N, q.M, q.Alpha, q.D, q.Seed)
+		c := in.Communities[0]
+		if len(c.Members) < 1 || len(c.Members) > q.N {
+			return false
+		}
+		want := int(q.Alpha*float64(q.N) + 0.5)
+		if want < 1 {
+			want = 1
+		}
+		if len(c.Members) != want {
+			return false
+		}
+		return in.Diameter(c.Members) <= q.D
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInstanceReproducible(t *testing.T) {
+	f := func(q qparams) bool {
+		a := Planted(q.N, q.M, q.Alpha, q.D, q.Seed)
+		b := Planted(q.N, q.M, q.Alpha, q.D, q.Seed)
+		for p := 0; p < q.N; p++ {
+			if !a.Truth[p].Equal(b.Truth[p]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPlanted4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Planted(4096, 4096, 0.25, 32, uint64(i))
+	}
+}

@@ -1,0 +1,201 @@
+// Package probe implements the probe engine: the only way a player can
+// learn one of its own hidden grades, at unit cost per probe.
+//
+// Every probe result is automatically posted to the shared billboard, as
+// the model requires. The engine keeps per-player cost counters so the
+// simulator can convert "max probes per player in a phase" into the
+// paper's parallel round count.
+//
+// Charging policy: the paper charges one unit per Probe invocation, and
+// its Select remark explicitly forbids reusing earlier probes, so the
+// default policy ChargeAll counts every invocation. ChargeDistinct is the
+// systems-flavored alternative (re-reading your own posted result is
+// free); experiments use it to show the bounds are insensitive to the
+// choice.
+//
+// The engine also supports fault injection (a NoiseFunc that corrupts
+// returned grades) for robustness experiments beyond the paper's
+// noise-free model.
+package probe
+
+import (
+	"sync/atomic"
+
+	"tellme/internal/billboard"
+	"tellme/internal/prefs"
+	"tellme/internal/rng"
+)
+
+// Policy selects how repeated probes of the same (player, object) pair
+// are charged.
+type Policy int
+
+const (
+	// ChargeAll charges every Probe invocation (paper-faithful).
+	ChargeAll Policy = iota
+	// ChargeDistinct charges only the first probe of each object;
+	// re-probes are answered from the player's own billboard postings.
+	ChargeDistinct
+)
+
+// NoiseFunc optionally corrupts a probe result. It receives the player,
+// object, true grade, and a per-player random stream, and returns the
+// observed grade. A nil NoiseFunc means noise-free probes.
+type NoiseFunc func(player, object int, truth byte, r *rng.Rand) byte
+
+// Engine mediates all probes against one instance.
+type Engine struct {
+	inst   *prefs.Instance
+	board  billboard.Interface
+	policy Policy
+	noise  NoiseFunc
+	hook   func(player int)
+
+	charged []atomic.Int64 // per-player charged probes
+	invoked []atomic.Int64 // per-player Probe invocations
+
+	players []Player
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy sets the charging policy (default ChargeAll).
+func WithPolicy(p Policy) Option { return func(e *Engine) { e.policy = p } }
+
+// WithNoise installs a fault-injection function.
+func WithNoise(f NoiseFunc) Option { return func(e *Engine) { e.noise = f } }
+
+// WithProbeHook installs a function invoked before every charged probe,
+// e.g. a sim.Gate tick for strict round-lockstep execution.
+func WithProbeHook(h func(player int)) Option { return func(e *Engine) { e.hook = h } }
+
+// NewEngine builds a probe engine over inst that posts results to board.
+func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, opts ...Option) *Engine {
+	e := &Engine{
+		inst:    inst,
+		board:   board,
+		charged: make([]atomic.Int64, inst.N),
+		invoked: make([]atomic.Int64, inst.N),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.players = make([]Player, inst.N)
+	for p := 0; p < inst.N; p++ {
+		e.players[p] = Player{engine: e, id: p, noiseRand: src.Stream("probe-noise", p)}
+	}
+	return e
+}
+
+// Player returns the probe handle for player p. The handle must be used
+// only from p's goroutine (its noise stream is not synchronized); the
+// shared engine state it touches is synchronized.
+func (e *Engine) Player(p int) *Player { return &e.players[p] }
+
+// Charged returns the number of probes charged to player p so far.
+func (e *Engine) Charged(p int) int64 { return e.charged[p].Load() }
+
+// Invoked returns the number of Probe invocations by player p so far.
+func (e *Engine) Invoked(p int) int64 { return e.invoked[p].Load() }
+
+// TotalCharged sums charged probes over all players.
+func (e *Engine) TotalCharged() int64 {
+	var t int64
+	for i := range e.charged {
+		t += e.charged[i].Load()
+	}
+	return t
+}
+
+// Snapshot copies the per-player charged counters into dst (allocating
+// if dst is short). The simulator diffs snapshots to compute the round
+// count of a phase.
+func (e *Engine) Snapshot(dst []int64) []int64 {
+	if cap(dst) < len(e.charged) {
+		dst = make([]int64, len(e.charged))
+	}
+	dst = dst[:len(e.charged)]
+	for i := range e.charged {
+		dst[i] = e.charged[i].Load()
+	}
+	return dst
+}
+
+// MaxDelta returns the maximum per-player difference between the current
+// counters and the snapshot prev: the parallel round count of the phase
+// that ran since prev was taken.
+func (e *Engine) MaxDelta(prev []int64) int64 {
+	var worst int64
+	for i := range e.charged {
+		if d := e.charged[i].Load() - prev[i]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Board returns the billboard the engine posts to.
+func (e *Engine) Board() billboard.Interface { return e.board }
+
+// Instance returns the instance being probed (for metrics; algorithms
+// must not touch ground truth).
+func (e *Engine) Instance() *prefs.Instance { return e.inst }
+
+// Player is a single player's probing capability.
+type Player struct {
+	engine    *Engine
+	id        int
+	noiseRand *rng.Rand
+}
+
+// ID returns the player index.
+func (pl *Player) ID() int { return pl.id }
+
+// Probe reveals the player's grade for object o, charges the configured
+// cost, and posts the result to the billboard.
+func (pl *Player) Probe(o int) byte {
+	e := pl.engine
+	e.invoked[pl.id].Add(1)
+	if e.policy == ChargeDistinct {
+		if v, ok := e.board.LookupProbe(pl.id, o); ok {
+			return v
+		}
+	}
+	if e.hook != nil {
+		e.hook(pl.id)
+	}
+	v := e.inst.Grade(pl.id, o)
+	if e.noise != nil {
+		v = e.noise(pl.id, o, v, pl.noiseRand)
+	}
+	e.charged[pl.id].Add(1)
+	e.board.PostProbe(pl.id, o, v)
+	return v
+}
+
+// Charged returns the probes charged to this player so far.
+func (pl *Player) Charged() int64 { return pl.engine.Charged(pl.id) }
+
+// FlipNoise returns a NoiseFunc that flips each probe result
+// independently with probability p.
+func FlipNoise(p float64) NoiseFunc {
+	return func(_, _ int, truth byte, r *rng.Rand) byte {
+		if r.Float64() < p {
+			return 1 - truth
+		}
+		return truth
+	}
+}
+
+// StuckNoise returns a NoiseFunc where each afflicted player (chosen by
+// the predicate) always observes the constant grade v — modelling a
+// broken sensor from the paper's motivation.
+func StuckNoise(afflicted func(player int) bool, v byte) NoiseFunc {
+	return func(player, _ int, truth byte, _ *rng.Rand) byte {
+		if afflicted(player) {
+			return v
+		}
+		return truth
+	}
+}

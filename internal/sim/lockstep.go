@@ -1,0 +1,136 @@
+package sim
+
+import "sync"
+
+// Gate is a dynamic-membership round barrier: the strict version of the
+// paper's synchronous model, where in each round every active player
+// performs exactly one probe. Players register on entry, call Tick
+// before each probe, and deregister when their phase work is done; a
+// round completes when every currently-registered player has either
+// ticked or left. The number of completed rounds is then the model's
+// exact round count, which tests use to validate the cheaper
+// "max probes per player" accounting the simulator normally reports.
+type Gate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int   // registered players
+	arrived int   // players that ticked this round
+	round   int64 // completed rounds
+	gen     int64 // round generation (for wakeup correctness)
+}
+
+// NewGate returns an empty gate.
+func NewGate() *Gate {
+	g := &Gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Enter registers a player. Must be called before its first Tick.
+func (g *Gate) Enter() {
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+}
+
+// Leave deregisters a player. If it was the last one holding up the
+// current round, the round completes.
+func (g *Gate) Leave() {
+	g.mu.Lock()
+	g.active--
+	g.maybeAdvance()
+	g.mu.Unlock()
+}
+
+// Tick blocks until every other active player has also ticked (or
+// left); then the round advances and all blocked players resume.
+func (g *Gate) Tick() {
+	g.mu.Lock()
+	g.arrived++
+	gen := g.gen
+	g.maybeAdvance()
+	for gen == g.gen {
+		// waiting for the stragglers of this round
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// maybeAdvance completes the round if everyone arrived. Caller holds mu.
+func (g *Gate) maybeAdvance() {
+	if g.active > 0 && g.arrived >= g.active {
+		g.round++
+		g.gen++
+		g.arrived = 0
+		g.cond.Broadcast()
+	}
+	if g.active == 0 {
+		// nobody left; clear arrivals so the next phase starts clean
+		if g.arrived > 0 {
+			g.round++
+			g.gen++
+			g.arrived = 0
+		}
+		g.cond.Broadcast()
+	}
+}
+
+// Rounds returns the number of completed rounds so far.
+func (g *Gate) Rounds() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.round
+}
+
+// LockstepPhase runs f(p) for every player concurrently under the
+// strict round model: each player's probes synchronize on the gate (the
+// caller arranges that, e.g. via probe.WithGate), and the phase's round
+// cost is the gate's round delta. Unlike Runner.Phase this spawns one
+// goroutine per player — a player blocked in Tick must not prevent
+// others from being scheduled.
+func LockstepPhase(g *Gate, players []int, f func(p int)) {
+	if len(players) == 0 {
+		return
+	}
+	// Register everyone before any goroutine starts: otherwise a fast
+	// player could tick against a half-populated gate and complete
+	// rounds on its own.
+	for range players {
+		g.Enter()
+	}
+	var wg sync.WaitGroup
+	for _, p := range players {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer g.Leave()
+			f(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// LockstepRunner is a PhaseRunner that executes every phase under the
+// strict round model via a shared Gate. Use together with
+// probe.WithProbeHook(func(int){ g.Tick() }) so each probe synchronizes
+// a round. One goroutine per player; intended for validation and small
+// instances, not throughput.
+type LockstepRunner struct {
+	G *Gate
+}
+
+var _ PhaseRunner = (*LockstepRunner)(nil)
+
+// Phase implements PhaseRunner.
+func (l *LockstepRunner) Phase(players []int, f func(p int)) {
+	LockstepPhase(l.G, players, f)
+}
+
+// PhaseAll implements PhaseRunner.
+func (l *LockstepRunner) PhaseAll(n int, f func(p int)) {
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+	LockstepPhase(l.G, players, f)
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+)
+
+func TestGateEqualWork(t *testing.T) {
+	g := NewGate()
+	const players, probes = 8, 10
+	LockstepPhase(g, idsOf(players), func(p int) {
+		for i := 0; i < probes; i++ {
+			g.Tick()
+		}
+	})
+	if got := g.Rounds(); got != probes {
+		t.Fatalf("rounds = %d, want %d", got, probes)
+	}
+}
+
+func TestGateUnevenWorkEarlyLeavers(t *testing.T) {
+	// Player p performs p+1 ticks; rounds must equal the maximum (the
+	// model: a player that has finished no longer holds up the round).
+	g := NewGate()
+	const players = 6
+	LockstepPhase(g, idsOf(players), func(p int) {
+		for i := 0; i <= p; i++ {
+			g.Tick()
+		}
+	})
+	if got := g.Rounds(); got != players {
+		t.Fatalf("rounds = %d, want %d", got, players)
+	}
+}
+
+func TestGateZeroTickPlayers(t *testing.T) {
+	g := NewGate()
+	LockstepPhase(g, idsOf(4), func(p int) {
+		if p == 0 {
+			g.Tick()
+			g.Tick()
+		}
+		// others do nothing
+	})
+	// Rounds: the non-probing players leave immediately; player 0's two
+	// ticks each complete a singleton round (eventually).
+	if got := g.Rounds(); got != 2 {
+		t.Fatalf("rounds = %d, want 2", got)
+	}
+}
+
+func TestGateSequentialPhases(t *testing.T) {
+	g := NewGate()
+	LockstepPhase(g, idsOf(3), func(p int) { g.Tick() })
+	first := g.Rounds()
+	LockstepPhase(g, idsOf(5), func(p int) { g.Tick(); g.Tick() })
+	if got := g.Rounds() - first; got != 2 {
+		t.Fatalf("second phase rounds = %d, want 2", got)
+	}
+}
+
+func TestLockstepNoTicksAllowed(t *testing.T) {
+	g := NewGate()
+	var n atomic.Int32
+	LockstepPhase(g, idsOf(10), func(p int) { n.Add(1) })
+	if n.Load() != 10 {
+		t.Fatalf("ran %d", n.Load())
+	}
+	if g.Rounds() != 0 {
+		t.Fatalf("rounds = %d", g.Rounds())
+	}
+}
+
+// TestLockstepValidatesProbeAccounting is the point of the Gate: under
+// the strict one-probe-per-round model, the realized round count of a
+// probing phase equals the max per-player probe count — the quantity
+// the simulator's cheap accounting reports.
+func TestLockstepValidatesProbeAccounting(t *testing.T) {
+	in := prefs.Planted(16, 64, 0.5, 4, 1)
+	b := billboard.New(in.N, in.M)
+	g := NewGate()
+	e := probe.NewEngine(in, b, rng.NewSource(2), probe.WithProbeHook(func(int) { g.Tick() }))
+
+	// Uneven workload: player p probes 3+p objects.
+	LockstepPhase(g, idsOf(in.N), func(p int) {
+		pl := e.Player(p)
+		for o := 0; o < 3+p; o++ {
+			pl.Probe(o % in.M)
+		}
+	})
+	var maxProbes int64
+	for p := 0; p < in.N; p++ {
+		if c := e.Charged(p); c > maxProbes {
+			maxProbes = c
+		}
+	}
+	if g.Rounds() != maxProbes {
+		t.Fatalf("lockstep rounds %d != max per-player probes %d", g.Rounds(), maxProbes)
+	}
+}
+
+func idsOf(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

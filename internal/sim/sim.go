@@ -1,0 +1,153 @@
+// Package sim runs the distributed algorithms: n players execute
+// concurrently in lockstep phases separated by barriers.
+//
+// The paper's model is round-synchronous — in each round every player
+// reads the billboard, probes one object, and posts. We simulate at the
+// granularity of phases: within a phase each player performs some number
+// of probes; player code within one phase never depends on another
+// player's actions in the same phase, only on postings from completed
+// phases, so the phase is embarrassingly parallel. The parallel round
+// cost of a phase is the maximum number of probes any single player
+// charged during it, which the Clock accumulates from probe-engine
+// snapshots.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"tellme/internal/probe"
+)
+
+// PhaseRunner executes one per-player function per phase. Runner is the
+// standard worker-pool implementation; LockstepRunner executes under
+// the strict one-probe-per-round model for validation.
+type PhaseRunner interface {
+	// Phase runs f(p) for every p in players and returns when all
+	// complete (the barrier).
+	Phase(players []int, f func(p int))
+	// PhaseAll runs f for players 0..n-1.
+	PhaseAll(n int, f func(p int))
+}
+
+// Runner executes per-player functions concurrently with a bounded
+// worker pool. It is reusable across phases and safe for sequential use
+// from one coordinating goroutine.
+type Runner struct {
+	workers int
+}
+
+var _ PhaseRunner = (*Runner)(nil)
+
+// NewRunner returns a Runner with the given parallelism; if workers <= 0
+// it defaults to GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Phase runs f(p) for every p in players concurrently and returns when
+// all calls complete (the barrier). Panics inside f are propagated to
+// the caller after all workers stop.
+func (r *Runner) Phase(players []int, f func(p int)) {
+	if len(players) == 0 {
+		return
+	}
+	w := r.workers
+	if w > len(players) {
+		w = len(players)
+	}
+	if w == 1 {
+		for _, p := range players {
+			f(p)
+		}
+		return
+	}
+	var (
+		wg      sync.WaitGroup
+		next    int
+		nextMu  sync.Mutex
+		panicMu sync.Mutex
+		panics  []any
+	)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				nextMu.Lock()
+				if next >= len(players) {
+					nextMu.Unlock()
+					return
+				}
+				p := players[next]
+				next++
+				nextMu.Unlock()
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							panicMu.Lock()
+							panics = append(panics, rec)
+							panicMu.Unlock()
+						}
+					}()
+					f(p)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		panic(panics[0])
+	}
+}
+
+// PhaseAll runs f for players 0..n-1.
+func (r *Runner) PhaseAll(n int, f func(p int)) {
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+	r.Phase(players, f)
+}
+
+// Clock converts phases into the paper's parallel round count. Each
+// Run() executes one phase and charges it max-probes-per-player rounds.
+type Clock struct {
+	Runner *Runner
+	Engine *probe.Engine
+
+	rounds int64
+	phases []PhaseStat
+	snap   []int64
+}
+
+// PhaseStat records the cost of one executed phase.
+type PhaseStat struct {
+	Name    string
+	Rounds  int64 // max probes by a single player in the phase
+	Players int
+}
+
+// NewClock builds a Clock over a runner and engine.
+func NewClock(r *Runner, e *probe.Engine) *Clock {
+	return &Clock{Runner: r, Engine: e}
+}
+
+// Run executes f(p) for every p in players as one phase and accounts its
+// round cost.
+func (c *Clock) Run(name string, players []int, f func(p int)) {
+	c.snap = c.Engine.Snapshot(c.snap)
+	c.Runner.Phase(players, f)
+	d := c.Engine.MaxDelta(c.snap)
+	c.rounds += d
+	c.phases = append(c.phases, PhaseStat{Name: name, Rounds: d, Players: len(players)})
+}
+
+// Rounds returns the accumulated parallel round count.
+func (c *Clock) Rounds() int64 { return c.rounds }
+
+// Phases returns per-phase statistics in execution order.
+func (c *Clock) Phases() []PhaseStat { return c.phases }

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+)
+
+func TestPhaseRunsEveryPlayerOnce(t *testing.T) {
+	r := NewRunner(4)
+	var counts [100]atomic.Int32
+	players := make([]int, 100)
+	for i := range players {
+		players[i] = i
+	}
+	r.Phase(players, func(p int) { counts[p].Add(1) })
+	for p := range counts {
+		if got := counts[p].Load(); got != 1 {
+			t.Fatalf("player %d ran %d times", p, got)
+		}
+	}
+}
+
+func TestPhaseSubset(t *testing.T) {
+	r := NewRunner(2)
+	var sum atomic.Int64
+	r.Phase([]int{3, 5, 9}, func(p int) { sum.Add(int64(p)) })
+	if sum.Load() != 17 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestPhaseEmpty(t *testing.T) {
+	NewRunner(0).Phase(nil, func(p int) { t.Fatal("called on empty set") })
+}
+
+func TestPhaseSingleWorkerSequential(t *testing.T) {
+	r := NewRunner(1)
+	order := []int{}
+	r.Phase([]int{4, 2, 7}, func(p int) { order = append(order, p) })
+	if len(order) != 3 || order[0] != 4 || order[1] != 2 || order[2] != 7 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPhasePanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	NewRunner(4).PhaseAll(10, func(p int) {
+		if p == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestPhaseAll(t *testing.T) {
+	r := NewRunner(8)
+	var n atomic.Int32
+	r.PhaseAll(50, func(p int) { n.Add(1) })
+	if n.Load() != 50 {
+		t.Fatalf("ran %d players", n.Load())
+	}
+}
+
+func TestClockRoundsAreMaxPerPlayer(t *testing.T) {
+	in := prefs.Planted(8, 64, 0.5, 2, 1)
+	b := billboard.New(in.N, in.M)
+	e := probe.NewEngine(in, b, rng.NewSource(1))
+	c := NewClock(NewRunner(4), e)
+	// Phase 1: player p probes p+1 objects → max 8 rounds.
+	c.Run("uneven", []int{0, 1, 2, 3, 4, 5, 6, 7}, func(p int) {
+		pl := e.Player(p)
+		for o := 0; o <= p; o++ {
+			pl.Probe(o)
+		}
+	})
+	if c.Rounds() != 8 {
+		t.Fatalf("Rounds = %d, want 8", c.Rounds())
+	}
+	// Phase 2: everyone probes 3 → +3.
+	c.Run("even", []int{0, 1, 2, 3}, func(p int) {
+		pl := e.Player(p)
+		for o := 10; o < 13; o++ {
+			pl.Probe(o)
+		}
+	})
+	if c.Rounds() != 11 {
+		t.Fatalf("Rounds = %d, want 11", c.Rounds())
+	}
+	stats := c.Phases()
+	if len(stats) != 2 || stats[0].Name != "uneven" || stats[0].Rounds != 8 || stats[1].Rounds != 3 {
+		t.Fatalf("Phases = %+v", stats)
+	}
+	if stats[0].Players != 8 || stats[1].Players != 4 {
+		t.Fatalf("player counts = %+v", stats)
+	}
+}
+
+func TestClockZeroProbePhase(t *testing.T) {
+	in := prefs.Planted(4, 16, 0.5, 2, 1)
+	b := billboard.New(in.N, in.M)
+	e := probe.NewEngine(in, b, rng.NewSource(1))
+	c := NewClock(NewRunner(2), e)
+	c.Run("free", []int{0, 1, 2, 3}, func(p int) {}) // billboard-only phase
+	if c.Rounds() != 0 {
+		t.Fatalf("free phase cost %d rounds", c.Rounds())
+	}
+}
+
+func TestConcurrentPhaseWithProbes(t *testing.T) {
+	in := prefs.Planted(64, 256, 0.5, 8, 2)
+	b := billboard.New(in.N, in.M)
+	e := probe.NewEngine(in, b, rng.NewSource(3))
+	c := NewClock(NewRunner(0), e)
+	c.Run("all-probe", allPlayers(in.N), func(p int) {
+		pl := e.Player(p)
+		for o := 0; o < in.M; o++ {
+			if pl.Probe(o) != in.Grade(p, o) {
+				t.Errorf("bad grade")
+				return
+			}
+		}
+	})
+	if c.Rounds() != int64(in.M) {
+		t.Fatalf("Rounds = %d, want %d", c.Rounds(), in.M)
+	}
+}
+
+func allPlayers(n int) []int {
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+func BenchmarkPhaseOverhead(b *testing.B) {
+	r := NewRunner(0)
+	players := allPlayers(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Phase(players, func(p int) {})
+	}
+}
+
+// BenchmarkPhaseParallelScaling measures wall-clock scaling of the
+// phase runner across worker counts on a CPU-bound per-player task.
+func BenchmarkPhaseParallelScaling(b *testing.B) {
+	players := allPlayers(256)
+	work := func(p int) {
+		s := uint64(p + 1)
+		for i := 0; i < 20000; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		if s == 42 {
+			b.Fatal("unreachable")
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := NewRunner(workers)
+			for i := 0; i < b.N; i++ {
+				r.Phase(players, work)
+			}
+		})
+	}
+}

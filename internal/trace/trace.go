@@ -1,0 +1,135 @@
+// Package trace provides a bounded, concurrency-safe structured event
+// log for algorithm runs: which sub-algorithms ran, over how many
+// players and objects, and how many probes each span consumed. It
+// exists for observability — understanding where a polylog bound's
+// constants actually go — and never affects algorithm behavior.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Field is one key/value annotation on an event.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Seq is a strictly increasing sequence number (gaps mean drops).
+	Seq int64
+	// Kind names the event, e.g. "zeroradius.start".
+	Kind string
+	// Fields carry the annotations in emission order.
+	Fields []Field
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s", e.Seq, e.Kind)
+	for _, f := range e.Fields {
+		fmt.Fprintf(&b, " %s=%s", f.Key, f.Value)
+	}
+	return b.String()
+}
+
+// Log is a bounded event log. When full, the oldest events are dropped
+// (and counted) so long runs keep their tail, which is usually the
+// interesting part. The zero value is not usable; call New.
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	start   int // ring start
+	size    int
+	seq     int64
+	dropped int64
+}
+
+// New returns a Log that retains up to capacity events (minimum 16).
+func New(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{cap: capacity, events: make([]Event, capacity)}
+}
+
+// Event records an occurrence. kv pairs alternate key (string) and
+// value (any; rendered with %v). A trailing odd key gets value "".
+func (l *Log) Event(kind string, kv ...any) {
+	fields := make([]Field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprintf("%v", kv[i])
+		val := ""
+		if i+1 < len(kv) {
+			val = fmt.Sprintf("%v", kv[i+1])
+		}
+		fields = append(fields, Field{Key: key, Value: val})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev := Event{Seq: l.seq, Kind: kind, Fields: fields}
+	if l.size < l.cap {
+		l.events[(l.start+l.size)%l.cap] = ev
+		l.size++
+		return
+	}
+	l.events[l.start] = ev
+	l.start = (l.start + 1) % l.cap
+	l.dropped++
+}
+
+// Events returns the retained events in emission order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.size)
+	for i := 0; i < l.size; i++ {
+		out[i] = l.events[(l.start+i)%l.cap]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Dropped returns how many events were evicted.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Render writes the retained events, one per line.
+func (l *Log) Render(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if d := l.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountKinds tallies events by kind.
+func (l *Log) CountKinds() map[string]int {
+	out := map[string]int{}
+	for _, e := range l.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

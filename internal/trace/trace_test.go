@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventOrderAndFields(t *testing.T) {
+	l := New(16)
+	l.Event("a", "x", 1, "y", "two")
+	l.Event("b")
+	evs := l.Events()
+	if len(evs) != 2 || l.Len() != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("order: %v", evs)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seqs: %d %d", evs[0].Seq, evs[1].Seq)
+	}
+	if len(evs[0].Fields) != 2 || evs[0].Fields[0] != (Field{"x", "1"}) || evs[0].Fields[1] != (Field{"y", "two"}) {
+		t.Fatalf("fields: %+v", evs[0].Fields)
+	}
+}
+
+func TestOddKVGetsEmptyValue(t *testing.T) {
+	l := New(16)
+	l.Event("k", "lonely")
+	f := l.Events()[0].Fields
+	if len(f) != 1 || f[0].Key != "lonely" || f[0].Value != "" {
+		t.Fatalf("fields: %+v", f)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 40; i++ {
+		l.Event(fmt.Sprintf("e%d", i))
+	}
+	evs := l.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if evs[0].Kind != "e24" || evs[15].Kind != "e39" {
+		t.Fatalf("window: %s..%s", evs[0].Kind, evs[15].Kind)
+	}
+	if l.Dropped() != 24 {
+		t.Fatalf("dropped %d", l.Dropped())
+	}
+	// sequence numbers still reflect the full history
+	if evs[0].Seq != 25 {
+		t.Fatalf("seq %d", evs[0].Seq)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 20; i++ {
+		l.Event("x")
+	}
+	if l.Len() != 16 {
+		t.Fatalf("capacity floor not applied: %d", l.Len())
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := New(16)
+	l.Event("run.start", "players", 8)
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#1 run.start players=8") {
+		t.Fatalf("render: %q", buf.String())
+	}
+	for i := 0; i < 20; i++ {
+		l.Event("spam")
+	}
+	buf.Reset()
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "earlier events dropped") {
+		t.Fatal("drop notice missing")
+	}
+}
+
+func TestCountKinds(t *testing.T) {
+	l := New(32)
+	l.Event("a")
+	l.Event("a")
+	l.Event("b")
+	c := l.CountKinds()
+	if c["a"] != 2 || c["b"] != 1 {
+		t.Fatalf("counts: %v", c)
+	}
+}
+
+func TestConcurrentEvents(t *testing.T) {
+	l := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Event("c", "g", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("retained %d", l.Len())
+	}
+	// sequence numbers must be unique
+	seen := map[int64]bool{}
+	for _, e := range l.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func BenchmarkEvent(b *testing.B) {
+	l := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Event("bench", "i", i, "k", "v")
+	}
+}

@@ -1,0 +1,67 @@
+package tellme
+
+import (
+	"errors"
+
+	"tellme/internal/billboard"
+	"tellme/internal/onegood"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+)
+
+// OneGoodResult reports a one-good-object run (the algorithm of the
+// paper's reference [4]: Awerbuch, Patt-Shamir, Peleg, Tuttle,
+// SODA 2005). Its objective is weaker than Run's: each player only
+// needs to find a single object it likes.
+type OneGoodResult struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// FoundAt[p] is the round player p found a liked object (0 = never).
+	FoundAt []int
+	// Liked[p] is the liked object found (-1 = none).
+	Liked []int
+	// TotalProbes sums probes over all players.
+	TotalProbes int64
+	// Unsatisfied counts players that never found a liked object.
+	Unsatisfied int
+}
+
+// OneGoodOptions configure RunOneGood.
+type OneGoodOptions struct {
+	// MaxRounds caps the run (0 = 4·m).
+	MaxRounds int
+	// RandomOnly disables recommendation sharing (the strawman
+	// comparator: pure random probing).
+	RandomOnly bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Parallelism bounds the worker pool (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// RunOneGood executes the recommendation-propagation algorithm of [4]
+// (or its random-probing strawman) until every satisfiable player found
+// a liked object or MaxRounds elapsed.
+func RunOneGood(in *Instance, opt OneGoodOptions) (*OneGoodResult, error) {
+	if in == nil || in.N == 0 || in.M == 0 {
+		return nil, errors.New("tellme: empty instance")
+	}
+	src := rng.NewSource(opt.Seed)
+	board := billboard.New(in.N, in.M)
+	engine := probe.NewEngine(in, board, src.Child("engine", 0))
+	runner := sim.NewRunner(opt.Parallelism)
+	var res onegood.Result
+	if opt.RandomOnly {
+		res = onegood.RandomOnly(engine, runner, src.Child("algo", 0), opt.MaxRounds)
+	} else {
+		res = onegood.Run(engine, runner, src.Child("algo", 0), opt.MaxRounds)
+	}
+	return &OneGoodResult{
+		Rounds:      res.Rounds,
+		FoundAt:     res.FoundAt,
+		Liked:       res.Liked,
+		TotalProbes: res.TotalProbes,
+		Unsatisfied: res.Unsatisfied,
+	}, nil
+}

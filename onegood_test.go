@@ -1,0 +1,37 @@
+package tellme
+
+import "testing"
+
+func TestRunOneGoodPublicAPI(t *testing.T) {
+	in := SharedLikesInstance(128, 1024, 0.5, 4, 4, 1)
+	rec, err := RunOneGood(in, OneGoodOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RunOneGood(in, OneGoodOptions{Seed: 3, RandomOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := in.Communities[0].Members
+	sum := func(found []int) int {
+		s := 0
+		for _, p := range comm {
+			if found[p] == 0 {
+				t.Fatal("community member unsatisfied")
+			}
+			s += found[p]
+		}
+		return s
+	}
+	if 2*sum(rec.FoundAt) > sum(rnd.FoundAt) {
+		t.Fatalf("propagation (%d) not well below random (%d)", sum(rec.FoundAt), sum(rnd.FoundAt))
+	}
+	for p := 0; p < in.N; p++ {
+		if rec.Liked[p] >= 0 && in.Grade(p, rec.Liked[p]) != 1 {
+			t.Fatalf("player %d 'found' a disliked object", p)
+		}
+	}
+	if _, err := RunOneGood(nil, OneGoodOptions{}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}

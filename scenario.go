@@ -1,0 +1,146 @@
+package tellme
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scenario describes one generated instance plus one algorithm run, for
+// scripted batch execution (cmd/tellme -scenarios). JSON shape:
+//
+//	{
+//	  "name":      "adversarial-zero",
+//	  "generator": {"kind": "adversarial", "n": 512, "m": 512,
+//	                "alpha": 0.3, "d": 0, "seed": 1},
+//	  "run":       {"algorithm": "zero", "alpha": 0.3, "seed": 2}
+//	}
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Generator describes the instance to build.
+	Generator GeneratorSpec `json:"generator"`
+	// Run describes the algorithm invocation.
+	Run RunSpec `json:"run"`
+}
+
+// GeneratorSpec selects and parameterizes an instance generator.
+type GeneratorSpec struct {
+	// Kind: identical|planted|adversarial|mixture|random|sharedlikes.
+	Kind  string  `json:"kind"`
+	N     int     `json:"n"`
+	M     int     `json:"m"`
+	Alpha float64 `json:"alpha,omitempty"`
+	D     int     `json:"d,omitempty"`
+	// Types and Noise parameterize the mixture generator.
+	Types int     `json:"types,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+	Seed  uint64  `json:"seed"`
+}
+
+// RunSpec selects and parameterizes the algorithm.
+type RunSpec struct {
+	// Algorithm: auto|main|zero|small|large|anytime.
+	Algorithm string  `json:"algorithm"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	D         int     `json:"d,omitempty"`
+	Seed      uint64  `json:"seed"`
+	K         int     `json:"k,omitempty"`
+	Budget    int64   `json:"budget,omitempty"`
+	FlipNoise float64 `json:"flipNoise,omitempty"`
+}
+
+// ScenarioResult pairs a scenario with its report.
+type ScenarioResult struct {
+	Scenario Scenario
+	Report   *Report
+}
+
+// Build materializes the scenario's instance.
+func (g GeneratorSpec) Build() (*Instance, error) {
+	if g.N <= 0 {
+		return nil, fmt.Errorf("tellme: scenario n must be positive")
+	}
+	m := g.M
+	if m == 0 {
+		m = g.N
+	}
+	switch g.Kind {
+	case "identical":
+		return IdenticalInstance(g.N, m, g.Alpha, g.Seed), nil
+	case "planted":
+		return PlantedInstance(g.N, m, g.Alpha, g.D, g.Seed), nil
+	case "adversarial":
+		return AdversarialInstance(g.N, m, g.Alpha, g.D, g.Seed), nil
+	case "mixture":
+		types := g.Types
+		if types <= 0 {
+			types = 4
+		}
+		return MixtureInstance(g.N, m, types, g.Noise, g.Seed), nil
+	case "random":
+		return RandomInstance(g.N, m, g.Seed), nil
+	default:
+		return nil, fmt.Errorf("tellme: unknown generator kind %q", g.Kind)
+	}
+}
+
+// options converts the RunSpec into Options.
+func (r RunSpec) options() (Options, error) {
+	algos := map[string]Algorithm{
+		"auto": AlgoAuto, "main": AlgoMain, "zero": AlgoZero,
+		"small": AlgoSmall, "large": AlgoLarge, "anytime": AlgoAnytime,
+	}
+	a, ok := algos[r.Algorithm]
+	if !ok {
+		return Options{}, fmt.Errorf("tellme: unknown algorithm %q", r.Algorithm)
+	}
+	return Options{
+		Algorithm: a,
+		Alpha:     r.Alpha,
+		D:         r.D,
+		Seed:      r.Seed,
+		K:         r.K,
+		Budget:    r.Budget,
+		FlipNoise: r.FlipNoise,
+	}, nil
+}
+
+// LoadScenarios parses a JSON array of scenarios.
+func LoadScenarios(r io.Reader) ([]Scenario, error) {
+	var out []Scenario
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("tellme: scenarios: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tellme: no scenarios in input")
+	}
+	for i, sc := range out {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("tellme: scenario %d has no name", i)
+		}
+	}
+	return out, nil
+}
+
+// RunScenarios executes every scenario in order, stopping at the first
+// error.
+func RunScenarios(scs []Scenario) ([]ScenarioResult, error) {
+	out := make([]ScenarioResult, 0, len(scs))
+	for _, sc := range scs {
+		in, err := sc.Generator.Build()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		opt, err := sc.Run.options()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rep, err := Run(in, opt)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		out = append(out, ScenarioResult{Scenario: sc, Report: rep})
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package tellme
+
+import (
+	"strings"
+	"testing"
+)
+
+const scenarioJSON = `[
+  {
+    "name": "adversarial-zero",
+    "generator": {"kind": "adversarial", "n": 128, "m": 128, "alpha": 0.3, "d": 0, "seed": 1},
+    "run": {"algorithm": "zero", "alpha": 0.3, "seed": 2}
+  },
+  {
+    "name": "planted-small",
+    "generator": {"kind": "planted", "n": 128, "m": 128, "alpha": 0.5, "d": 4, "seed": 3},
+    "run": {"algorithm": "small", "alpha": 0.5, "d": 4, "seed": 4, "k": 4}
+  }
+]`
+
+func TestLoadAndRunScenarios(t *testing.T) {
+	scs, err := LoadScenarios(strings.NewReader(scenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Name != "adversarial-zero" {
+		t.Fatalf("scenarios: %+v", scs)
+	}
+	results, err := RunScenarios(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Report.Communities[0].Discrepancy != 0 {
+		t.Fatalf("adversarial-zero discrepancy %d", results[0].Report.Communities[0].Discrepancy)
+	}
+	if results[1].Report.Communities[0].Discrepancy > 20 {
+		t.Fatalf("planted-small discrepancy %d", results[1].Report.Communities[0].Discrepancy)
+	}
+}
+
+func TestLoadScenariosRejectsInvalid(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`[]`,
+		`[{"generator": {"kind": "planted", "n": 4}, "run": {"algorithm": "zero"}}]`, // no name
+	}
+	for i, c := range cases {
+		if _, err := LoadScenarios(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorSpecKinds(t *testing.T) {
+	for _, kind := range []string{"identical", "planted", "adversarial", "mixture", "random"} {
+		g := GeneratorSpec{Kind: kind, N: 16, M: 16, Alpha: 0.5, D: 2, Seed: 1}
+		in, err := g.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if in.N != 16 || in.M != 16 {
+			t.Fatalf("%s dims %dx%d", kind, in.N, in.M)
+		}
+	}
+	if _, err := (GeneratorSpec{Kind: "nope", N: 4}).Build(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := (GeneratorSpec{Kind: "planted"}).Build(); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	// m defaults to n
+	in, err := (GeneratorSpec{Kind: "random", N: 8, Seed: 2}).Build()
+	if err != nil || in.M != 8 {
+		t.Fatalf("m default: %v %v", in, err)
+	}
+}
+
+func TestRunScenariosStopsOnError(t *testing.T) {
+	scs := []Scenario{
+		{Name: "ok", Generator: GeneratorSpec{Kind: "random", N: 8, Seed: 1},
+			Run: RunSpec{Algorithm: "zero", Alpha: 0.5, Seed: 1}},
+		{Name: "bad", Generator: GeneratorSpec{Kind: "random", N: 8, Seed: 1},
+			Run: RunSpec{Algorithm: "nope"}},
+	}
+	results, err := RunScenarios(scs)
+	if err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results before error", len(results))
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error %v does not name the scenario", err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package tellme is an interactive recommendation system: a Go
+// implementation of Alon, Awerbuch, Azar and Patt-Shamir, "Tell Me Who I
+// Am: An Interactive Recommendation System" (SPAA 2006).
+//
+// n players each hold an unknown 0/1 preference vector over m objects.
+// A player can learn one of its own grades by probing an object (unit
+// cost); every probe result is posted on a shared billboard. Players
+// with similar taste — an (α,D)-typical community — can split the
+// probing work: the paper's algorithms let every member of a large
+// community reconstruct its entire preference vector to within a
+// constant factor of the community diameter using only polylogarithmic
+// probes per player, with no assumptions on the preference matrix.
+//
+// # Quick start
+//
+//	inst := tellme.PlantedInstance(1024, 1024, 0.5, 8, 42)
+//	rep, err := tellme.Run(inst, tellme.Options{
+//		Algorithm: tellme.AlgoAuto, // diameter unknown
+//		Alpha:     0.5,
+//		Seed:      7,
+//	})
+//	// rep.Outputs[p] is player p's reconstructed preference vector;
+//	// rep.MaxProbes is the paper's "rounds" cost measure.
+//
+// The underlying algorithms are also available individually through
+// Options.Algorithm: AlgoZero (identical communities, Theorem 3.1),
+// AlgoSmall (small diameter, Theorem 4.4), AlgoLarge (large diameter,
+// Theorem 5.4), AlgoMain (known-D dispatcher, Fig. 1), AlgoAuto
+// (unknown D, Section 6) and AlgoAnytime (unknown α and D, Section 6).
+package tellme
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/core"
+	"tellme/internal/metrics"
+	"tellme/internal/netboard"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+	"tellme/internal/trace"
+)
+
+// Vector is a packed binary preference vector.
+type Vector = bitvec.Vector
+
+// Partial is a preference vector over {0,1,?}; algorithm outputs may
+// leave a bounded number of coordinates undetermined.
+type Partial = bitvec.Partial
+
+// Instance is a ground-truth preference matrix with planted community
+// metadata.
+type Instance = prefs.Instance
+
+// Community is a planted (α,D)-typical player set.
+type Community = prefs.Community
+
+// Config exposes the algorithms' tunable constants; see DefaultConfig.
+type Config = core.Config
+
+// DefaultConfig returns the constants used throughout the experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Algorithm selects which of the paper's procedures Run executes.
+type Algorithm int
+
+const (
+	// AlgoAuto runs the Section 6 wrapper: D unknown, α given.
+	AlgoAuto Algorithm = iota
+	// AlgoMain runs the known-(α,D) dispatcher of Fig. 1.
+	AlgoMain
+	// AlgoZero runs Algorithm Zero Radius (D = 0, Theorem 3.1).
+	AlgoZero
+	// AlgoSmall runs Algorithm Small Radius (Theorem 4.4).
+	AlgoSmall
+	// AlgoLarge runs Algorithm Large Radius (Theorem 5.4).
+	AlgoLarge
+	// AlgoAnytime runs the unknown-α anytime algorithm (Section 6).
+	AlgoAnytime
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto(unknown D)"
+	case AlgoMain:
+		return "main(known D)"
+	case AlgoZero:
+		return "zero-radius"
+	case AlgoSmall:
+		return "small-radius"
+	case AlgoLarge:
+		return "large-radius"
+	case AlgoAnytime:
+		return "anytime"
+	default:
+		return "invalid"
+	}
+}
+
+// Options configure a Run.
+type Options struct {
+	// Algorithm picks the procedure; AlgoAuto is the default.
+	Algorithm Algorithm
+	// Alpha is the assumed community fraction (0,1]. Required except
+	// for AlgoAnytime, which discovers it.
+	Alpha float64
+	// D is the assumed community diameter; used by AlgoMain, AlgoSmall
+	// and AlgoLarge.
+	D int
+	// Seed makes the run reproducible. Two runs with equal seeds and
+	// options produce identical outputs.
+	Seed uint64
+	// Config overrides algorithm constants; zero value means defaults.
+	Config *Config
+	// Parallelism bounds the worker pool (0 = GOMAXPROCS).
+	Parallelism int
+	// Budget caps per-player probes for AlgoAnytime (0 = run all
+	// phases).
+	Budget int64
+	// K overrides the SmallRadius confidence parameter (0 = Θ(log n)).
+	K int
+	// FlipNoise, if positive, flips each probe result independently
+	// with this probability — fault injection beyond the paper's model.
+	FlipNoise float64
+	// OnPhase, if set with AlgoAnytime, is invoked after each phase;
+	// returning false stops early.
+	OnPhase func(PhaseInfo) bool
+	// BoardURL, if non-empty, runs against a remote billboard server
+	// (cmd/billboard) at that base URL instead of an in-memory board.
+	// The simulation is deterministic either way, but every billboard
+	// operation becomes an HTTP round trip.
+	BoardURL string
+	// TraceCapacity, if positive, enables structured tracing: the run
+	// retains up to this many sub-algorithm span events, returned in
+	// Report.TraceEvents. Tracing never changes algorithm behavior.
+	TraceCapacity int
+}
+
+// TraceEvent is one recorded observability event; see Options.TraceCapacity.
+type TraceEvent = trace.Event
+
+// PhaseInfo reports anytime progress.
+type PhaseInfo struct {
+	Phase     int
+	Alpha     float64
+	MaxProbes int64
+}
+
+// Report is the result of a Run.
+type Report struct {
+	// Outputs[p] is player p's reconstructed preference vector.
+	Outputs []Partial
+	// MaxProbes is the maximum probes charged to one player — the
+	// paper's parallel round count.
+	MaxProbes int64
+	// TotalProbes sums probes over all players.
+	TotalProbes int64
+	// MeanProbes is TotalProbes / n.
+	MeanProbes float64
+	// Duration is the wall-clock simulation time.
+	Duration time.Duration
+	// Algorithm echoes what ran.
+	Algorithm Algorithm
+	// Communities reports reconstruction quality for each planted
+	// community of the instance (empty if the instance has none).
+	Communities []CommunityReport
+	// SubAlgorithmRuns counts nested invocations of each sub-algorithm
+	// (ZeroRadius, SmallRadius, LargeRadius, Coalesce) during the run.
+	SubAlgorithmRuns map[string]int64
+	// TraceEvents holds the retained span events when tracing was
+	// enabled via Options.TraceCapacity (nil otherwise).
+	TraceEvents []TraceEvent
+}
+
+// CommunityReport measures output quality over one planted community.
+type CommunityReport struct {
+	// Size is the community's member count.
+	Size int
+	// Diameter is the exact realized diameter D(P*).
+	Diameter int
+	// Discrepancy is the paper's Δ(P*): worst member error.
+	Discrepancy int
+	// Stretch is ρ(P*) = Δ/D (D treated as 1 when zero).
+	Stretch float64
+	// MeanErr is the average member error.
+	MeanErr float64
+}
+
+// Run executes one algorithm over the instance and reports outputs and
+// costs.
+func Run(in *Instance, opt Options) (*Report, error) {
+	if in == nil || in.N == 0 || in.M == 0 {
+		return nil, errors.New("tellme: empty instance")
+	}
+	if opt.Algorithm != AlgoAnytime {
+		if opt.Alpha <= 0 || opt.Alpha > 1 {
+			return nil, fmt.Errorf("tellme: alpha %v out of (0,1]", opt.Alpha)
+		}
+	}
+	if opt.D < 0 || opt.D > in.M {
+		return nil, fmt.Errorf("tellme: D %d out of [0,%d]", opt.D, in.M)
+	}
+	cfg := core.DefaultConfig()
+	if opt.Config != nil {
+		cfg = *opt.Config
+	}
+	if opt.K > 0 {
+		cfg.K = opt.K
+	}
+
+	src := rng.NewSource(opt.Seed)
+	var board billboard.Interface = billboard.New(in.N, in.M)
+	if opt.BoardURL != "" {
+		board = netboard.NewClient(opt.BoardURL)
+	}
+	var popts []probe.Option
+	if opt.FlipNoise > 0 {
+		popts = append(popts, probe.WithNoise(probe.FlipNoise(opt.FlipNoise)))
+	}
+	engine := probe.NewEngine(in, board, src.Child("engine", 0), popts...)
+	runner := sim.NewRunner(opt.Parallelism)
+	env := core.NewEnv(engine, runner, src.Child("public", 0), cfg)
+	if opt.TraceCapacity > 0 {
+		env.Trace = trace.New(opt.TraceCapacity)
+	}
+
+	players := make([]int, in.N)
+	objs := make([]int, in.M)
+	for i := range players {
+		players[i] = i
+	}
+	for i := range objs {
+		objs[i] = i
+	}
+
+	start := time.Now()
+	var outputs []Partial
+	switch opt.Algorithm {
+	case AlgoAuto:
+		outputs = core.UnknownD(env, opt.Alpha)
+	case AlgoMain:
+		outputs = core.Main(env, opt.Alpha, opt.D)
+	case AlgoZero:
+		zr := core.ZeroRadiusBits(env, players, objs, opt.Alpha)
+		outputs = make([]Partial, in.N)
+		for p := range outputs {
+			v := bitvec.New(in.M)
+			for j, x := range zr[p] {
+				if x != 0 {
+					v.Set(j, 1)
+				}
+			}
+			outputs[p] = bitvec.PartialOf(v)
+		}
+	case AlgoSmall:
+		sr := core.SmallRadius(env, players, objs, opt.Alpha, opt.D, cfg.K)
+		outputs = make([]Partial, in.N)
+		for p := range outputs {
+			outputs[p] = bitvec.PartialOf(sr[p])
+		}
+	case AlgoLarge:
+		outputs = core.LargeRadius(env, players, objs, opt.Alpha, opt.D)
+	case AlgoAnytime:
+		var cb func(core.AnytimePhase) bool
+		if opt.OnPhase != nil {
+			cb = func(ph core.AnytimePhase) bool {
+				return opt.OnPhase(PhaseInfo{Phase: ph.Phase, Alpha: ph.Alpha, MaxProbes: ph.MaxProbes})
+			}
+		}
+		outputs = core.Anytime(env, opt.Budget, cb)
+	default:
+		return nil, fmt.Errorf("tellme: unknown algorithm %d", opt.Algorithm)
+	}
+	elapsed := time.Since(start)
+
+	st := metrics.Probes(engine, in.N, nil)
+	rep := &Report{
+		Outputs:          outputs,
+		MaxProbes:        st.Max,
+		TotalProbes:      st.Total,
+		MeanProbes:       st.Mean,
+		Duration:         elapsed,
+		Algorithm:        opt.Algorithm,
+		SubAlgorithmRuns: env.RunCounts(),
+	}
+	if env.Trace != nil {
+		rep.TraceEvents = env.Trace.Events()
+	}
+	for _, c := range in.Communities {
+		diam := in.Diameter(c.Members)
+		rep.Communities = append(rep.Communities, CommunityReport{
+			Size:        len(c.Members),
+			Diameter:    diam,
+			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
+			Stretch:     metrics.Stretch(in, c.Members, outputs),
+			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
+		})
+	}
+	return rep, nil
+}
+
+// Evaluate measures output quality over an arbitrary player set — the
+// same numbers Run reports per planted community, usable with
+// CustomInstance data or ad-hoc groupings.
+func Evaluate(in *Instance, players []int, outputs []Partial) CommunityReport {
+	diam := in.Diameter(players)
+	return CommunityReport{
+		Size:        len(players),
+		Diameter:    diam,
+		Discrepancy: metrics.Discrepancy(in, players, outputs),
+		Stretch:     metrics.Stretch(in, players, outputs),
+		MeanErr:     metrics.MeanErr(in, players, outputs),
+	}
+}
+
+// RefreshOptions configure RunRefresh.
+type RefreshOptions struct {
+	// Alpha is the consensus-group threshold: stale vectors shared by
+	// at least alpha·n players form repair groups.
+	Alpha float64
+	// ExpectedDrift sizes the patch-verification budget (0 = generous
+	// default).
+	ExpectedDrift int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Parallelism bounds the worker pool (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// RunRefresh repairs previously-computed outputs against the current
+// (possibly drifted) instance, at ~2m/(αn) + drift probes per community
+// member instead of a fresh polylog run — the incremental-repair
+// extension measured in experiments E17/E20. Players whose stale output
+// is not shared by an α fraction keep it unchanged.
+func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, error) {
+	if in == nil || in.N == 0 || in.M == 0 {
+		return nil, errors.New("tellme: empty instance")
+	}
+	if len(stale) != in.N {
+		return nil, fmt.Errorf("tellme: %d stale outputs for %d players", len(stale), in.N)
+	}
+	if opt.Alpha <= 0 || opt.Alpha > 1 {
+		return nil, fmt.Errorf("tellme: alpha %v out of (0,1]", opt.Alpha)
+	}
+	src := rng.NewSource(opt.Seed)
+	board := billboard.New(in.N, in.M)
+	engine := probe.NewEngine(in, board, src.Child("engine", 0))
+	env := core.NewEnv(engine, sim.NewRunner(opt.Parallelism), src.Child("public", 0), core.DefaultConfig())
+	players := make([]int, in.N)
+	objs := make([]int, in.M)
+	for i := range players {
+		players[i] = i
+	}
+	for i := range objs {
+		objs[i] = i
+	}
+	red, maxP := core.RefreshBudget(opt.ExpectedDrift)
+	start := time.Now()
+	outputs := core.Refresh(env, players, objs, stale, opt.Alpha, red, maxP)
+	elapsed := time.Since(start)
+	st := metrics.Probes(engine, in.N, nil)
+	rep := &Report{
+		Outputs:     outputs,
+		MaxProbes:   st.Max,
+		TotalProbes: st.Total,
+		MeanProbes:  st.Mean,
+		Duration:    elapsed,
+	}
+	for _, c := range in.Communities {
+		diam := in.Diameter(c.Members)
+		rep.Communities = append(rep.Communities, CommunityReport{
+			Size:        len(c.Members),
+			Diameter:    diam,
+			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
+			Stretch:     metrics.Stretch(in, c.Members, outputs),
+			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
+		})
+	}
+	return rep, nil
+}

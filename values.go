@@ -1,0 +1,104 @@
+package tellme
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tellme/internal/bitvec"
+)
+
+// Multi-valued grades. The paper remarks (Section 3.1) that Zero Radius
+// generalizes beyond binary grades: "the set of allowed values for an
+// object is not necessarily binary". This file provides that extension
+// through a bit-encoding reduction: an object with values in
+// [0, numValues) becomes ceil(log2 numValues) binary objects, preserving
+// communities (players who agree on a value agree on all its bits, and
+// each differing value contributes between 1 and b bit differences, so
+// an (α,D)-typical set stays (α, b·D)-typical).
+
+// ValueBits returns the number of binary objects one multi-valued
+// object expands to.
+func ValueBits(numValues int) int {
+	if numValues < 2 {
+		return 1
+	}
+	return bits.Len(uint(numValues - 1))
+}
+
+// EncodeValuesInstance converts an n×m matrix of grades over
+// [0, numValues) into a binary Instance with m·ValueBits(numValues)
+// objects. Bit b of object o lands at binary coordinate o·bits + b,
+// least significant bit first.
+func EncodeValuesInstance(values [][]int, numValues int) (*Instance, error) {
+	if len(values) == 0 || len(values[0]) == 0 {
+		return nil, fmt.Errorf("tellme: empty value matrix")
+	}
+	if numValues < 2 {
+		return nil, fmt.Errorf("tellme: numValues must be ≥ 2")
+	}
+	m := len(values[0])
+	b := ValueBits(numValues)
+	vecs := make([]Vector, len(values))
+	for p, row := range values {
+		if len(row) != m {
+			return nil, fmt.Errorf("tellme: row %d has %d objects, want %d", p, len(row), m)
+		}
+		v := bitvec.New(m * b)
+		for o, val := range row {
+			if val < 0 || val >= numValues {
+				return nil, fmt.Errorf("tellme: value %d at (%d,%d) out of [0,%d)", val, p, o, numValues)
+			}
+			for k := 0; k < b; k++ {
+				if val>>k&1 == 1 {
+					v.Set(o*b+k, 1)
+				}
+			}
+		}
+		vecs[p] = v
+	}
+	return CustomInstance(vecs), nil
+}
+
+// DecodeValues converts a binary output vector back to grades.
+// Undetermined bits ('?') decode as 0, matching the paper's convention;
+// UndecodedCount reports how many objects had any undetermined bit.
+func DecodeValues(out Partial, m, numValues int) (values []int, undecided int) {
+	b := ValueBits(numValues)
+	values = make([]int, m)
+	for o := 0; o < m; o++ {
+		val := 0
+		sawUnknown := false
+		for k := 0; k < b; k++ {
+			switch out.Get(o*b + k) {
+			case 1:
+				val |= 1 << k
+			case bitvec.Unknown:
+				sawUnknown = true
+			}
+		}
+		if val >= numValues {
+			// A corrupted high bit can exceed the range; clamp.
+			val = numValues - 1
+		}
+		values[o] = val
+		if sawUnknown {
+			undecided++
+		}
+	}
+	return values, undecided
+}
+
+// ValueDist is the generalized Hamming distance between two grade rows:
+// the number of objects with differing values.
+func ValueDist(a, b []int) int {
+	if len(a) != len(b) {
+		panic("tellme: ValueDist length mismatch")
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}

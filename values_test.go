@@ -1,0 +1,131 @@
+package tellme
+
+import (
+	"testing"
+
+	"tellme/internal/rng"
+)
+
+func TestValueBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for nv, want := range cases {
+		if got := ValueBits(nv); got != want {
+			t.Fatalf("ValueBits(%d) = %d, want %d", nv, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	values := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 2, 2, 2, 2},
+	}
+	in, err := EncodeValuesInstance(values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N != 3 || in.M != 5*3 { // ValueBits(5) = 3
+		t.Fatalf("dims %dx%d", in.N, in.M)
+	}
+	for p, row := range values {
+		got, undecided := DecodeValues(PartialOfVector(in.Vector(p)), 5, 5)
+		if undecided != 0 {
+			t.Fatalf("undecided %d", undecided)
+		}
+		for o := range row {
+			if got[o] != row[o] {
+				t.Fatalf("player %d object %d: %d != %d", p, o, got[o], row[o])
+			}
+		}
+	}
+}
+
+func TestEncodeValuesValidation(t *testing.T) {
+	if _, err := EncodeValuesInstance(nil, 4); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := EncodeValuesInstance([][]int{{0}}, 1); err == nil {
+		t.Fatal("numValues 1 accepted")
+	}
+	if _, err := EncodeValuesInstance([][]int{{0, 1}, {0}}, 4); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := EncodeValuesInstance([][]int{{4}}, 4); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := EncodeValuesInstance([][]int{{-1}}, 4); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestMultiValuedZeroRadiusEndToEnd(t *testing.T) {
+	// A community of sensors reporting 5-level readings; outsiders are
+	// random. The binary reduction preserves the community, so AlgoZero
+	// recovers every member's full multi-valued row exactly.
+	const (
+		n, m, nv = 120, 100, 5
+		commSize = 70
+	)
+	r := rng.New(9)
+	shared := make([]int, m)
+	for o := range shared {
+		shared[o] = r.Intn(nv)
+	}
+	values := make([][]int, n)
+	for p := 0; p < n; p++ {
+		if p < commSize {
+			values[p] = shared
+			continue
+		}
+		row := make([]int, m)
+		for o := range row {
+			row[o] = r.Intn(nv)
+		}
+		values[p] = row
+	}
+	in, err := EncodeValuesInstance(values, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(in, Options{Algorithm: AlgoZero, Alpha: float64(commSize) / n, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < commSize; p++ {
+		got, undecided := DecodeValues(rep.Outputs[p], m, nv)
+		if undecided != 0 {
+			t.Fatalf("player %d: %d undecided objects", p, undecided)
+		}
+		if d := ValueDist(got, shared); d != 0 {
+			t.Fatalf("player %d: %d wrong values", p, d)
+		}
+	}
+	if rep.MaxProbes >= int64(in.M) {
+		t.Fatalf("multi-valued recovery cost %d ≥ solo %d", rep.MaxProbes, in.M)
+	}
+}
+
+func TestValueDist(t *testing.T) {
+	if d := ValueDist([]int{1, 2, 3}, []int{1, 0, 3}); d != 1 {
+		t.Fatalf("ValueDist = %d", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ValueDist([]int{1}, []int{1, 2})
+}
+
+func TestDecodeValuesClampsCorruption(t *testing.T) {
+	// 3 values need 2 bits; bit pattern 11 (=3) exceeds the range and
+	// must clamp to numValues-1.
+	v := NewVector(2)
+	v.Set(0, 1)
+	v.Set(1, 1)
+	got, _ := DecodeValues(PartialOfVector(v), 1, 3)
+	if got[0] != 2 {
+		t.Fatalf("decoded %d, want clamped 2", got[0])
+	}
+}
