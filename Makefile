@@ -1,0 +1,23 @@
+# Tier-1 verification targets. `make verify` is the full gate: vet plus
+# the whole suite under the race detector, which exercises the lock-free
+# probe shards and the epoch-cached vote tallies under real
+# interleavings (see internal/billboard/stress_test.go).
+
+GO ?= go
+
+.PHONY: build test race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+verify: build race
+
+# Refresh the perf-trajectory snapshot (BENCH_1.json at the repo root).
+bench:
+	$(GO) run ./cmd/benchdiff -bench 'E1ZeroRadius|E8Main' -count 5

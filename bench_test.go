@@ -13,6 +13,7 @@ import (
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
 	"tellme/internal/core"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -27,13 +28,7 @@ func benchEnv(in *prefs.Instance, seed uint64) (*core.Env, *probe.Engine) {
 	return env, e
 }
 
-func ids(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
+func ids(n int) []int { return ints.Iota(n) }
 
 // BenchmarkE1ZeroRadius regenerates E1: exact recovery on an identical
 // community (Theorem 3.1).

@@ -1,0 +1,280 @@
+// Command benchdiff runs the repository's experiment benchmarks and
+// records a perf-trajectory snapshot as JSON, so successive PRs can
+// compare ns/op and allocs/op against earlier baselines.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff                         # run and write BENCH_1.json
+//	go run ./cmd/benchdiff -bench 'E1|E8' -count 3
+//	go run ./cmd/benchdiff -input old.txt          # parse a saved `go test -bench` log
+//	go run ./cmd/benchdiff -baseline BENCH_0.json  # embed a before/after comparison
+//
+// Each benchmark is summarized by its minimum ns/op over the repeated
+// runs (minimum is the standard low-noise estimator for wall time) and
+// the per-op bytes and allocation counts, which Go reports
+// deterministically.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is one benchmark's aggregate over all -count runs.
+type Summary struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`      // minimum over runs
+	MeanNs   float64 `json:"ns_per_op_mean"` // mean over runs
+	BytesOp  int64   `json:"bytes_per_op"`   // minimum over runs
+	AllocsOp int64   `json:"allocs_per_op"`  // minimum over runs
+}
+
+// Comparison is the per-benchmark before/after delta when -baseline is
+// given.
+type Comparison struct {
+	Name         string  `json:"name"`
+	BaseNsPerOp  float64 `json:"base_ns_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	Speedup      float64 `json:"speedup"` // base / current, >1 is faster
+	BaseAllocsOp int64   `json:"base_allocs_per_op"`
+	AllocsOp     int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_N.json schema.
+type File struct {
+	Command    string       `json:"command"`
+	Go         string       `json:"go"`
+	Benchmarks []Summary    `json:"benchmarks"`
+	Baseline   []Summary    `json:"baseline,omitempty"`
+	Comparison []Comparison `json:"comparison,omitempty"`
+}
+
+func main() {
+	var (
+		bench    = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		count    = flag.Int("count", 5, "repetitions per benchmark (go test -count)")
+		pkg      = flag.String("pkg", ".", "package to benchmark")
+		out      = flag.String("out", "BENCH_1.json", "output JSON path")
+		input    = flag.String("input", "", "parse this saved benchmark log instead of running go test")
+		baseline = flag.String("baseline", "", "prior benchdiff JSON or raw benchmark log to compare against")
+	)
+	flag.Parse()
+
+	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchmem -count=%d %s", *bench, *count, *pkg)
+	var raw io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		raw = f
+		cmdline = "parsed from " + *input
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchmem", fmt.Sprintf("-count=%d", *count), *pkg)
+		cmd.Stderr = os.Stderr
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		var buf strings.Builder
+		tee := io.TeeReader(outPipe, &buf)
+		sums, perr := parseBench(tee)
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprint(os.Stderr, buf.String())
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		if perr != nil {
+			fatal(perr)
+		}
+		write(*out, cmdline, sums, *baseline)
+		return
+	}
+
+	sums, err := parseBench(raw)
+	if err != nil {
+		fatal(err)
+	}
+	write(*out, cmdline, sums, *baseline)
+}
+
+func write(path, cmdline string, sums []Summary, baselinePath string) {
+	f := File{Command: cmdline, Go: goVersion(), Benchmarks: sums}
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		f.Baseline = base
+		f.Comparison = compare(base, sums)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, s := range sums {
+		fmt.Printf("%-40s %12.0f ns/op %10d B/op %8d allocs/op  (%d runs)\n",
+			s.Name, s.NsPerOp, s.BytesOp, s.AllocsOp, s.Runs)
+	}
+	for _, c := range f.Comparison {
+		fmt.Printf("%-40s %6.2fx ns/op  allocs %d -> %d\n",
+			c.Name, c.Speedup, c.BaseAllocsOp, c.AllocsOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// parseBench reads `go test -bench -benchmem` output lines of the form
+//
+//	BenchmarkName-8   123   456789 ns/op   1024 B/op   17 allocs/op
+//
+// and aggregates repeated runs of the same benchmark.
+func parseBench(r io.Reader) ([]Summary, error) {
+	type acc struct {
+		runs    int
+		minNs   float64
+		sumNs   float64
+		bytes   int64
+		allocs  int64
+		hasMem  bool
+		hasInit bool
+	}
+	byName := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -GOMAXPROCS suffix
+		var ns float64
+		var bytesOp, allocsOp int64 = -1, -1
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				ns = v
+			case "B/op":
+				bytesOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				allocsOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		a, ok := byName[name]
+		if !ok {
+			a = &acc{}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.sumNs += ns
+		if !a.hasInit || ns < a.minNs {
+			a.minNs = ns
+			a.hasInit = true
+		}
+		if bytesOp >= 0 && (!a.hasMem || bytesOp < a.bytes) {
+			a.bytes = bytesOp
+		}
+		if allocsOp >= 0 && (!a.hasMem || allocsOp < a.allocs) {
+			a.allocs = allocsOp
+		}
+		if bytesOp >= 0 || allocsOp >= 0 {
+			a.hasMem = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	out := make([]Summary, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, Summary{
+			Name:     name,
+			Runs:     a.runs,
+			NsPerOp:  a.minNs,
+			MeanNs:   a.sumNs / float64(a.runs),
+			BytesOp:  a.bytes,
+			AllocsOp: a.allocs,
+		})
+	}
+	return out, nil
+}
+
+// loadBaseline accepts either a prior benchdiff JSON file or a raw
+// `go test -bench` log.
+func loadBaseline(path string) ([]Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if json.Valid(data) {
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, err
+		}
+		return f.Benchmarks, nil
+	}
+	return parseBench(strings.NewReader(string(data)))
+}
+
+func compare(base, cur []Summary) []Comparison {
+	byName := map[string]Summary{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []Comparison
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok || c.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Name:         c.Name,
+			BaseNsPerOp:  b.NsPerOp,
+			NsPerOp:      c.NsPerOp,
+			Speedup:      b.NsPerOp / c.NsPerOp,
+			BaseAllocsOp: b.AllocsOp,
+			AllocsOp:     c.AllocsOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -71,12 +71,12 @@ func SampleMajority(e *probe.Engine, runner *sim.Runner, budget int, src rng.Sou
 	ones := make([]int, in.M)
 	total := make([]int, in.M)
 	for p := 0; p < in.N; p++ {
-		for o, v := range e.Board().ProbedObjects(p) {
+		e.Board().ForEachProbe(p, func(o int, v byte) {
 			total[o]++
 			if v == 1 {
 				ones[o]++
 			}
-		}
+		})
 	}
 	majority := bitvec.New(in.M)
 	for o := 0; o < in.M; o++ {
@@ -87,14 +87,12 @@ func SampleMajority(e *probe.Engine, runner *sim.Runner, budget int, src rng.Sou
 	out := make([]bitvec.Partial, in.N)
 	runner.PhaseAll(in.N, func(p int) {
 		w := bitvec.NewPartial(in.M)
-		own := e.Board().ProbedObjects(p)
 		for o := 0; o < in.M; o++ {
-			if v, ok := own[o]; ok {
-				w.SetBit(o, v)
-			} else {
-				w.SetBit(o, majority.Get(o))
-			}
+			w.SetBit(o, majority.Get(o))
 		}
+		e.Board().ForEachProbe(p, func(o int, v byte) {
+			w.SetBit(o, v)
+		})
 		out[p] = w
 	})
 	return out
@@ -117,12 +115,12 @@ func KNN(e *probe.Engine, runner *sim.Runner, budget, k int, src rng.Source) []b
 	ones := make([]int, in.M)
 	total := make([]int, in.M)
 	for p := 0; p < in.N; p++ {
-		for o, v := range probes[p] {
+		board.ForEachProbe(p, func(o int, v byte) {
 			total[o]++
 			if v == 1 {
 				ones[o]++
 			}
-		}
+		})
 	}
 
 	out := make([]bitvec.Partial, in.N)

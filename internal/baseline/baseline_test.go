@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tellme/internal/billboard"
+	"tellme/internal/ints"
 	"tellme/internal/metrics"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
@@ -186,9 +187,5 @@ func TestOrthonormalizeDegenerate(t *testing.T) {
 }
 
 func players(n int) []int {
-	ps := make([]int, n)
-	for i := range ps {
-		ps[i] = i
-	}
-	return ps
+	return ints.Iota(n)
 }

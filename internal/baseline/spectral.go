@@ -25,11 +25,9 @@ func Spectral(e *probe.Engine, runner *sim.Runner, budget, rank, iters int, src 
 
 	// Build the scaled sample matrix: probed entries map 0/1 → ±1 and
 	// are divided by the sampling rate; missing entries are 0.
-	probesPer := make([]map[int]byte, n)
 	sampled := 0
 	for p := 0; p < n; p++ {
-		probesPer[p] = e.Board().ProbedObjects(p)
-		sampled += len(probesPer[p])
+		e.Board().ForEachProbe(p, func(int, byte) { sampled++ })
 	}
 	rate := float64(sampled) / float64(n*m)
 	if rate <= 0 {
@@ -38,13 +36,13 @@ func Spectral(e *probe.Engine, runner *sim.Runner, budget, rank, iters int, src 
 	a := make([][]float64, n)
 	for p := 0; p < n; p++ {
 		a[p] = make([]float64, m)
-		for o, v := range probesPer[p] {
+		e.Board().ForEachProbe(p, func(o int, v byte) {
 			x := -1.0
 			if v == 1 {
 				x = 1.0
 			}
 			a[p][o] = x / rate
-		}
+		})
 	}
 
 	if rank < 1 {
@@ -59,14 +57,16 @@ func Spectral(e *probe.Engine, runner *sim.Runner, budget, rank, iters int, src 
 	runner.PhaseAll(n, func(p int) {
 		w := bitvec.NewPartial(m)
 		for o := 0; o < m; o++ {
-			if v, ok := probesPer[p][o]; ok {
-				w.SetBit(o, v)
-			} else if approx[p][o] > 0 {
+			if approx[p][o] > 0 {
 				w.SetBit(o, 1)
 			} else {
 				w.SetBit(o, 0)
 			}
 		}
+		// Probed entries are kept verbatim, overriding the reconstruction.
+		e.Board().ForEachProbe(p, func(o int, v byte) {
+			w.SetBit(o, v)
+		})
 		out[p] = w
 	})
 	return out

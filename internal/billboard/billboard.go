@@ -6,14 +6,34 @@
 // intermediate output vectors (e.g. the recursive outputs of ZeroRadius)
 // under named topics, and count votes over them.
 //
+// # Concurrency model
+//
 // The board is safe for concurrent use: n player goroutines post and
-// read simultaneously during each simulated phase. Probe results are
-// sharded per player (a player's probe results are written only by that
-// player's goroutine); topic postings use a two-level lock (board map,
-// then per-topic).
+// read simultaneously during each simulated phase.
+//
+// Probe results live in dense per-player shards: a packed value plane
+// and a packed known plane of m bits each (the model's grades are
+// binary; non-zero grades are stored as 1). A post sets the value bit
+// before publishing the known bit, and both planes are accessed with
+// atomic word operations, so shards need no lock at all: the atomic
+// publish of the known bit is the happens-before edge a concurrent
+// reader needs, and the model guarantees a player's probe results are
+// written only by that player's goroutine. First post wins; duplicate
+// posts of the same (player, object) pair are no-ops. The cost is Θ(m)
+// bits per player up front instead of a sparse map that grows with the
+// number of probes — see DESIGN.md for the trade-off threshold.
+//
+// Topic postings use a two-level lock (board map, then per-topic). Each
+// topic carries an epoch counter, bumped under the topic lock on every
+// post, and lazily caches its vote tally at a given epoch: Votes,
+// ValueVotes and PopularVectors return the cached tally while the epoch
+// is unchanged, so the n identical per-phase tallies of ZeroRadius and
+// SmallRadius cost one tally instead of n. Cached tallies are immutable;
+// callers must not modify the returned slices or the vectors inside.
 package billboard
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +52,9 @@ type Interface interface {
 	LookupProbe(p, o int) (byte, bool)
 	// ProbedObjects returns a copy of the object→grade map posted by p.
 	ProbedObjects(p int) map[int]byte
+	// ForEachProbe calls fn for every (object, grade) posted by p, in
+	// ascending object order, without allocating.
+	ForEachProbe(p int, fn func(o int, grade byte))
 	// ProbeCount returns the number of distinct probe results posted.
 	ProbeCount() int64
 
@@ -41,7 +64,8 @@ type Interface interface {
 	PostVector(name string, player int, v bitvec.Vector)
 	// Postings returns a snapshot of the topic's vector postings.
 	Postings(name string) []Posting
-	// Votes tallies the topic's vector postings deterministically.
+	// Votes tallies the topic's vector postings deterministically. The
+	// result is shared and immutable; callers must not modify it.
 	Votes(name string) []Vote
 	// PopularVectors returns vectors with at least minVotes supporters.
 	PopularVectors(name string, minVotes int) []bitvec.Partial
@@ -51,6 +75,7 @@ type Interface interface {
 	// ValuePostings returns a snapshot of the topic's value postings.
 	ValuePostings(name string) []ValuePosting
 	// ValueVotes tallies the topic's value postings deterministically.
+	// The result is shared and immutable; callers must not modify it.
 	ValueVotes(name string) []ValueVote
 
 	// DropTopic removes a topic and its postings.
@@ -74,16 +99,32 @@ type Board struct {
 	vectorPosts atomic.Int64
 }
 
+// probeShard is one player's probe results as two packed bit planes.
+// known[o] publishes that object o was probed; val[o] holds the grade.
+// The value bit is set before the known bit, so any reader that
+// observes known also observes the grade (atomic operations order the
+// two stores).
 type probeShard struct {
-	mu   sync.RWMutex
-	vals map[int]byte // object -> grade
+	val   []atomic.Uint64
+	known []atomic.Uint64
 }
 
+// topic holds one topic's postings plus its lazily cached vote tallies.
+// epoch counts mutations; votesAt/valVotesAt record the epoch at which
+// the corresponding cached tally was computed (^0 = never).
 type topic struct {
 	mu       sync.Mutex
 	postings []Posting
 	values   []ValuePosting
+
+	epoch      uint64
+	votesAt    uint64
+	votes      []Vote
+	valVotesAt uint64
+	valVotes   []ValueVote
 }
+
+const neverTallied = ^uint64(0)
 
 // Posting is one vector posted by one player under a topic.
 type Posting struct {
@@ -100,13 +141,16 @@ type Vote struct {
 
 // New returns an empty board for n players and m objects.
 func New(n, m int) *Board {
+	words := (m + 63) / 64
+	planes := make([]atomic.Uint64, 2*n*words)
 	b := &Board{
 		n: n, m: m,
 		probeShards: make([]probeShard, n),
 		topics:      make(map[string]*topic),
 	}
 	for i := range b.probeShards {
-		b.probeShards[i].vals = make(map[int]byte)
+		b.probeShards[i].val = planes[2*i*words : (2*i+1)*words]
+		b.probeShards[i].known = planes[(2*i+1)*words : (2*i+2)*words]
 	}
 	return b
 }
@@ -118,34 +162,68 @@ func (b *Board) N() int { return b.n }
 func (b *Board) M() int { return b.m }
 
 // PostProbe records that player p's probe of object o revealed val.
+// Grades are binary; a non-zero val is stored as 1. The first post for
+// a (player, object) pair wins; duplicates are no-ops.
 func (b *Board) PostProbe(p, o int, val byte) {
 	s := &b.probeShards[p]
-	s.mu.Lock()
-	if _, dup := s.vals[o]; !dup {
-		s.vals[o] = val
-		b.probePosts.Add(1)
+	mask := uint64(1) << (uint(o) & 63)
+	w := o >> 6
+	if s.known[w].Load()&mask != 0 {
+		return // duplicate
 	}
-	s.mu.Unlock()
+	if val != 0 {
+		s.val[w].Or(mask)
+	}
+	// The duplicate check above is authoritative: probe results for p are
+	// posted only from p's goroutine (single-writer contract), so no other
+	// writer can set the known bit between the Load and the Or. The Or's
+	// return value is deliberately unused — consuming it makes the
+	// compiler emit a CMPXCHG loop instead of a plain LOCK OR.
+	s.known[w].Or(mask)
+	b.probePosts.Add(1)
 }
 
 // LookupProbe returns player p's posted grade for object o, if posted.
 func (b *Board) LookupProbe(p, o int) (byte, bool) {
 	s := &b.probeShards[p]
-	s.mu.RLock()
-	v, ok := s.vals[o]
-	s.mu.RUnlock()
-	return v, ok
+	mask := uint64(1) << (uint(o) & 63)
+	w := o >> 6
+	if s.known[w].Load()&mask == 0 {
+		return 0, false
+	}
+	if s.val[w].Load()&mask != 0 {
+		return 1, true
+	}
+	return 0, true
+}
+
+// ForEachProbe calls fn for every (object, grade) posted by p, in
+// ascending object order. It performs no allocation; fn must not post
+// probes for p reentrantly.
+func (b *Board) ForEachProbe(p int, fn func(o int, grade byte)) {
+	s := &b.probeShards[p]
+	for w := range s.known {
+		k := s.known[w].Load()
+		if k == 0 {
+			continue
+		}
+		v := s.val[w].Load()
+		base := w << 6
+		for k != 0 {
+			tz := bits.TrailingZeros64(k)
+			o := base + tz
+			g := byte(v >> uint(tz) & 1)
+			fn(o, g)
+			k &= k - 1
+		}
+	}
 }
 
 // ProbedObjects returns a copy of the object→grade map posted by p.
+// Prefer ForEachProbe on hot paths; this allocates the map.
 func (b *Board) ProbedObjects(p int) map[int]byte {
-	s := &b.probeShards[p]
-	s.mu.RLock()
-	out := make(map[int]byte, len(s.vals))
-	for o, v := range s.vals {
-		out[o] = v
-	}
-	s.mu.RUnlock()
+	out := make(map[int]byte)
+	b.ForEachProbe(p, func(o int, g byte) { out[o] = g })
 	return out
 }
 
@@ -167,7 +245,7 @@ func (b *Board) topicFor(name string) *topic {
 	if t, ok = b.topics[name]; ok {
 		return t
 	}
-	t = &topic{}
+	t = &topic{votesAt: neverTallied, valVotesAt: neverTallied}
 	b.topics[name] = t
 	return t
 }
@@ -177,8 +255,11 @@ func (b *Board) Post(name string, player int, v bitvec.Partial) {
 	t := b.topicFor(name)
 	t.mu.Lock()
 	t.postings = append(t.postings, Posting{Player: player, Vec: v})
-	t.mu.Unlock()
+	t.epoch++
+	// Under the topic lock so VectorPostCount never under-reports a
+	// posting already visible via Postings.
 	b.vectorPosts.Add(1)
+	t.mu.Unlock()
 }
 
 // PostVector publishes a total vector (lifted to a fully-known Partial).
@@ -201,23 +282,40 @@ func (b *Board) Postings(name string) []Posting {
 // lexicographic order, so it is deterministic regardless of posting
 // order — every player computing Votes sees the same list, which the
 // paper's vote-threshold steps require.
+//
+// The tally is cached per topic epoch: while no new posting arrives,
+// every call returns the same immutable slice, computed once. Callers
+// must not modify it.
 func (b *Board) Votes(name string) []Vote {
-	postings := b.Postings(name)
-	byKey := make(map[string]*Vote)
-	for _, p := range postings {
-		k := p.Vec.Key()
-		v, ok := byKey[k]
-		if !ok {
-			v = &Vote{Vec: p.Vec}
-			byKey[k] = v
-		}
-		v.Count++
-		v.Voters = append(v.Voters, p.Player)
+	t := b.topicFor(name)
+	t.mu.Lock()
+	if t.votesAt != t.epoch {
+		t.votes = tallyVotes(t.postings)
+		t.votesAt = t.epoch
 	}
+	out := t.votes
+	t.mu.Unlock()
+	return out
+}
+
+// tallyVotes groups identical vectors; see Votes for the order contract.
+func tallyVotes(postings []Posting) []Vote {
+	byKey := make(map[string]int, len(postings))
 	out := make([]Vote, 0, len(byKey))
-	for _, v := range byKey {
-		sort.Ints(v.Voters)
-		out = append(out, *v)
+	var kb []byte
+	for _, p := range postings {
+		kb = p.Vec.AppendKey(kb[:0])
+		i, ok := byKey[string(kb)]
+		if !ok {
+			i = len(out)
+			out = append(out, Vote{Vec: p.Vec})
+			byKey[string(kb)] = i
+		}
+		out[i].Count++
+		out[i].Voters = append(out[i].Voters, p.Player)
+	}
+	for i := range out {
+		sort.Ints(out[i].Voters)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -277,8 +375,9 @@ func (b *Board) PostValues(name string, player int, vals []uint32) {
 	cp := append([]uint32(nil), vals...)
 	t.mu.Lock()
 	t.values = append(t.values, ValuePosting{Player: player, Vals: cp})
+	t.epoch++
+	b.vectorPosts.Add(1) // under the lock; see Post
 	t.mu.Unlock()
-	b.vectorPosts.Add(1)
 }
 
 // ValuePostings returns a snapshot of the value vectors posted under the
@@ -293,24 +392,38 @@ func (b *Board) ValuePostings(name string) []ValuePosting {
 
 // ValueVotes tallies value-vector postings, sorted by descending count
 // with ties broken by the vectors' lexicographic order (deterministic
-// for every reader, like Votes).
+// for every reader, like Votes). Cached per topic epoch like Votes; the
+// result is immutable and must not be modified.
 func (b *Board) ValueVotes(name string) []ValueVote {
-	postings := b.ValuePostings(name)
-	byKey := make(map[string]*ValueVote)
-	for _, p := range postings {
-		k := valsKey(p.Vals)
-		v, ok := byKey[k]
-		if !ok {
-			v = &ValueVote{Vals: p.Vals}
-			byKey[k] = v
-		}
-		v.Count++
-		v.Voters = append(v.Voters, p.Player)
+	t := b.topicFor(name)
+	t.mu.Lock()
+	if t.valVotesAt != t.epoch {
+		t.valVotes = tallyValueVotes(t.values)
+		t.valVotesAt = t.epoch
 	}
+	out := t.valVotes
+	t.mu.Unlock()
+	return out
+}
+
+// tallyValueVotes groups identical value vectors; see ValueVotes.
+func tallyValueVotes(values []ValuePosting) []ValueVote {
+	byKey := make(map[string]int, len(values))
 	out := make([]ValueVote, 0, len(byKey))
-	for _, v := range byKey {
-		sort.Ints(v.Voters)
-		out = append(out, *v)
+	var kb []byte
+	for _, p := range values {
+		kb = appendValsKey(kb[:0], p.Vals)
+		i, ok := byKey[string(kb)]
+		if !ok {
+			i = len(out)
+			out = append(out, ValueVote{Vals: p.Vals})
+			byKey[string(kb)] = i
+		}
+		out[i].Count++
+		out[i].Voters = append(out[i].Voters, p.Player)
+	}
+	for i := range out {
+		sort.Ints(out[i].Voters)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -321,12 +434,11 @@ func (b *Board) ValueVotes(name string) []ValueVote {
 	return out
 }
 
-func valsKey(vals []uint32) string {
-	buf := make([]byte, 0, len(vals)*4)
+func appendValsKey(buf []byte, vals []uint32) []byte {
 	for _, v := range vals {
 		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return string(buf)
+	return buf
 }
 
 func lessVals(a, b []uint32) bool {

@@ -46,9 +46,11 @@ func (b *Board) Snapshot(w io.Writer) error {
 	doc := snapshotJSON{N: b.n, M: b.m, Topics: map[string]snapshot{}}
 	doc.Probes = make([][]snapObjGrade, b.n)
 	for p := 0; p < b.n; p++ {
-		for o, g := range b.ProbedObjects(p) {
+		// ForEachProbe iterates in ascending object order, so snapshots
+		// of the same state are byte-identical.
+		b.ForEachProbe(p, func(o int, g byte) {
 			doc.Probes[p] = append(doc.Probes[p], snapObjGrade{O: o, G: g})
-		}
+		})
 	}
 	b.mu.RLock()
 	names := make([]string, 0, len(b.topics))

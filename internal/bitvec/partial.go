@@ -221,7 +221,12 @@ func (p Partial) Project(idx []int) Partial {
 
 // Key returns a map key; equal keys iff Equal.
 func (p Partial) Key() string {
-	buf := make([]byte, 0, len(p.val)*16+2)
+	return string(p.AppendKey(make([]byte, 0, len(p.val)*16+2)))
+}
+
+// AppendKey appends the Key bytes to buf and returns it, letting tally
+// loops reuse one buffer instead of allocating a string per vector.
+func (p Partial) AppendKey(buf []byte) []byte {
 	buf = append(buf, byte(p.n), byte(p.n>>8))
 	for i := range p.val {
 		w, k := p.val[i], p.known[i]
@@ -231,7 +236,7 @@ func (p Partial) Key() string {
 			byte(k), byte(k>>8), byte(k>>16), byte(k>>24),
 			byte(k>>32), byte(k>>40), byte(k>>48), byte(k>>56))
 	}
-	return string(buf)
+	return buf
 }
 
 // Less imposes a total lexicographic order with 0 < 1 < ?, giving the

@@ -22,11 +22,12 @@
 package core
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 
 	"tellme/internal/billboard"
+	"tellme/internal/ints"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
@@ -182,7 +183,7 @@ func NewEnv(e *probe.Engine, runner sim.PhaseRunner, public rng.Source, cfg Conf
 // freshTag returns a unique topic prefix for one algorithm invocation,
 // so nested and repeated invocations never collide on the billboard.
 func (env *Env) freshTag(kind string) string {
-	return fmt.Sprintf("%s#%d", kind, env.topicSeq.Add(1))
+	return kind + "#" + strconv.FormatInt(env.topicSeq.Add(1), 10)
 }
 
 // leafThreshold is the ZeroRadius recursion cutoff for the given α.
@@ -203,16 +204,15 @@ func (env *Env) confidenceK() int {
 }
 
 // allPlayers returns [0, n).
-func allPlayers(n int) []int {
-	ps := make([]int, n)
-	for i := range ps {
-		ps[i] = i
-	}
-	return ps
-}
+func allPlayers(n int) []int { return ints.Iota(n) }
 
 // splitHalf randomly partitions ids into two halves of sizes ⌈k/2⌉ and
-// ⌊k/2⌋ using the given public-coin stream.
+// ⌊k/2⌋ using the given public-coin stream. The halves are a fresh
+// shuffled copy: callers keep their original order, and — load-bearing
+// for determinism — a recursive caller's own slice keeps its positional
+// order when the halves are split further (posted value vectors are
+// positional, and the deterministic vote order compares them
+// lexicographically).
 func splitHalf(r *rng.Rand, ids []int) (a, b []int) {
 	shuffled := append([]int(nil), ids...)
 	r.Shuffle(len(shuffled), func(i, j int) {
@@ -223,12 +223,27 @@ func splitHalf(r *rng.Rand, ids []int) (a, b []int) {
 }
 
 // assignParts assigns each of the ids independently and uniformly to one
-// of s parts (the paper's random object partition).
+// of s parts (the paper's random object partition). All parts share one
+// backing array, allocated once, instead of s independently grown
+// slices.
 func assignParts(r *rng.Rand, ids []int, s int) [][]int {
+	assign := make([]int, len(ids))
+	counts := make([]int, s)
+	for i := range ids {
+		a := r.Intn(s)
+		assign[i] = a
+		counts[a]++
+	}
+	backing := make([]int, len(ids))
 	parts := make([][]int, s)
-	for _, id := range ids {
-		i := r.Intn(s)
-		parts[i] = append(parts[i], id)
+	off := 0
+	for a, c := range counts {
+		parts[a] = backing[off : off : off+c]
+		off += c
+	}
+	for i, id := range ids {
+		a := assign[i]
+		parts[a] = append(parts[a], id)
 	}
 	return parts
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"tellme/internal/billboard"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -34,11 +35,7 @@ func (r *accountingLockstep) Phase(players []int, f func(p int)) {
 }
 
 func (r *accountingLockstep) PhaseAll(n int, f func(p int)) {
-	players := make([]int, n)
-	for i := range players {
-		players[i] = i
-	}
-	r.Phase(players, f)
+	r.Phase(ints.Iota(n), f)
 }
 
 func TestZeroRadiusUnderStrictLockstep(t *testing.T) {

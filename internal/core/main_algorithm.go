@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tellme/internal/bitvec"
+	"tellme/internal/ints"
 )
 
 // Regime identifies which sub-algorithm the main dispatcher used.
@@ -80,9 +81,5 @@ func Main(env *Env, alpha float64, d int) []bitvec.Partial {
 
 // allObjects returns [0, m).
 func allObjects(m int) []int {
-	os := make([]int, m)
-	for i := range os {
-		os[i] = i
-	}
-	return os
+	return ints.Iota(m)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tellme/internal/bitvec"
+	"tellme/internal/ints"
 	"tellme/internal/rng"
 )
 
@@ -39,11 +40,7 @@ func PartitionSuccessful(vecs []bitvec.Vector, parts [][]int) bool {
 // s parts (each coordinate assigned independently and uniformly, as in
 // Lemma 4.1) and reports whether it is successful for vecs.
 func RandomPartitionTrial(r *rng.Rand, vecs []bitvec.Vector, m, s int) bool {
-	idx := make([]int, m)
-	for i := range idx {
-		idx[i] = i
-	}
-	parts := assignParts(r, idx, s)
+	parts := assignParts(r, ints.Iota(m), s)
 	return PartitionSuccessful(vecs, parts)
 }
 

@@ -136,22 +136,26 @@ func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) [
 // returns the distinct vectors with at least minVotes supporters as
 // fully-known Partials, deterministically ordered (vote count desc,
 // then lexicographic).
+//
+// The grouping key is packed straight from the 0/1 value slices into a
+// reused buffer, so only distinct vectors are materialized — tallying
+// is allocation-free in the common all-agree case.
 func popularOutputs(players []int, zr [][]uint32, minVotes int) []bitvec.Partial {
 	type group struct {
 		vec   bitvec.Partial
 		count int
 	}
 	byKey := make(map[string]*group)
+	var kb []byte
 	for _, p := range players {
 		if zr[p] == nil {
 			continue
 		}
-		v := valsToVector(zr[p])
-		k := v.Key()
-		g, ok := byKey[k]
+		kb = appendBitsKey(kb[:0], zr[p])
+		g, ok := byKey[string(kb)]
 		if !ok {
-			g = &group{vec: bitvec.PartialOf(v)}
-			byKey[k] = g
+			g = &group{vec: bitvec.PartialOf(valsToVector(zr[p]))}
+			byKey[string(kb)] = g
 		}
 		g.count++
 	}
@@ -188,4 +192,24 @@ func valsToVector(vals []uint32) bitvec.Vector {
 		}
 	}
 	return v
+}
+
+// appendBitsKey packs a 0/1 value slice into buf, 8 values per byte —
+// an injective key for vectors of one common length, matching the
+// grouping Vector.Key would produce without building the Vector.
+func appendBitsKey(buf []byte, vals []uint32) []byte {
+	var acc byte
+	for i, x := range vals {
+		if x != 0 {
+			acc |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if len(vals)&7 != 0 {
+		buf = append(buf, acc)
+	}
+	return buf
 }

@@ -5,6 +5,7 @@ import (
 
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -39,13 +40,7 @@ func part(t testing.TB, s string) bitvec.Partial {
 }
 
 // seqObjs returns [0, k).
-func seqObjs(k int) []int {
-	o := make([]int, k)
-	for i := range o {
-		o[i] = i
-	}
-	return o
-}
+func seqObjs(k int) []int { return ints.Iota(k) }
 
 // singlePlayer builds a 1-player instance with the given truth string
 // and returns its probe handle plus the engine.

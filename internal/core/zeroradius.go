@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
+	"tellme/internal/ints"
 	"tellme/internal/probe"
 )
 
@@ -37,12 +39,16 @@ func (s BinarySpace) Probe(pl *probe.Player, j int) uint32 {
 }
 
 // zrNode is one node of the ZeroRadius recursion tree. The tree is built
-// by the shared coin, so every player knows the full structure.
+// by the shared coin, so every player knows the full structure. The
+// billboard topic is precomputed so the per-player phase bodies never
+// format strings.
 type zrNode struct {
 	id          int
 	depth       int
+	topic       string
 	players     []int
 	objs        []int // abstract object ids
+	cands       [][]uint32
 	left, right *zrNode
 }
 
@@ -73,14 +79,17 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 	// Build the recursion tree with public coins.
 	coin := env.Public.Stream(tag, 0)
 	nextID := 0
-	objs := make([]int, space.Len())
-	for i := range objs {
-		objs[i] = i
-	}
+	objs := ints.Iota(space.Len())
 	var build func(ps, os []int, depth int) *zrNode
 	var byLevel [][]*zrNode
 	build = func(ps, os []int, depth int) *zrNode {
-		nd := &zrNode{id: nextID, depth: depth, players: ps, objs: os}
+		nd := &zrNode{
+			id:      nextID,
+			depth:   depth,
+			topic:   tag + "/" + strconv.Itoa(nextID),
+			players: ps,
+			objs:    os,
+		}
 		nextID++
 		for len(byLevel) <= depth {
 			byLevel = append(byLevel, nil)
@@ -97,29 +106,32 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 	root := build(players, objs, 0)
 
 	// childAt[p] tracks the node player p most recently completed, so an
-	// internal node knows which child p came from.
+	// internal node knows which child p came from. out rows and the
+	// per-player posting scratch share one backing array each.
 	childAt := make([]*zrNode, env.N)
+	nodeAt := make([]*zrNode, env.N)
 	out := make([][]uint32, env.N)
-	for _, p := range players {
-		out[p] = make([]uint32, space.Len())
+	scratch := make([][]uint32, env.N)
+	width := space.Len()
+	backing := make([]uint32, 2*len(players)*width)
+	for i, p := range players {
+		out[p] = backing[2*i*width : (2*i+1)*width]
+		scratch[p] = backing[(2*i+1)*width : (2*i+2)*width]
 	}
-
-	topicOf := func(nd *zrNode) string { return fmt.Sprintf("%s/%d", tag, nd.id) }
 
 	// Process levels bottom-up. At each level, leaves probe everything
 	// they own and post; internal nodes adopt the sibling half's popular
 	// vector via Select and post the combined vector.
 	//
 	// The vote tally over a sibling's postings is identical for every
-	// reader (the billboard's deterministic Votes order), so it is
-	// computed once per node before the phase rather than once per
-	// player — the distributed "scan the billboard" step costs no
+	// reader (the billboard's deterministic, epoch-cached ValueVotes),
+	// so it is computed once per node before the phase rather than once
+	// per player — the distributed "scan the billboard" step costs no
 	// probes, and recomputing it n times per level would dominate
 	// simulation time.
+	phasePlayers := make([]int, 0, len(players))
 	for level := len(byLevel) - 1; level >= 0; level-- {
-		var phasePlayers []int
-		nodeAt := make(map[int]*zrNode)
-		candsOf := make(map[*zrNode][][]uint32)
+		phasePlayers = phasePlayers[:0]
 		for _, nd := range byLevel[level] {
 			for _, p := range nd.players {
 				nodeAt[p] = nd
@@ -127,7 +139,7 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 			phasePlayers = append(phasePlayers, nd.players...)
 			if !nd.leaf() {
 				for _, child := range [2]*zrNode{nd.left, nd.right} {
-					candsOf[child] = popularValueCands(env, topicOf(child), child, alpha)
+					child.cands = popularValueCands(env, child.topic, child, alpha)
 				}
 			}
 		}
@@ -136,12 +148,12 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 			pl := env.Engine.Player(p)
 			if nd.leaf() {
 				// Step 1: probe every object of the node.
-				vals := make([]uint32, len(nd.objs))
+				vals := scratch[p][:len(nd.objs)]
 				for j, obj := range nd.objs {
 					vals[j] = space.Probe(pl, obj)
 					out[p][obj] = vals[j]
 				}
-				env.Board.PostValues(topicOf(nd), p, vals)
+				env.Board.PostValues(nd.topic, p, vals)
 				childAt[p] = nd
 				return
 			}
@@ -151,23 +163,23 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 			if sib == mine {
 				sib = nd.right
 			}
-			adoptSibling(pl, space, out[p], sib, candsOf[sib])
+			adoptSibling(pl, space, out[p], sib, sib.cands)
 			childAt[p] = nd
 			// Post the combined vector for this node.
-			vals := make([]uint32, len(nd.objs))
+			vals := scratch[p][:len(nd.objs)]
 			for j, obj := range nd.objs {
 				vals[j] = out[p][obj]
 			}
-			env.Board.PostValues(topicOf(nd), p, vals)
+			env.Board.PostValues(nd.topic, p, vals)
 		})
 		// Completed child topics are no longer read; free them.
 		if level+1 < len(byLevel) {
 			for _, nd := range byLevel[level+1] {
-				env.Board.DropTopic(topicOf(nd))
+				env.Board.DropTopic(nd.topic)
 			}
 		}
 	}
-	env.Board.DropTopic(topicOf(root))
+	env.Board.DropTopic(root.topic)
 	return out
 }
 

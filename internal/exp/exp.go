@@ -15,6 +15,7 @@ import (
 
 	"tellme/internal/billboard"
 	"tellme/internal/core"
+	"tellme/internal/ints"
 	"tellme/internal/metrics"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
@@ -123,18 +124,6 @@ func (s *session) probeStats() metrics.ProbeStats {
 // community returns the first planted community's member list.
 func (s *session) community() []int { return s.in.Communities[0].Members }
 
-func allPlayers(n int) []int {
-	ps := make([]int, n)
-	for i := range ps {
-		ps[i] = i
-	}
-	return ps
-}
+func allPlayers(n int) []int { return ints.Iota(n) }
 
-func seqObjs(m int) []int {
-	os := make([]int, m)
-	for i := range os {
-		os[i] = i
-	}
-	return os
-}
+func seqObjs(m int) []int { return ints.Iota(m) }

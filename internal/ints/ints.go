@@ -1,0 +1,14 @@
+// Package ints holds tiny integer-slice utilities shared across the
+// simulator, the experiments and the benchmarks.
+package ints
+
+// Iota returns the slice [0, 1, …, n-1]. It is the canonical "all
+// players" / "all objects" id list; previously every package grew its
+// own copy.
+func Iota(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package ints
+
+import "testing"
+
+func TestIota(t *testing.T) {
+	if got := Iota(0); len(got) != 0 {
+		t.Fatalf("Iota(0) = %v", got)
+	}
+	got := Iota(4)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Iota(4) = %v", got)
+		}
+	}
+}

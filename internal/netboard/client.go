@@ -162,6 +162,17 @@ func (c *Client) ProbedObjects(p int) map[int]byte {
 	return out
 }
 
+// ForEachProbe implements billboard.Interface. It fetches the player's
+// probe results once and iterates them in the server's order (ascending
+// object order for a billboard.Board-backed server).
+func (c *Client) ForEachProbe(p int, fn func(o int, grade byte)) {
+	var reply probedObjectsReply
+	c.get(PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
+	for _, og := range reply.Objects {
+		fn(og.Object, og.Grade)
+	}
+}
+
 // ProbeCount implements billboard.Interface.
 func (c *Client) ProbeCount() int64 { return c.stats().ProbeCount }
 

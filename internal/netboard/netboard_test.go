@@ -11,6 +11,7 @@ import (
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
 	"tellme/internal/core"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -161,14 +162,8 @@ func TestZeroRadiusOverHTTP(t *testing.T) {
 	run := func(b billboard.Interface) [][]uint32 {
 		e := probe.NewEngine(in, b, rng.NewSource(8))
 		env := core.NewEnv(e, sim.NewRunner(4), rng.NewSource(9), core.DefaultConfig())
-		players := make([]int, in.N)
-		objs := make([]int, in.M)
-		for i := range players {
-			players[i] = i
-		}
-		for i := range objs {
-			objs[i] = i
-		}
+		players := ints.Iota(in.N)
+		objs := ints.Iota(in.M)
 		return core.ZeroRadiusBits(env, players, objs, 0.5)
 	}
 
@@ -290,4 +285,29 @@ func TestClientRetriesExhausted(t *testing.T) {
 	if got == nil || !strings.Contains(got.Error(), "500") {
 		t.Fatalf("error after exhausted retries: %v", got)
 	}
+}
+
+func TestClientForEachProbe(t *testing.T) {
+	board, c, done := newPair(t, 4, 128)
+	defer done()
+	for o := 1; o < 128; o += 3 {
+		board.PostProbe(2, o, byte(o&1))
+	}
+	var got []int
+	last := -1
+	c.ForEachProbe(2, func(o int, g byte) {
+		if o <= last {
+			t.Fatalf("object %d after %d: not ascending", o, last)
+		}
+		last = o
+		if g != byte(o&1) {
+			t.Fatalf("object %d: grade %d", o, g)
+		}
+		got = append(got, o)
+	})
+	if want := len(board.ProbedObjects(2)); len(got) != want {
+		t.Fatalf("iterated %d objects, want %d", len(got), want)
+	}
+	// An empty shard iterates nothing.
+	c.ForEachProbe(3, func(o int, g byte) { t.Fatalf("unexpected probe %d", o) })
 }

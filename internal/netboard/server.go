@@ -117,11 +117,10 @@ func (s *Server) handleProbedObjects(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m := s.board.ProbedObjects(p)
-	reply := probedObjectsReply{Objects: make([]objGrade, 0, len(m))}
-	for o, g := range m {
+	reply := probedObjectsReply{Objects: []objGrade{}}
+	s.board.ForEachProbe(p, func(o int, g byte) {
 		reply.Objects = append(reply.Objects, objGrade{Object: o, Grade: g})
-	}
+	})
 	writeJSON(w, reply)
 }
 

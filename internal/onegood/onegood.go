@@ -25,6 +25,7 @@
 package onegood
 
 import (
+	"tellme/internal/ints"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
@@ -200,9 +201,5 @@ func RandomOnly(e *probe.Engine, runner *sim.Runner, src rng.Source, maxRounds i
 }
 
 func seq(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return ints.Iota(n)
 }

@@ -83,7 +83,14 @@ func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, 
 	}
 	e.players = make([]Player, inst.N)
 	for p := 0; p < inst.N; p++ {
-		e.players[p] = Player{engine: e, id: p, noiseRand: src.Stream("probe-noise", p)}
+		e.players[p] = Player{engine: e, id: p}
+	}
+	if e.noise != nil {
+		// Noise streams are only materialized when a NoiseFunc is
+		// installed; noise-free engines skip n stream allocations.
+		for p := 0; p < inst.N; p++ {
+			e.players[p].noiseRand = src.Stream("probe-noise", p)
+		}
 	}
 	return e
 }

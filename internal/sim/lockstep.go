@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"tellme/internal/ints"
+)
 
 // Gate is a dynamic-membership round barrier: the strict version of the
 // paper's synchronous model, where in each round every active player
@@ -128,9 +132,5 @@ func (l *LockstepRunner) Phase(players []int, f func(p int)) {
 
 // PhaseAll implements PhaseRunner.
 func (l *LockstepRunner) PhaseAll(n int, f func(p int)) {
-	players := make([]int, n)
-	for i := range players {
-		players[i] = i
-	}
-	LockstepPhase(l.G, players, f)
+	LockstepPhase(l.G, ints.Iota(n), f)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tellme/internal/billboard"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -104,10 +105,4 @@ func TestLockstepValidatesProbeAccounting(t *testing.T) {
 	}
 }
 
-func idsOf(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
+func idsOf(n int) []int { return ints.Iota(n) }

@@ -15,6 +15,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tellme/internal/probe"
 )
@@ -50,67 +51,95 @@ func NewRunner(workers int) *Runner {
 
 // Phase runs f(p) for every p in players concurrently and returns when
 // all calls complete (the barrier). Panics inside f are propagated to
-// the caller after all workers stop.
+// the caller after all workers stop; every player still runs.
 func (r *Runner) Phase(players []int, f func(p int)) {
-	if len(players) == 0 {
+	n := len(players)
+	if n == 0 {
 		return
 	}
-	w := r.workers
-	if w > len(players) {
-		w = len(players)
-	}
-	if w == 1 {
+	if r.width(n) == 1 {
 		for _, p := range players {
 			f(p)
 		}
 		return
 	}
-	var (
-		wg      sync.WaitGroup
-		next    int
-		nextMu  sync.Mutex
-		panicMu sync.Mutex
-		panics  []any
-	)
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				nextMu.Lock()
-				if next >= len(players) {
-					nextMu.Unlock()
-					return
-				}
-				p := players[next]
-				next++
-				nextMu.Unlock()
-				func() {
-					defer func() {
-						if rec := recover(); rec != nil {
-							panicMu.Lock()
-							panics = append(panics, rec)
-							panicMu.Unlock()
-						}
-					}()
-					f(p)
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	if len(panics) > 0 {
-		panic(panics[0])
-	}
+	r.parallel(n, func(i int) { f(players[i]) })
 }
 
-// PhaseAll runs f for players 0..n-1.
+// PhaseAll runs f for players 0..n-1, without materializing the id list.
 func (r *Runner) PhaseAll(n int, f func(p int)) {
-	players := make([]int, n)
-	for i := range players {
-		players[i] = i
+	if n == 0 {
+		return
 	}
-	r.Phase(players, f)
+	if r.width(n) == 1 {
+		for p := 0; p < n; p++ {
+			f(p)
+		}
+		return
+	}
+	r.parallel(n, f)
+}
+
+// width is the worker count for a phase of n items.
+func (r *Runner) width(n int) int {
+	if r.workers < n {
+		return r.workers
+	}
+	return n
+}
+
+// parallel dispatches g(0..n-1) over width(n) workers. Work is handed
+// out in chunks claimed off one atomic counter — no mutex, no per-item
+// closure, and the worker body is a single closure shared by all
+// goroutines, so a phase allocates O(workers) regardless of n.
+func (r *Runner) parallel(n int, g func(i int)) {
+	w := r.width(n)
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > 64 {
+		chunk = 64
+	}
+	var (
+		next       atomic.Int64
+		firstPanic atomic.Pointer[any]
+		wg         sync.WaitGroup
+	)
+	// Per-call recovery keeps the original barrier semantics: one
+	// panicking player does not stop the others; the first recorded
+	// panic is rethrown after the barrier.
+	call := func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				firstPanic.CompareAndSwap(nil, &rec)
+			}
+		}()
+		g(i)
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			end := int(next.Add(int64(chunk)))
+			start := end - chunk
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				call(i)
+			}
+		}
+	}
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if rec := firstPanic.Load(); rec != nil {
+		panic(*rec)
+	}
 }
 
 // Clock converts phases into the paper's parallel round count. Each

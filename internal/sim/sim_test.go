@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tellme/internal/billboard"
+	"tellme/internal/ints"
 	"tellme/internal/prefs"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -134,13 +135,7 @@ func TestConcurrentPhaseWithProbes(t *testing.T) {
 	}
 }
 
-func allPlayers(n int) []int {
-	ps := make([]int, n)
-	for i := range ps {
-		ps[i] = i
-	}
-	return ps
-}
+func allPlayers(n int) []int { return ints.Iota(n) }
 
 func BenchmarkPhaseOverhead(b *testing.B) {
 	r := NewRunner(0)

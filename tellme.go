@@ -37,6 +37,7 @@ import (
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
 	"tellme/internal/core"
+	"tellme/internal/ints"
 	"tellme/internal/metrics"
 	"tellme/internal/netboard"
 	"tellme/internal/prefs"
@@ -231,14 +232,8 @@ func Run(in *Instance, opt Options) (*Report, error) {
 		env.Trace = trace.New(opt.TraceCapacity)
 	}
 
-	players := make([]int, in.N)
-	objs := make([]int, in.M)
-	for i := range players {
-		players[i] = i
-	}
-	for i := range objs {
-		objs[i] = i
-	}
+	players := ints.Iota(in.N)
+	objs := ints.Iota(in.M)
 
 	start := time.Now()
 	var outputs []Partial
@@ -353,14 +348,8 @@ func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, err
 	board := billboard.New(in.N, in.M)
 	engine := probe.NewEngine(in, board, src.Child("engine", 0))
 	env := core.NewEnv(engine, sim.NewRunner(opt.Parallelism), src.Child("public", 0), core.DefaultConfig())
-	players := make([]int, in.N)
-	objs := make([]int, in.M)
-	for i := range players {
-		players[i] = i
-	}
-	for i := range objs {
-		objs[i] = i
-	}
+	players := ints.Iota(in.N)
+	objs := ints.Iota(in.M)
 	red, maxP := core.RefreshBudget(opt.ExpectedDrift)
 	start := time.Now()
 	outputs := core.Refresh(env, players, objs, stale, opt.Alpha, red, maxP)
