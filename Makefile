@@ -1,11 +1,15 @@
 # Tier-1 verification targets. `make verify` is the full gate: vet plus
 # the whole suite under the race detector, which exercises the lock-free
 # probe shards and the epoch-cached vote tallies under real
-# interleavings (see internal/billboard/stress_test.go).
+# interleavings (see internal/billboard/stress_test.go), and the
+# netboard fault-injection stress (internal/netboard/stress_test.go):
+# dropped requests, responses lost after the server committed, and
+# concurrent duplicated deliveries, proving zero lost and zero
+# double-applied posts under -race.
 
 GO ?= go
 
-.PHONY: build test race verify bench
+.PHONY: build test race stress-net verify bench bench-net
 
 build:
 	$(GO) build ./...
@@ -16,8 +20,19 @@ test:
 race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
-verify: build race
+# The netboard fault-injection stress on its own (it also runs as part
+# of `race`); useful when iterating on the wire protocol.
+stress-net:
+	$(GO) test -race -run 'FaultSchedule|FaultyHTTP|Faultnet|Dedupe|RetryAfterCommit' ./internal/netboard/
 
-# Refresh the perf-trajectory snapshot (BENCH_1.json at the repo root).
+verify: build race stress-net
+
+# Refresh the perf-trajectory snapshots at the repo root.
+# BENCH_1.json: core experiment benchmarks.
 bench:
 	$(GO) run ./cmd/benchdiff -bench 'E1ZeroRadius|E8Main' -count 5
+
+# BENCH_2.json: networked-billboard throughput — full Zero Radius runs
+# over HTTP, batched vs legacy wire protocol, with requests/op.
+bench-net:
+	$(GO) run ./cmd/benchdiff -suite netboard -count 3

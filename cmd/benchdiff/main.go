@@ -36,6 +36,22 @@ type Summary struct {
 	MeanNs   float64 `json:"ns_per_op_mean"` // mean over runs
 	BytesOp  int64   `json:"bytes_per_op"`   // minimum over runs
 	AllocsOp int64   `json:"allocs_per_op"`  // minimum over runs
+	// Extra holds custom b.ReportMetric units (e.g. "requests/op" from
+	// the netboard suite), each the minimum over runs.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// suites are named benchmark presets: -suite <name> fills in the
+// package, regexp, and output path so trajectory files stay comparable
+// across PRs.
+var suites = map[string]struct {
+	pkg, bench, out string
+}{
+	// The experiment benchmarks of the root package (the default).
+	"experiments": {pkg: ".", bench: ".", out: "BENCH_1.json"},
+	// The networked-billboard throughput suite: full Zero Radius runs
+	// over HTTP, batched vs legacy wire protocol, reporting requests/op.
+	"netboard": {pkg: "./internal/netboard", bench: "NetboardRun|HTTP", out: "BENCH_2.json"},
 }
 
 // Comparison is the per-benchmark before/after delta when -baseline is
@@ -64,10 +80,28 @@ func main() {
 		count    = flag.Int("count", 5, "repetitions per benchmark (go test -count)")
 		pkg      = flag.String("pkg", ".", "package to benchmark")
 		out      = flag.String("out", "BENCH_1.json", "output JSON path")
+		suite    = flag.String("suite", "", "named preset (experiments, netboard); sets -pkg/-bench/-out unless overridden")
 		input    = flag.String("input", "", "parse this saved benchmark log instead of running go test")
 		baseline = flag.String("baseline", "", "prior benchdiff JSON or raw benchmark log to compare against")
 	)
 	flag.Parse()
+	if *suite != "" {
+		preset, ok := suites[*suite]
+		if !ok {
+			fatal(fmt.Errorf("unknown suite %q (have: experiments, netboard)", *suite))
+		}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["pkg"] {
+			*pkg = preset.pkg
+		}
+		if !set["bench"] {
+			*bench = preset.bench
+		}
+		if !set["out"] {
+			*out = preset.out
+		}
+	}
 
 	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchmem -count=%d %s", *bench, *count, *pkg)
 	var raw io.Reader
@@ -132,6 +166,14 @@ func write(path, cmdline string, sums []Summary, baselinePath string) {
 	for _, s := range sums {
 		fmt.Printf("%-40s %12.0f ns/op %10d B/op %8d allocs/op  (%d runs)\n",
 			s.Name, s.NsPerOp, s.BytesOp, s.AllocsOp, s.Runs)
+		units := make([]string, 0, len(s.Extra))
+		for u := range s.Extra {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Printf("%-40s %12.1f %s\n", "", s.Extra[u], u)
+		}
 	}
 	for _, c := range f.Comparison {
 		fmt.Printf("%-40s %6.2fx ns/op  allocs %d -> %d\n",
@@ -152,6 +194,7 @@ func parseBench(r io.Reader) ([]Summary, error) {
 		sumNs   float64
 		bytes   int64
 		allocs  int64
+		extra   map[string]float64
 		hasMem  bool
 		hasInit bool
 	}
@@ -167,6 +210,7 @@ func parseBench(r io.Reader) ([]Summary, error) {
 		name := strings.SplitN(fields[0], "-", 2)[0] // strip -GOMAXPROCS suffix
 		var ns float64
 		var bytesOp, allocsOp int64 = -1, -1
+		var extra map[string]float64
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, unit := fields[i], fields[i+1]
 			switch unit {
@@ -180,6 +224,14 @@ func parseBench(r io.Reader) ([]Summary, error) {
 				bytesOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				allocsOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				// A custom b.ReportMetric unit, e.g. "requests/op".
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if extra == nil {
+						extra = map[string]float64{}
+					}
+					extra[unit] = v
+				}
 			}
 		}
 		a, ok := byName[name]
@@ -203,6 +255,14 @@ func parseBench(r io.Reader) ([]Summary, error) {
 		if bytesOp >= 0 || allocsOp >= 0 {
 			a.hasMem = true
 		}
+		for unit, v := range extra {
+			if a.extra == nil {
+				a.extra = map[string]float64{}
+			}
+			if old, ok := a.extra[unit]; !ok || v < old {
+				a.extra[unit] = v
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -220,6 +280,7 @@ func parseBench(r io.Reader) ([]Summary, error) {
 			MeanNs:   a.sumNs / float64(a.runs),
 			BytesOp:  a.bytes,
 			AllocsOp: a.allocs,
+			Extra:    a.extra,
 		})
 	}
 	return out, nil

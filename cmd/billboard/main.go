@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":7070", "listen address")
-		n     = flag.Int("n", 1024, "number of players")
-		m     = flag.Int("m", 1024, "number of objects")
-		state = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
+		addr   = flag.String("addr", ":7070", "listen address")
+		n      = flag.Int("n", 1024, "number of players")
+		m      = flag.Int("m", 1024, "number of objects")
+		state  = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
+		dedupe = flag.Int("dedupe", netboard.DefaultDedupeWindow, "idempotency window: remembered request ids (0 disables dedupe)")
 	)
 	flag.Parse()
 	if *n <= 0 || *m <= 0 {
@@ -57,7 +58,7 @@ func main() {
 		}()
 	}
 
-	srv := netboard.NewServer(board)
+	srv := netboard.NewServer(board, netboard.WithDedupeWindow(*dedupe))
 	log.Printf("billboard for %d players × %d objects listening on %s", board.N(), board.M(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -2,10 +2,18 @@
 //
 // The paper's players communicate only through a shared public board.
 // This example starts a billboard HTTP server (the same one
-// cmd/billboard runs standalone), then executes Algorithm Zero Radius
-// with every billboard operation — probe postings, vector postings,
-// vote tallies — going over HTTP. The run is deterministic, so it
-// produces exactly the outputs an in-memory run would.
+// cmd/billboard runs standalone) and executes Algorithm Zero Radius
+// against it three times:
+//
+//  1. over the batched wire protocol (the default),
+//  2. over the legacy one-request-per-operation protocol, and
+//  3. over a deliberately hostile transport that drops requests, loses
+//     responses after the server committed, and duplicates deliveries.
+//
+// All three runs produce byte-identical outputs: the simulation is
+// deterministic, batching only changes how posts travel, and the
+// client's idempotent retries make the faults invisible — the server's
+// counters prove no post was lost or applied twice.
 package main
 
 import (
@@ -13,51 +21,105 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"reflect"
+	"time"
 
 	"tellme"
 	"tellme/internal/billboard"
 	"tellme/internal/netboard"
+	"tellme/internal/netboard/faultnet"
 )
 
-func main() {
-	const (
-		players = 48
-		objects = 64
-	)
+const (
+	players = 48
+	objects = 256
+)
 
-	// Start the billboard service on an ephemeral local port.
+// serve starts a fresh billboard service on an ephemeral local port.
+func serve() (*billboard.Board, string, func()) {
 	board := billboard.New(players, objects)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() {
-		if err := http.Serve(ln, netboard.NewServer(board)); err != nil {
-			log.Print(err)
-		}
-	}()
-	url := "http://" + ln.Addr().String()
-	fmt.Printf("billboard service listening at %s\n", url)
+	go http.Serve(ln, netboard.NewServer(board))
+	return board, "http://" + ln.Addr().String(), func() { ln.Close() }
+}
 
-	// Players share one hidden taste among 60% of them.
-	inst := tellme.IdenticalInstance(players, objects, 0.6, 3)
-
+// run executes Zero Radius through the given client and returns the
+// report plus how many HTTP requests the run issued.
+func run(inst *tellme.Instance, url string, configure func(*netboard.Client)) (*tellme.Report, int64) {
+	meter := faultnet.New(nil, 1)
+	c := netboard.NewClient(url)
+	c.HTTPClient = &http.Client{Transport: meter}
+	if configure != nil {
+		configure(c)
+	}
 	rep, err := tellme.Run(inst, tellme.Options{
 		Algorithm: tellme.AlgoZero,
 		Alpha:     0.6,
 		Seed:      4,
-		BoardURL:  url, // every billboard access is an HTTP round trip
+		Board:     c, // every billboard access goes over this client
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	return rep, meter.Delivered()
+}
 
+func main() {
+	// Players share one hidden taste among 60% of them.
+	inst := tellme.IdenticalInstance(players, objects, 0.6, 3)
+
+	// 1. Batched protocol: probe posts travel in per-player batches and
+	// vote tallies through the epoch-tagged snapshot cache.
+	board, url, stop := serve()
+	fmt.Printf("billboard service listening at %s\n", url)
+	rep, batchedReqs := run(inst, url, nil)
 	c := rep.Communities[0]
 	fmt.Printf("community of %d recovered its %d grades with worst error %d\n",
 		c.Size, objects, c.Discrepancy)
 	fmt.Printf("probes per player: max %d (solo = %d)\n", rep.MaxProbes, objects)
 	fmt.Printf("server-side state: %d probe postings, %d vector postings\n",
 		board.ProbeCount(), board.VectorPostCount())
-	fmt.Println("\ninspect the board yourself, e.g.:")
-	fmt.Printf("  curl '%s/v1/probe?player=0&object=0'\n", url)
+	wantProbes, wantVectors := board.ProbeCount(), board.VectorPostCount()
+	stop()
+
+	// 2. Legacy protocol: same simulation, one request per operation.
+	_, url, stop = serve()
+	legacyRep, legacyReqs := run(inst, url, func(c *netboard.Client) { c.DisableBatch = true })
+	stop()
+	fmt.Printf("\nHTTP requests for the identical simulation:\n")
+	fmt.Printf("  batched protocol: %5d requests\n", batchedReqs)
+	fmt.Printf("  legacy protocol:  %5d requests (%.1fx more)\n",
+		legacyReqs, float64(legacyReqs)/float64(batchedReqs))
+	if !reflect.DeepEqual(rep.Outputs, legacyRep.Outputs) {
+		log.Fatal("batched and legacy runs diverged")
+	}
+
+	// 3. Hostile transport: 10% dropped requests, 10% responses lost
+	// after the server already committed, 20% duplicated deliveries.
+	// Idempotent retries (request-id dedupe on the server) keep the
+	// board exact.
+	board, url, stop = serve()
+	ft := faultnet.New(nil, 99)
+	ft.DropRequest, ft.DropResponse, ft.Duplicate = 0.1, 0.1, 0.2
+	faultyRep, _ := run(inst, url, func(c *netboard.Client) {
+		c.HTTPClient = &http.Client{Transport: ft}
+		c.Retries = 40
+		c.RetryBackoff = 200 * time.Microsecond
+	})
+	stop()
+	fmt.Printf("\nflaky transport: %d requests dropped, %d responses lost after commit, %d duplicated\n",
+		ft.DroppedRequests(), ft.LostResponses(), ft.Duplicated())
+	if !reflect.DeepEqual(rep.Outputs, faultyRep.Outputs) {
+		log.Fatal("faulty-transport run diverged")
+	}
+	if board.ProbeCount() != wantProbes || board.VectorPostCount() != wantVectors {
+		log.Fatalf("board drifted under faults: %d/%d probes, %d/%d vectors",
+			board.ProbeCount(), wantProbes, board.VectorPostCount(), wantVectors)
+	}
+	fmt.Printf("outputs identical, server counters exact (%d probes, %d vector posts):\n",
+		wantProbes, wantVectors)
+	fmt.Println("zero posts lost, zero posts double-applied")
 }

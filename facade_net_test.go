@@ -2,11 +2,14 @@ package tellme
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"tellme/internal/billboard"
 	"tellme/internal/netboard"
+	"tellme/internal/netboard/faultnet"
 )
 
 func TestRunAgainstRemoteBoard(t *testing.T) {
@@ -41,6 +44,44 @@ func TestRunAgainstRemoteBoard(t *testing.T) {
 		if board.ProbeCount() == 0 {
 			t.Fatal("remote board saw no probes")
 		}
+	}
+}
+
+func TestRunOverFlakyTransport(t *testing.T) {
+	// A run through Options.Board with a fault-injecting transport must
+	// produce exactly the outputs of a local run: retries recover every
+	// dropped request, and request-id dedupe absorbs every re-delivery
+	// of a post the server already committed.
+	in := IdenticalInstance(48, 48, 0.5, 21)
+	local, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	board := billboard.New(in.N, in.M)
+	srv := httptest.NewServer(netboard.NewServer(board))
+	defer srv.Close()
+	ft := faultnet.New(nil, 33)
+	ft.DropRequest, ft.DropResponse, ft.Duplicate = 0.1, 0.1, 0.2
+	client := netboard.NewClient(srv.URL)
+	client.HTTPClient = &http.Client{Transport: ft}
+	client.Retries = 40
+	client.RetryBackoff = 100 * time.Microsecond
+
+	remote, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22, Board: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < in.N; p++ {
+		if !local.Outputs[p].Equal(remote.Outputs[p]) {
+			t.Fatalf("player %d output differs under flaky transport", p)
+		}
+	}
+	if local.MaxProbes != remote.MaxProbes {
+		t.Fatalf("probe accounting differs: %d vs %d", local.MaxProbes, remote.MaxProbes)
+	}
+	if ft.DroppedRequests()+ft.LostResponses()+ft.Duplicated() == 0 {
+		t.Fatal("fault schedule never fired; test proves nothing")
 	}
 }
 

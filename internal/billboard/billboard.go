@@ -55,6 +55,16 @@ type Interface interface {
 	// ForEachProbe calls fn for every (object, grade) posted by p, in
 	// ascending object order, without allocating.
 	ForEachProbe(p int, fn func(o int, grade byte))
+	// PostProbes records a batch of probe results for player p:
+	// grades[k] is p's grade for objs[k]. Objects within one call must
+	// be distinct. Equivalent to calling PostProbe per pair, but a
+	// remote implementation ships the whole batch in one round trip.
+	PostProbes(p int, objs []int, grades []byte)
+	// LookupProbes looks up p's posted grades for objs, filling
+	// grades[k] and known[k] per object (grades[k] is meaningful only
+	// when known[k] is true). Equivalent to calling LookupProbe per
+	// object, but batchable over a network transport.
+	LookupProbes(p int, objs []int, grades []byte, known []bool)
 	// ProbeCount returns the number of distinct probe results posted.
 	ProbeCount() int64
 
@@ -97,6 +107,7 @@ type Board struct {
 
 	probePosts  atomic.Int64
 	vectorPosts atomic.Int64
+	topicGen    atomic.Uint64
 }
 
 // probeShard is one player's probe results as two packed bit planes.
@@ -111,9 +122,14 @@ type probeShard struct {
 
 // topic holds one topic's postings plus its lazily cached vote tallies.
 // epoch counts mutations; votesAt/valVotesAt record the epoch at which
-// the corresponding cached tally was computed (^0 = never).
+// the corresponding cached tally was computed (^0 = never). gen is a
+// board-unique creation stamp, so a (gen, epoch) pair identifies topic
+// content even across DropTopic + re-create (a recreated topic restarts
+// at epoch 0 but gets a fresh gen, which keeps remote snapshot caches
+// from mistaking it for the dropped one).
 type topic struct {
 	mu       sync.Mutex
+	gen      uint64
 	postings []Posting
 	values   []ValuePosting
 
@@ -227,6 +243,23 @@ func (b *Board) ProbedObjects(p int) map[int]byte {
 	return out
 }
 
+// PostProbes records a batch of probe results for player p; see
+// Interface. On the in-memory board a batch is just a loop — the point
+// of the batch entry is that netboard ships it as one request.
+func (b *Board) PostProbes(p int, objs []int, grades []byte) {
+	for k, o := range objs {
+		b.PostProbe(p, o, grades[k])
+	}
+}
+
+// LookupProbes fills grades/known with p's posted results for objs;
+// see Interface.
+func (b *Board) LookupProbes(p int, objs []int, grades []byte, known []bool) {
+	for k, o := range objs {
+		grades[k], known[k] = b.LookupProbe(p, o)
+	}
+}
+
 // ProbeCount returns the total number of distinct probe results posted.
 func (b *Board) ProbeCount() int64 { return b.probePosts.Load() }
 
@@ -245,7 +278,11 @@ func (b *Board) topicFor(name string) *topic {
 	if t, ok = b.topics[name]; ok {
 		return t
 	}
-	t = &topic{votesAt: neverTallied, valVotesAt: neverTallied}
+	t = &topic{
+		gen:        b.topicGen.Add(1),
+		votesAt:    neverTallied,
+		valVotesAt: neverTallied,
+	}
 	b.topics[name] = t
 	return t
 }
@@ -404,6 +441,35 @@ func (b *Board) ValueVotes(name string) []ValueVote {
 	out := t.valVotes
 	t.mu.Unlock()
 	return out
+}
+
+// TopicSnapshot returns the topic's identity stamp (gen, epoch) and,
+// unless the caller's (sinceGen, sinceEpoch) already matches it, the
+// cached vote tallies of both posting kinds. unchanged reports a match,
+// in which case the returned tallies are nil and the caller should keep
+// whatever it fetched at that stamp. The stamp is comparable across
+// DropTopic: a recreated topic has a fresh gen, so a stale cache keyed
+// by the old stamp can never be mistaken for current content. This is
+// the server half of netboard's epoch-tagged snapshot endpoint; the
+// returned tallies are the shared immutable epoch caches of Votes and
+// ValueVotes.
+func (b *Board) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, epoch uint64, unchanged bool, votes []Vote, valVotes []ValueVote) {
+	t := b.topicFor(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gen, epoch = t.gen, t.epoch
+	if gen == sinceGen && epoch == sinceEpoch {
+		return gen, epoch, true, nil, nil
+	}
+	if t.votesAt != t.epoch {
+		t.votes = tallyVotes(t.postings)
+		t.votesAt = t.epoch
+	}
+	if t.valVotesAt != t.epoch {
+		t.valVotes = tallyValueVotes(t.values)
+		t.valVotesAt = t.epoch
+	}
+	return gen, epoch, false, t.votes, t.valVotes
 }
 
 // tallyValueVotes groups identical value vectors; see ValueVotes.

@@ -24,6 +24,19 @@ type ObjectSpace interface {
 	Probe(pl *probe.Player, j int) uint32
 }
 
+// BatchObjectSpace is implemented by object spaces whose probes have no
+// sequential dependency, so a whole set of abstract objects can be
+// probed in one batched call (one network round trip against a remote
+// billboard). ZeroRadius leaves use it when available; spaces whose
+// probes are adaptive (VirtualSpace runs Select per probe) simply don't
+// implement it and keep the per-object path.
+type BatchObjectSpace interface {
+	ObjectSpace
+	// ProbeMany probes abstract objects js, writing values into dst
+	// (dst[k] for js[k]), equivalently to calling Probe per object.
+	ProbeMany(pl *probe.Player, js []int, dst []uint32)
+}
+
 // BinarySpace is the identity ObjectSpace: abstract object j is the real
 // object Objs[j] and its value is the player's 0/1 grade.
 type BinarySpace struct {
@@ -36,6 +49,16 @@ func (s BinarySpace) Len() int { return len(s.Objs) }
 // Probe implements ObjectSpace.
 func (s BinarySpace) Probe(pl *probe.Player, j int) uint32 {
 	return uint32(pl.Probe(s.Objs[j]))
+}
+
+// ProbeMany implements BatchObjectSpace: one batched probe call for the
+// mapped real objects.
+func (s BinarySpace) ProbeMany(pl *probe.Player, js []int, dst []uint32) {
+	objs := pl.ObjScratch(len(js))
+	for k, j := range js {
+		objs[k] = s.Objs[j]
+	}
+	pl.ProbeMany(objs, dst)
 }
 
 // zrNode is one node of the ZeroRadius recursion tree. The tree is built
@@ -130,6 +153,7 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 	// probes, and recomputing it n times per level would dominate
 	// simulation time.
 	phasePlayers := make([]int, 0, len(players))
+	batchSpace, batched := space.(BatchObjectSpace)
 	for level := len(byLevel) - 1; level >= 0; level-- {
 		phasePlayers = phasePlayers[:0]
 		for _, nd := range byLevel[level] {
@@ -147,10 +171,19 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 			nd := nodeAt[p]
 			pl := env.Engine.Player(p)
 			if nd.leaf() {
-				// Step 1: probe every object of the node.
+				// Step 1: probe every object of the node. Leaf probes
+				// have no sequential dependency, so a batch-capable
+				// space ships them (and their billboard postings) in
+				// one batched call.
 				vals := scratch[p][:len(nd.objs)]
+				if batched {
+					batchSpace.ProbeMany(pl, nd.objs, vals)
+				} else {
+					for j, obj := range nd.objs {
+						vals[j] = space.Probe(pl, obj)
+					}
+				}
 				for j, obj := range nd.objs {
-					vals[j] = space.Probe(pl, obj)
 					out[p][obj] = vals[j]
 				}
 				env.Board.PostValues(nd.topic, p, vals)

@@ -2,12 +2,17 @@ package netboard
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tellme/internal/billboard"
@@ -18,22 +23,71 @@ import (
 //
 // billboard.Interface is error-free (the model treats the billboard as
 // reliable shared memory), so transport failures are routed to OnError,
-// which defaults to panicking with a descriptive message. Set OnError to
-// intercept failures when the transport is expected to be flaky.
+// which defaults to panicking with a descriptive message.
+//
+// Every mutating request carries a client-generated idempotency key
+// (HeaderRequestID) that is reused verbatim across retries, so a retry
+// of a request the server already applied — but whose response was lost
+// — is deduplicated server-side instead of double-applied.
+//
+// Batch operations (PostProbes, LookupProbes) and the vote reads
+// (Votes, ValueVotes, PopularVectors) use the batched wire protocol:
+// one request per batch, and an epoch-tagged per-topic snapshot cache
+// that re-downloads a tally only when the topic actually changed.
+// DisableBatch restores the one-request-per-operation legacy protocol
+// (useful to measure what batching buys; see cmd/benchdiff's netboard
+// suite).
 type Client struct {
 	// BaseURL is the server's root, e.g. "http://localhost:7070".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// OnError handles transport/protocol failures; default panics.
+	// OnError handles transport/protocol failures after retries are
+	// exhausted; the default panics. If OnError returns instead of
+	// panicking, the client enters degraded mode: the failed call
+	// returns the zero value of its type (LookupProbe → (0,false),
+	// Postings → nil, ProbeCount → 0, ...), the error is recorded, and
+	// Err/Failures report it. Degraded zero values are indistinguishable
+	// from an empty board at the call site, so any caller installing a
+	// non-panicking OnError MUST check Err before trusting results — a
+	// dead transport must not masquerade as an empty billboard.
 	OnError func(error)
 	// Retries is the number of times a failed request is retried with
 	// linear backoff before OnError fires (0 = no retries). 4xx
 	// responses are not retried — they are protocol errors, not
 	// transient failures.
 	Retries int
-	// RetryBackoff is the per-attempt backoff unit (default 50ms).
+	// RetryBackoff is the per-attempt backoff unit (default 50ms);
+	// attempt i waits i·RetryBackoff.
 	RetryBackoff time.Duration
+	// DisableBatch switches off request batching and the topic
+	// snapshot cache, issuing one legacy request per board operation.
+	DisableBatch bool
+
+	// sleep stubs time.Sleep in backoff for tests.
+	sleep func(time.Duration)
+
+	// Request-id state: a random per-client prefix plus a sequence
+	// number, unique across processes sharing one server.
+	idOnce   sync.Once
+	idPrefix string
+	idSeq    atomic.Uint64
+
+	// Degraded-mode record: first transport error and failure count.
+	errMu    sync.Mutex
+	firstErr error
+	failures atomic.Int64
+
+	// Per-topic snapshot cache keyed by the server's (gen, epoch) stamp.
+	cacheMu sync.Mutex
+	cache   map[string]*topicCacheEntry
+}
+
+// topicCacheEntry is one topic's decoded tallies at a (gen, epoch) stamp.
+type topicCacheEntry struct {
+	gen, epoch uint64
+	votes      []billboard.Vote
+	valVotes   []billboard.ValueVote
 }
 
 var _ billboard.Interface = (*Client)(nil)
@@ -43,7 +97,27 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
 }
 
+// Err returns the first transport/protocol error the client swallowed
+// via a non-panicking OnError (nil if none). Once Err is non-nil the
+// client has returned at least one degraded zero value; results
+// obtained since then must not be interpreted as board state.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+// Failures returns how many calls failed terminally (each one invoked
+// OnError and returned a degraded zero value).
+func (c *Client) Failures() int64 { return c.failures.Load() }
+
 func (c *Client) fail(err error) {
+	c.failures.Add(1)
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
 	if c.OnError != nil {
 		c.OnError(err)
 		return
@@ -64,22 +138,52 @@ func (c *Client) backoff(i int) {
 	if unit <= 0 {
 		unit = 50 * time.Millisecond
 	}
-	time.Sleep(time.Duration(i) * unit)
+	d := time.Duration(i) * unit
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// requestID mints a fresh idempotency key: random client prefix plus a
+// sequence number. One id is generated per logical mutation and reused
+// across its retries.
+func (c *Client) requestID() string {
+	c.idOnce.Do(func() {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			c.idPrefix = hex.EncodeToString(b[:])
+		} else {
+			c.idPrefix = fmt.Sprintf("t%d", time.Now().UnixNano())
+		}
+	})
+	return c.idPrefix + "-" + strconv.FormatUint(c.idSeq.Add(1), 10)
 }
 
 // post sends a JSON POST and expects 2xx, retrying transient failures.
+// All attempts carry the same request id, so a retry of a post the
+// server already applied is acknowledged, not re-applied.
 func (c *Client) post(path string, body any) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		c.fail(err)
 		return
 	}
+	id := c.requestID()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.backoff(attempt)
 		}
-		resp, err := c.httpc().Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+		req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderRequestID, id)
+		resp, err := c.httpc().Do(req)
 		if err != nil {
 			lastErr = err
 			continue
@@ -99,8 +203,10 @@ func (c *Client) post(path string, body any) {
 	c.fail(lastErr)
 }
 
-// get fetches JSON into out, retrying transient failures.
-func (c *Client) get(path string, query url.Values, out any) {
+// get fetches JSON into out, retrying transient failures. It reports
+// whether it succeeded; on false the client has already failed (and, in
+// degraded mode, out is untouched).
+func (c *Client) get(path string, query url.Values, out any) bool {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -131,14 +237,38 @@ func (c *Client) get(path string, query url.Values, out any) {
 			lastErr = fmt.Errorf("GET %s: decode: %v", path, err)
 			continue
 		}
-		return
+		return true
 	}
 	c.fail(lastErr)
+	return false
 }
 
 // PostProbe implements billboard.Interface.
 func (c *Client) PostProbe(p, o int, val byte) {
 	c.post(PathProbe, probePost{Player: p, Object: o, Value: val})
+}
+
+// PostProbes implements billboard.Interface: the whole batch travels as
+// one idempotent request (one per-probe request when DisableBatch).
+func (c *Client) PostProbes(p int, objs []int, grades []byte) {
+	if len(objs) == 0 {
+		return
+	}
+	if c.DisableBatch {
+		for k, o := range objs {
+			c.PostProbe(p, o, grades[k])
+		}
+		return
+	}
+	wire := make([]byte, len(objs))
+	for k, g := range grades {
+		if g != 0 {
+			wire[k] = '1'
+		} else {
+			wire[k] = '0'
+		}
+	}
+	c.post(PathBatchProbes, batchProbesPost{Player: p, Objects: objs, Grades: string(wire)})
 }
 
 // LookupProbe implements billboard.Interface.
@@ -149,6 +279,51 @@ func (c *Client) LookupProbe(p, o int) (byte, bool) {
 		"object": {strconv.Itoa(o)},
 	}, &reply)
 	return reply.Value, reply.OK
+}
+
+// LookupProbes implements billboard.Interface: one request for the
+// whole batch (one per object when DisableBatch).
+func (c *Client) LookupProbes(p int, objs []int, grades []byte, known []bool) {
+	if len(objs) == 0 {
+		return
+	}
+	if c.DisableBatch {
+		for k, o := range objs {
+			grades[k], known[k] = c.LookupProbe(p, o)
+		}
+		return
+	}
+	var sb strings.Builder
+	for k, o := range objs {
+		if k > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(o))
+	}
+	var reply batchLookupsReply
+	if !c.get(PathBatchLookups, url.Values{
+		"player":  {strconv.Itoa(p)},
+		"objects": {sb.String()},
+	}, &reply) {
+		for k := range objs {
+			grades[k], known[k] = 0, false // degraded: nothing known
+		}
+		return
+	}
+	if len(reply.Grades) != len(objs) {
+		c.fail(fmt.Errorf("batch lookup: %d grades for %d objects", len(reply.Grades), len(objs)))
+		return
+	}
+	for k := range objs {
+		switch reply.Grades[k] {
+		case '1':
+			grades[k], known[k] = 1, true
+		case '0':
+			grades[k], known[k] = 0, true
+		default:
+			grades[k], known[k] = 0, false
+		}
+	}
 }
 
 // ProbedObjects implements billboard.Interface.
@@ -202,20 +377,76 @@ func (c *Client) Postings(name string) []billboard.Posting {
 	return out
 }
 
-// Votes implements billboard.Interface.
-func (c *Client) Votes(name string) []billboard.Vote {
-	var reply []voteJSON
-	c.get(PathVotes, url.Values{"topic": {name}}, &reply)
-	out := make([]billboard.Vote, len(reply))
-	for i, v := range reply {
+// snapshot returns the topic's tallies through the epoch-tagged
+// snapshot cache: one GET when the cached (gen, epoch) stamp is stale,
+// zero decode work when the server answers "unchanged". The returned
+// entry is shared and immutable, matching the billboard.Interface
+// contract for Votes/ValueVotes. Returns nil in degraded mode.
+func (c *Client) snapshot(name string) *topicCacheEntry {
+	c.cacheMu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[string]*topicCacheEntry)
+	}
+	cached := c.cache[name]
+	c.cacheMu.Unlock()
+
+	q := url.Values{"topic": {name}}
+	if cached != nil {
+		q.Set("gen", strconv.FormatUint(cached.gen, 10))
+		q.Set("epoch", strconv.FormatUint(cached.epoch, 10))
+	}
+	var reply topicSnapshotReply
+	if !c.get(PathTopicSnapshot, q, &reply) {
+		return nil // degraded; c.fail already fired
+	}
+	if reply.Unchanged && cached != nil {
+		return cached
+	}
+	entry := &topicCacheEntry{gen: reply.Gen, epoch: reply.Epoch}
+	entry.votes = make([]billboard.Vote, len(reply.Votes))
+	for i, v := range reply.Votes {
 		vec, err := parsePartial(v.Bits)
 		if err != nil {
 			c.fail(err)
 			return nil
 		}
-		out[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+		entry.votes[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
 	}
-	return out
+	entry.valVotes = make([]billboard.ValueVote, len(reply.ValueVotes))
+	for i, v := range reply.ValueVotes {
+		entry.valVotes[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+	}
+	c.cacheMu.Lock()
+	// Last writer wins; concurrent fetchers decoded the same stamp or a
+	// newer one, and a stale overwrite only costs one extra refetch.
+	c.cache[name] = entry
+	c.cacheMu.Unlock()
+	return entry
+}
+
+// Votes implements billboard.Interface. The result is the shared,
+// immutable snapshot-cache entry (same contract as the in-memory
+// board's epoch-cached tallies).
+func (c *Client) Votes(name string) []billboard.Vote {
+	if c.DisableBatch {
+		var reply []voteJSON
+		c.get(PathVotes, url.Values{"topic": {name}}, &reply)
+		out := make([]billboard.Vote, len(reply))
+		for i, v := range reply {
+			vec, err := parsePartial(v.Bits)
+			if err != nil {
+				c.fail(err)
+				return nil
+			}
+			out[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+		}
+		return out
+	}
+	entry := c.snapshot(name)
+	if entry == nil {
+		return nil
+	}
+	return entry.votes
 }
 
 // PopularVectors implements billboard.Interface.
@@ -245,20 +476,31 @@ func (c *Client) ValuePostings(name string) []billboard.ValuePosting {
 	return out
 }
 
-// ValueVotes implements billboard.Interface.
+// ValueVotes implements billboard.Interface. Like Votes, the result is
+// the shared immutable snapshot-cache entry.
 func (c *Client) ValueVotes(name string) []billboard.ValueVote {
-	var reply []valueVoteJSON
-	c.get(PathValueVotes, url.Values{"topic": {name}}, &reply)
-	out := make([]billboard.ValueVote, len(reply))
-	for i, v := range reply {
-		out[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+	if c.DisableBatch {
+		var reply []valueVoteJSON
+		c.get(PathValueVotes, url.Values{"topic": {name}}, &reply)
+		out := make([]billboard.ValueVote, len(reply))
+		for i, v := range reply {
+			out[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+		}
+		return out
 	}
-	return out
+	entry := c.snapshot(name)
+	if entry == nil {
+		return nil
+	}
+	return entry.valVotes
 }
 
 // DropTopic implements billboard.Interface.
 func (c *Client) DropTopic(name string) {
 	c.post(PathDropTopic, dropPost{Topic: name})
+	c.cacheMu.Lock()
+	delete(c.cache, name)
+	c.cacheMu.Unlock()
 }
 
 // TopicCount implements billboard.Interface.

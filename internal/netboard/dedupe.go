@@ -1,0 +1,66 @@
+package netboard
+
+import "sync"
+
+// dedupe is the server-side idempotency window: a set of recently seen
+// request ids with FIFO eviction. Do applies a mutation at most once
+// per id; a concurrent duplicate (a network-duplicated request racing
+// its original) waits for the first application to finish instead of
+// re-applying, so "applied exactly once, acknowledged many times" holds
+// even under duplication faults.
+type dedupe struct {
+	mu   sync.Mutex
+	seen map[string]*dedupeEntry
+	// order holds completed ids in completion order; only completed
+	// entries are evicted, so an in-flight id can never be forgotten
+	// while its duplicate is waiting on it. head indexes the oldest
+	// live entry; the slice is compacted when the dead prefix exceeds
+	// the window, keeping memory bounded.
+	order []string
+	head  int
+	cap   int
+}
+
+type dedupeEntry struct {
+	done chan struct{}
+}
+
+func newDedupe(capacity int) *dedupe {
+	return &dedupe{seen: make(map[string]*dedupeEntry), cap: capacity}
+}
+
+// Do runs apply exactly once per id within the window. An empty id is
+// applied unconditionally. The return value reports whether this call
+// performed the application (false = deduplicated).
+func (d *dedupe) Do(id string, apply func()) bool {
+	if id == "" || d.cap <= 0 {
+		apply()
+		return true
+	}
+	d.mu.Lock()
+	if e, ok := d.seen[id]; ok {
+		d.mu.Unlock()
+		<-e.done // duplicate of an in-flight request: wait, don't re-apply
+		return false
+	}
+	e := &dedupeEntry{done: make(chan struct{})}
+	d.seen[id] = e
+	d.mu.Unlock()
+
+	apply()
+	close(e.done)
+
+	d.mu.Lock()
+	d.order = append(d.order, id)
+	for len(d.order)-d.head > d.cap {
+		delete(d.seen, d.order[d.head])
+		d.order[d.head] = ""
+		d.head++
+	}
+	if d.head > d.cap {
+		d.order = append(d.order[:0], d.order[d.head:]...)
+		d.head = 0
+	}
+	d.mu.Unlock()
+	return true
+}

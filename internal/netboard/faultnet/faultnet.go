@@ -1,0 +1,164 @@
+// Package faultnet wraps an http.RoundTripper with seeded fault
+// injection — dropped requests, lost responses, duplicated deliveries,
+// and added latency — so the netboard client's retry, backoff, and
+// idempotency machinery can be proven correct under hostile networks
+// (zero lost posts, zero double-applied posts) instead of assumed.
+//
+// The three fault classes map to the real failure modes of an HTTP
+// transport:
+//
+//   - DropRequest: the request never reaches the server (connection
+//     refused, SYN lost). Safe to retry blindly.
+//   - DropResponse: the server processed the request but the response
+//     was lost (connection reset after commit). Retrying re-delivers a
+//     mutation the server already applied — the case that demands
+//     request-id deduplication.
+//   - Duplicate: the request is delivered twice, the second delivery
+//     racing the first from another goroutine — the case that demands
+//     the server's in-flight duplicate wait, not just a seen-set.
+//
+// All randomness comes from one seeded source behind a mutex, so a
+// given seed yields a reproducible fault mix (per-request outcomes
+// still interleave with goroutine scheduling). Counters report how
+// many faults actually fired, letting stress tests assert they
+// exercised what they claim to.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is a fault-injecting http.RoundTripper. The zero fault
+// configuration forwards everything unchanged (and still counts
+// requests, which makes Transport double as a request meter).
+type Transport struct {
+	// Inner performs real deliveries; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+
+	// DropRequest is the probability a request is dropped before
+	// reaching the server.
+	DropRequest float64
+	// DropResponse is the probability the response is lost after the
+	// server fully processed the request.
+	DropResponse float64
+	// Duplicate is the probability a request is delivered twice; the
+	// extra delivery runs concurrently and its response is discarded.
+	Duplicate float64
+	// MaxDelay, when positive, delays each delivery by a uniform
+	// duration in [0, MaxDelay).
+	MaxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	delivered  atomic.Int64
+	droppedReq atomic.Int64
+	lostResp   atomic.Int64
+	duplicated atomic.Int64
+}
+
+// New returns a Transport over inner with the given fault seed and no
+// faults enabled; set the fault fields before use.
+func New(inner http.RoundTripper, seed int64) *Transport {
+	return &Transport{Inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delivered returns how many requests were actually handed to the
+// inner transport (duplicates included, dropped requests excluded).
+// With no faults configured this is exactly the number of HTTP
+// requests issued through the transport.
+func (t *Transport) Delivered() int64 { return t.delivered.Load() }
+
+// DroppedRequests returns how many requests were dropped undelivered.
+func (t *Transport) DroppedRequests() int64 { return t.droppedReq.Load() }
+
+// LostResponses returns how many responses were discarded after the
+// server processed the request.
+func (t *Transport) LostResponses() int64 { return t.lostResp.Load() }
+
+// Duplicated returns how many extra deliveries were injected.
+func (t *Transport) Duplicated() int64 { return t.duplicated.Load() }
+
+// roll draws the per-request fault outcomes under the lock.
+func (t *Transport) roll() (dropReq, dropResp, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(1))
+	}
+	dropReq = t.DropRequest > 0 && t.rng.Float64() < t.DropRequest
+	dropResp = t.DropResponse > 0 && t.rng.Float64() < t.DropResponse
+	dup = t.Duplicate > 0 && t.rng.Float64() < t.Duplicate
+	if t.MaxDelay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.MaxDelay)))
+	}
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	dropReq, dropResp, dup, delay := t.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if dropReq {
+		t.droppedReq.Add(1)
+		return nil, fmt.Errorf("faultnet: request dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	if dup {
+		if extra := cloneRequest(req); extra != nil {
+			t.duplicated.Add(1)
+			go func() {
+				t.delivered.Add(1)
+				resp, err := t.inner().RoundTrip(extra)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+		}
+	}
+	t.delivered.Add(1)
+	resp, err := t.inner().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.lostResp.Add(1)
+		return nil, fmt.Errorf("faultnet: response lost (%s %s)", req.Method, req.URL.Path)
+	}
+	return resp, nil
+}
+
+func (t *Transport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+// cloneRequest deep-copies a request for an extra delivery, or returns
+// nil when the body cannot be replayed (no GetBody).
+func cloneRequest(req *http.Request) *http.Request {
+	extra := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return extra
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	extra.Body = body
+	return extra
+}

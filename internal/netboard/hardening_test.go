@@ -1,0 +1,483 @@
+package netboard
+
+// Tests for the hardened wire protocol: server-side input validation,
+// method enforcement, batched endpoints, the epoch-tagged snapshot
+// cache, request-id deduplication, degraded-mode client semantics, and
+// retry/backoff accounting. The fault-injection stress lives in
+// stress_test.go.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/netboard/faultnet"
+)
+
+// postJSON sends a raw JSON POST and returns the status code.
+func postJSON(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestMutatingHandlersValidateInput(t *testing.T) {
+	board := billboard.New(4, 8)
+	srv := httptest.NewServer(NewServer(board))
+	defer srv.Close()
+
+	cases := []struct {
+		name, path, body string
+	}{
+		{"vector player out of range", PathVector, `{"topic":"t","player":99,"bits":"0101"}`},
+		{"vector negative player", PathVector, `{"topic":"t","player":-1,"bits":"0101"}`},
+		{"vector empty topic", PathVector, `{"topic":"","player":0,"bits":"0101"}`},
+		{"values player out of range", PathValues, `{"topic":"t","player":99,"vals":[1]}`},
+		{"values negative player", PathValues, `{"topic":"t","player":-1,"vals":[1]}`},
+		{"values empty topic", PathValues, `{"topic":"","player":0,"vals":[1]}`},
+		{"drop empty topic", PathDropTopic, `{"topic":""}`},
+		{"batch probes player out of range", PathBatchProbes, `{"player":99,"objects":[0],"grades":"1"}`},
+		{"batch probes object out of range", PathBatchProbes, `{"player":0,"objects":[99],"grades":"1"}`},
+		{"batch probes length mismatch", PathBatchProbes, `{"player":0,"objects":[0,1],"grades":"1"}`},
+		{"batch probes bad grade", PathBatchProbes, `{"player":0,"objects":[0],"grades":"x"}`},
+	}
+	for _, tc := range cases {
+		if code := postJSON(t, srv.URL+tc.path, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	// Nothing of the above reached the board.
+	if board.VectorPostCount() != 0 || board.ProbeCount() != 0 || board.TopicCount() != 0 {
+		t.Fatalf("invalid requests mutated the board: %d vectors, %d probes, %d topics",
+			board.VectorPostCount(), board.ProbeCount(), board.TopicCount())
+	}
+}
+
+func TestReadHandlersRequireGET(t *testing.T) {
+	board := billboard.New(4, 8)
+	srv := httptest.NewServer(NewServer(board))
+	defer srv.Close()
+
+	paths := []string{
+		PathPostings, PathVotes, PathValuePostings, PathValueVotes,
+		PathProbedObjects, PathStats, PathBatchLookups, PathTopicSnapshot,
+	}
+	for _, path := range paths {
+		if code := postJSON(t, srv.URL+path+"?topic=t&player=0&objects=0", `{}`); code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, code)
+		}
+	}
+}
+
+func TestBatchProbesParity(t *testing.T) {
+	// A batched post+lookup round trip must land on the board exactly
+	// like the equivalent singles.
+	board, c, done := newPair(t, 4, 64)
+	defer done()
+
+	objs := []int{3, 17, 40, 63}
+	grades := []byte{1, 0, 1, 1}
+	c.PostProbes(2, objs, grades)
+
+	if got := board.ProbeCount(); got != int64(len(objs)) {
+		t.Fatalf("ProbeCount = %d, want %d", got, len(objs))
+	}
+	for k, o := range objs {
+		if v, ok := board.LookupProbe(2, o); !ok || v != grades[k] {
+			t.Fatalf("object %d: board has (%d,%v), want (%d,true)", o, v, ok, grades[k])
+		}
+	}
+
+	// Batched lookup: known objects mixed with unknown ones.
+	look := []int{3, 4, 40, 5}
+	gotGrades := make([]byte, len(look))
+	gotKnown := make([]bool, len(look))
+	c.LookupProbes(2, look, gotGrades, gotKnown)
+	wantKnown := []bool{true, false, true, false}
+	wantGrades := []byte{1, 0, 1, 0}
+	for k := range look {
+		if gotKnown[k] != wantKnown[k] || gotGrades[k] != wantGrades[k] {
+			t.Fatalf("lookup[%d] = (%d,%v), want (%d,%v)", k, gotGrades[k], gotKnown[k], wantGrades[k], wantKnown[k])
+		}
+	}
+}
+
+func TestBatchEndpointsMatchLegacy(t *testing.T) {
+	// The batched client and the legacy client must observe identical
+	// board state.
+	board, c, done := newPair(t, 4, 32)
+	defer done()
+	legacy := NewClient(c.BaseURL)
+	legacy.DisableBatch = true
+
+	c.PostProbes(1, []int{2, 9}, []byte{1, 0})
+	legacy.PostProbes(1, []int{20, 21}, []byte{0, 1})
+	if board.ProbeCount() != 4 {
+		t.Fatalf("ProbeCount = %d", board.ProbeCount())
+	}
+	for _, cl := range []*Client{c, legacy} {
+		grades := make([]byte, 3)
+		known := make([]bool, 3)
+		cl.LookupProbes(1, []int{2, 21, 30}, grades, known)
+		if !known[0] || grades[0] != 1 || !known[1] || grades[1] != 1 || known[2] {
+			t.Fatalf("DisableBatch=%v lookup mismatch: %v %v", cl.DisableBatch, grades, known)
+		}
+	}
+
+	c.PostValues("t", 0, []uint32{1, 2})
+	c.PostValues("t", 1, []uint32{1, 2})
+	bv := c.ValueVotes("t")
+	lv := legacy.ValueVotes("t")
+	if len(bv) != 1 || len(lv) != 1 || bv[0].Count != lv[0].Count {
+		t.Fatalf("votes differ: batched %+v legacy %+v", bv, lv)
+	}
+}
+
+func TestTopicSnapshotCache(t *testing.T) {
+	_, c, done := newPair(t, 8, 8)
+	defer done()
+
+	c.PostValues("s", 0, []uint32{1, 2})
+	c.PostValues("s", 1, []uint32{1, 2})
+	v1 := c.ValueVotes("s")
+	v2 := c.ValueVotes("s")
+	if len(v1) != 1 || v1[0].Count != 2 {
+		t.Fatalf("ValueVotes = %+v", v1)
+	}
+	// Same epoch ⇒ the second call must be served from the cache: the
+	// shared immutable slice, not a re-decoded copy.
+	if &v1[0] != &v2[0] {
+		t.Fatal("unchanged topic was re-decoded instead of served from the snapshot cache")
+	}
+
+	// A new posting bumps the epoch and invalidates the cache.
+	c.PostValues("s", 2, []uint32{9})
+	v3 := c.ValueVotes("s")
+	if len(v3) != 2 {
+		t.Fatalf("after new post: %+v", v3)
+	}
+
+	// Drop + recreate restarts the epoch but changes the generation;
+	// the cache must not serve the dropped topic's content.
+	c.DropTopic("s")
+	c.PostValues("s", 3, []uint32{7})
+	v4 := c.ValueVotes("s")
+	if len(v4) != 1 || v4[0].Count != 1 || v4[0].Voters[0] != 3 {
+		t.Fatalf("after drop+recreate: %+v", v4)
+	}
+
+	// Vector votes flow through the same snapshot.
+	p, _ := bitvec.PartialFromString("01?")
+	c.Post("vec", 0, p)
+	c.Post("vec", 1, p)
+	w1 := c.Votes("vec")
+	w2 := c.Votes("vec")
+	if len(w1) != 1 || w1[0].Count != 2 || &w1[0] != &w2[0] {
+		t.Fatalf("vector votes not cached: %+v vs %+v", w1, w2)
+	}
+}
+
+func TestSnapshotCacheStaleGenerationMissesAcrossClients(t *testing.T) {
+	// Two clients against one server: client A caches a tally, client B
+	// drops the topic and posts fresh content whose epoch matches A's
+	// cached epoch. A must observe the new content (generation differs).
+	_, a, done := newPair(t, 8, 8)
+	defer done()
+	bcl := NewClient(a.BaseURL)
+
+	a.PostValues("g", 0, []uint32{1})
+	if got := a.ValueVotes("g"); len(got) != 1 || got[0].Voters[0] != 0 {
+		t.Fatalf("initial votes: %+v", got)
+	}
+	bcl.DropTopic("g")
+	bcl.PostValues("g", 1, []uint32{2}) // recreated topic, epoch 1 again
+	got := a.ValueVotes("g")
+	if len(got) != 1 || got[0].Voters[0] != 1 || got[0].Vals[0] != 2 {
+		t.Fatalf("stale generation served from cache: %+v", got)
+	}
+}
+
+func TestDedupeDo(t *testing.T) {
+	d := newDedupe(2)
+	applied := 0
+	d.Do("a", func() { applied++ })
+	d.Do("a", func() { applied++ })
+	if applied != 1 {
+		t.Fatalf("id applied %d times", applied)
+	}
+	// Empty ids are never deduplicated.
+	d.Do("", func() { applied++ })
+	d.Do("", func() { applied++ })
+	if applied != 3 {
+		t.Fatalf("empty ids: %d", applied)
+	}
+	// Eviction: capacity 2, so after b and c, a is forgotten.
+	d.Do("b", func() {})
+	d.Do("c", func() {})
+	if !d.Do("a", func() { applied++ }) || applied != 4 {
+		t.Fatal("evicted id was still deduplicated")
+	}
+}
+
+func TestDedupeConcurrentDuplicates(t *testing.T) {
+	// Racing duplicates of one id: exactly one applies, the others wait
+	// for it rather than racing the mutation.
+	d := newDedupe(64)
+	var applied atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d.Do(fmt.Sprintf("id%d", i), func() {
+					applied.Add(1)
+					time.Sleep(time.Microsecond)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if applied.Load() != 50 {
+		t.Fatalf("applied %d mutations for 50 ids", applied.Load())
+	}
+}
+
+// commitThenKill applies the first `kills` POSTs on the real board but
+// severs the connection before any response bytes are written — the
+// "server committed, response lost" failure that makes naive retries
+// double-apply.
+type commitThenKill struct {
+	inner http.Handler
+	kills atomic.Int32
+}
+
+func (h *commitThenKill) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && h.kills.Add(-1) >= 0 {
+		rec := httptest.NewRecorder()
+		h.inner.ServeHTTP(rec, r) // the server really commits
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestRetryAfterCommitDoesNotDoubleApply(t *testing.T) {
+	// Regression for the double-apply bug: the server applies a vector
+	// post, the response is lost, the client retries. With request-id
+	// dedupe the retry is acknowledged without re-applying.
+	board := billboard.New(4, 8)
+	h := &commitThenKill{inner: NewServer(board)}
+	h.kills.Store(1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retries = 4
+	c.RetryBackoff = time.Millisecond
+	p, _ := bitvec.PartialFromString("0101")
+	c.Post("t", 1, p)
+
+	if got := board.VectorPostCount(); got != 1 {
+		t.Fatalf("VectorPostCount = %d, want 1 (retry double-applied the post)", got)
+	}
+	if got := board.Postings("t"); len(got) != 1 {
+		t.Fatalf("%d postings, want 1", len(got))
+	}
+
+	// Control: with the dedupe window disabled the same schedule
+	// double-applies — the window is what fixes the bug.
+	board2 := billboard.New(4, 8)
+	h2 := &commitThenKill{inner: NewServer(board2, WithDedupeWindow(0))}
+	h2.kills.Store(1)
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	c2 := NewClient(srv2.URL)
+	c2.Retries = 4
+	c2.RetryBackoff = time.Millisecond
+	c2.Post("t", 1, p)
+	if got := board2.VectorPostCount(); got != 2 {
+		t.Fatalf("control without dedupe: VectorPostCount = %d, want 2", got)
+	}
+}
+
+func TestIdempotentBatchProbeRetry(t *testing.T) {
+	// Same schedule for the batched probe endpoint; probe posts are
+	// first-write-wins anyway, but the counter must not inflate either.
+	board := billboard.New(4, 16)
+	h := &commitThenKill{inner: NewServer(board)}
+	h.kills.Store(1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.Retries = 4
+	c.RetryBackoff = time.Millisecond
+	c.PostProbes(0, []int{1, 2, 3}, []byte{1, 0, 1})
+	if got := board.ProbeCount(); got != 3 {
+		t.Fatalf("ProbeCount = %d, want 3", got)
+	}
+}
+
+func TestClientDegradedModeIsDetectable(t *testing.T) {
+	// With a non-panicking OnError a dead transport yields zero values;
+	// Err/Failures must expose that so the zeros cannot masquerade as
+	// an empty board.
+	c := NewClient("http://127.0.0.1:1") // nothing listening
+	var seen []error
+	c.OnError = func(err error) { seen = append(seen, err) }
+
+	if c.Err() != nil {
+		t.Fatal("fresh client already degraded")
+	}
+	if got := c.Postings("t"); len(got) != 0 {
+		t.Fatalf("degraded Postings = %v", got)
+	}
+	if c.Err() == nil || c.Failures() != 1 {
+		t.Fatalf("degraded call not recorded: err=%v failures=%d", c.Err(), c.Failures())
+	}
+	if v, ok := c.LookupProbe(0, 0); v != 0 || ok {
+		t.Fatalf("degraded LookupProbe = (%d,%v)", v, ok)
+	}
+	if got := c.Votes("t"); got != nil {
+		t.Fatalf("degraded Votes = %v", got)
+	}
+	grades := []byte{9}
+	known := []bool{true}
+	c.LookupProbes(0, []int{0}, grades, known)
+	if known[0] {
+		t.Fatal("degraded LookupProbes left known=true")
+	}
+	if c.Failures() != int64(len(seen)) || c.Failures() != 4 {
+		t.Fatalf("failures=%d, OnError calls=%d", c.Failures(), len(seen))
+	}
+	first := c.Err()
+	c.ProbeCount()
+	if c.Err() != first {
+		t.Fatal("Err did not stick to the first failure")
+	}
+}
+
+// status500 always fails with an injectable status.
+type statusHandler struct{ code int }
+
+func (h statusHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", h.code)
+}
+
+func TestRetryAttemptCountAndLinearBackoff(t *testing.T) {
+	srv := httptest.NewServer(statusHandler{code: http.StatusInternalServerError})
+	defer srv.Close()
+
+	meter := faultnet.New(nil, 1)
+	c := NewClient(srv.URL)
+	c.HTTPClient = &http.Client{Transport: meter}
+	c.Retries = 3
+	c.RetryBackoff = 10 * time.Millisecond
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	var errs int
+	c.OnError = func(error) { errs++ }
+
+	c.PostProbe(0, 0, 1)
+	if got := meter.Delivered(); got != 4 {
+		t.Fatalf("delivered %d attempts, want 1 + 3 retries", got)
+	}
+	if errs != 1 {
+		t.Fatalf("OnError fired %d times", errs)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff attempt %d slept %v, want %v (linear in the attempt number)", i+1, slept[i], want[i])
+		}
+	}
+}
+
+func TestNoRetryOn4xxCountsOneAttempt(t *testing.T) {
+	srv := httptest.NewServer(statusHandler{code: http.StatusBadRequest})
+	defer srv.Close()
+	meter := faultnet.New(nil, 1)
+	c := NewClient(srv.URL)
+	c.HTTPClient = &http.Client{Transport: meter}
+	c.Retries = 5
+	var slept int
+	c.sleep = func(time.Duration) { slept++ }
+	var errs int
+	c.OnError = func(error) { errs++ }
+
+	c.PostProbe(0, 0, 1)
+	c.LookupProbe(0, 0)
+	if got := meter.Delivered(); got != 2 {
+		t.Fatalf("delivered %d attempts for two 4xx calls, want 2", got)
+	}
+	if slept != 0 {
+		t.Fatalf("4xx slept %d times", slept)
+	}
+	if errs != 2 {
+		t.Fatalf("OnError fired %d times", errs)
+	}
+}
+
+func TestRetriesKeepOneRequestID(t *testing.T) {
+	// All attempts of one logical post must carry the same idempotency
+	// key, and distinct posts must carry distinct keys.
+	var mu sync.Mutex
+	ids := map[string]int{}
+	board := billboard.New(4, 8)
+	inner := NewServer(board)
+	var failFirst atomic.Int32
+	failFirst.Store(1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderRequestID)
+		if id == "" {
+			t.Error("mutating request without request id")
+		}
+		mu.Lock()
+		ids[id]++
+		mu.Unlock()
+		if failFirst.Add(-1) >= 0 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retries = 3
+	c.RetryBackoff = time.Millisecond
+	c.PostProbe(0, 0, 1)
+	c.PostProbe(0, 1, 1)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) != 2 {
+		t.Fatalf("saw %d distinct request ids, want 2 (one per logical post)", len(ids))
+	}
+	var counts []int
+	for _, n := range ids {
+		counts = append(counts, n)
+	}
+	if counts[0]+counts[1] != 3 {
+		t.Fatalf("attempt counts %v, want 3 total (one retried once)", counts)
+	}
+}

@@ -5,12 +5,24 @@
 // different processes.
 //
 // The wire format is JSON. Vectors travel as their '0'/'1'/'?' string
-// form (debuggable with curl); value vectors as plain arrays. The
-// protocol is a research transport, not a hardened API: there is no
-// authentication, and the Client converts transport errors into panics
-// (configurable via OnError) because billboard.Interface is error-free
-// by design — the in-memory board cannot fail, and the algorithms treat
-// the billboard as reliable shared memory exactly as the model does.
+// form (debuggable with curl); value vectors as plain arrays. There is
+// no authentication, but the transport is built to survive a faulty
+// network (see DESIGN.md §8 for the full wire contract):
+//
+//   - Batching: /v1/batch/probes posts a whole set of probe results in
+//     one request, /v1/batch/lookups reads one, and /v1/topic-snapshot
+//     returns a topic's vote tallies stamped with the board's
+//     (generation, epoch) pair so clients re-download tallies only when
+//     the topic actually changed.
+//   - Idempotency: every mutating request carries a client-generated
+//     request id (HeaderRequestID); the server deduplicates ids inside a
+//     sliding window, so a retry of a request whose response was lost is
+//     applied exactly once.
+//   - Failure handling: the Client retries transient failures with
+//     linear backoff and routes terminal errors to OnError, which
+//     defaults to panicking because billboard.Interface is error-free by
+//     design; a non-panicking OnError puts the client in degraded mode
+//     (see Client.Err).
 package netboard
 
 // Paths of the HTTP endpoints.
@@ -25,7 +37,17 @@ const (
 	PathValueVotes    = "/v1/value-votes"    // GET: tallied value votes of a topic
 	PathDropTopic     = "/v1/drop-topic"     // POST: delete a topic
 	PathStats         = "/v1/stats"          // GET: counters
+	PathBatchProbes   = "/v1/batch/probes"   // POST: post many probe results at once
+	PathBatchLookups  = "/v1/batch/lookups"  // GET: look up many probe results at once
+	PathTopicSnapshot = "/v1/topic-snapshot" // GET: epoch-tagged vote tallies of a topic
 )
+
+// HeaderRequestID carries the client-generated idempotency key of a
+// mutating request. The server applies each id at most once within its
+// dedupe window; a retried request with the same id is acknowledged
+// without being re-applied. Requests without the header are applied
+// unconditionally (curl-friendly, at the caller's own retry risk).
+const HeaderRequestID = "Tellme-Request-Id"
 
 // probePost is the POST body for PathProbe.
 type probePost struct {
@@ -93,6 +115,35 @@ type valueVoteJSON struct {
 // dropPost is the POST body for PathDropTopic.
 type dropPost struct {
 	Topic string `json:"topic"`
+}
+
+// batchProbesPost is the POST body for PathBatchProbes: grades[k] (a
+// '0'/'1' character, same alphabet as the vector wire form) is the
+// player's grade for objects[k]. Objects must be distinct and in range.
+type batchProbesPost struct {
+	Player  int    `json:"player"`
+	Objects []int  `json:"objects"`
+	Grades  string `json:"grades"`
+}
+
+// batchLookupsReply answers PathBatchLookups
+// (GET ?player=P&objects=o1,o2,...): one '0'/'1'/'?' character per
+// requested object, '?' meaning "not posted".
+type batchLookupsReply struct {
+	Grades string `json:"grades"`
+}
+
+// topicSnapshotReply answers PathTopicSnapshot
+// (GET ?topic=T[&gen=G&epoch=E]). Gen/Epoch stamp the topic's current
+// content. When the caller's gen/epoch query already matches, Unchanged
+// is true and the tallies are omitted — the caller keeps what it
+// fetched at that stamp; otherwise both tallies are included.
+type topicSnapshotReply struct {
+	Gen        uint64          `json:"gen"`
+	Epoch      uint64          `json:"epoch"`
+	Unchanged  bool            `json:"unchanged,omitempty"`
+	Votes      []voteJSON      `json:"votes,omitempty"`
+	ValueVotes []valueVoteJSON `json:"valueVotes,omitempty"`
 }
 
 // statsReply answers PathStats.

@@ -5,35 +5,78 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"tellme/internal/billboard"
 )
 
+// DefaultDedupeWindow is the number of recently applied request ids the
+// server remembers for idempotent retries (see HeaderRequestID).
+const DefaultDedupeWindow = 4096
+
 // Server serves a billboard.Board over HTTP.
 type Server struct {
-	board *billboard.Board
-	mux   *http.ServeMux
+	board  *billboard.Board
+	mux    *http.ServeMux
+	dedupe *dedupe
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithDedupeWindow sets how many request ids the idempotency window
+// retains (default DefaultDedupeWindow). Zero disables deduplication;
+// size the window to cover at least the mutations in flight during one
+// client retry storm, or a very delayed retry could be re-applied.
+func WithDedupeWindow(n int) ServerOption {
+	return func(s *Server) { s.dedupe = newDedupe(n) }
 }
 
 // NewServer wraps board in an HTTP handler.
-func NewServer(board *billboard.Board) *Server {
-	s := &Server{board: board, mux: http.NewServeMux()}
+func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
+	s := &Server{board: board, mux: http.NewServeMux(), dedupe: newDedupe(DefaultDedupeWindow)}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc(PathProbe, s.handleProbe)
-	s.mux.HandleFunc(PathProbedObjects, s.handleProbedObjects)
+	s.mux.HandleFunc(PathProbedObjects, s.readOnly(s.handleProbedObjects))
 	s.mux.HandleFunc(PathVector, s.handleVector)
-	s.mux.HandleFunc(PathPostings, s.handlePostings)
-	s.mux.HandleFunc(PathVotes, s.handleVotes)
+	s.mux.HandleFunc(PathPostings, s.readOnly(s.handlePostings))
+	s.mux.HandleFunc(PathVotes, s.readOnly(s.handleVotes))
 	s.mux.HandleFunc(PathValues, s.handleValues)
-	s.mux.HandleFunc(PathValuePostings, s.handleValuePostings)
-	s.mux.HandleFunc(PathValueVotes, s.handleValueVotes)
+	s.mux.HandleFunc(PathValuePostings, s.readOnly(s.handleValuePostings))
+	s.mux.HandleFunc(PathValueVotes, s.readOnly(s.handleValueVotes))
 	s.mux.HandleFunc(PathDropTopic, s.handleDropTopic)
-	s.mux.HandleFunc(PathStats, s.handleStats)
+	s.mux.HandleFunc(PathStats, s.readOnly(s.handleStats))
+	s.mux.HandleFunc(PathBatchProbes, s.handleBatchProbes)
+	s.mux.HandleFunc(PathBatchLookups, s.readOnly(s.handleBatchLookups))
+	s.mux.HandleFunc(PathTopicSnapshot, s.readOnly(s.handleTopicSnapshot))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// readOnly enforces GET on read handlers, mirroring readJSON's POST
+// check on the mutating ones.
+func (s *Server) readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// apply runs a validated mutation through the idempotency window and
+// acknowledges it. A replayed request id is acknowledged identically
+// without re-applying.
+func (s *Server) apply(w http.ResponseWriter, r *http.Request, mutate func()) {
+	s.dedupe.Do(r.Header.Get(HeaderRequestID), mutate)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -66,9 +109,27 @@ func (s *Server) playerParam(w http.ResponseWriter, r *http.Request) (int, bool)
 	return p, true
 }
 
-func (s *Server) validPlayerObject(w http.ResponseWriter, player, object int) bool {
+// topicParam rejects the empty topic name: every topic endpoint would
+// otherwise silently operate on the "" topic, which no algorithm uses —
+// an empty name is always a malformed client.
+func topicParam(w http.ResponseWriter, topic string) bool {
+	if topic == "" {
+		http.Error(w, "empty topic", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) validPlayer(w http.ResponseWriter, player int) bool {
 	if player < 0 || player >= s.board.N() {
 		http.Error(w, "invalid player", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) validPlayerObject(w http.ResponseWriter, player, object int) bool {
+	if !s.validPlayer(w, player) {
 		return false
 	}
 	if object < 0 || object >= s.board.M() {
@@ -93,8 +154,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "grade must be 0 or 1", http.StatusBadRequest)
 			return
 		}
-		s.board.PostProbe(req.Player, req.Object, req.Value)
-		w.WriteHeader(http.StatusNoContent)
+		s.apply(w, r, func() { s.board.PostProbe(req.Player, req.Object, req.Value) })
 	case http.MethodGet:
 		p, ok := s.playerParam(w, r)
 		if !ok {
@@ -110,6 +170,74 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
+}
+
+func (s *Server) handleBatchProbes(w http.ResponseWriter, r *http.Request) {
+	var req batchProbesPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !s.validPlayer(w, req.Player) {
+		return
+	}
+	if len(req.Grades) != len(req.Objects) {
+		http.Error(w, fmt.Sprintf("%d grades for %d objects", len(req.Grades), len(req.Objects)), http.StatusBadRequest)
+		return
+	}
+	grades := make([]byte, len(req.Objects))
+	for k, o := range req.Objects {
+		if o < 0 || o >= s.board.M() {
+			http.Error(w, "invalid object", http.StatusBadRequest)
+			return
+		}
+		switch req.Grades[k] {
+		case '0':
+			grades[k] = 0
+		case '1':
+			grades[k] = 1
+		default:
+			http.Error(w, "grade must be 0 or 1", http.StatusBadRequest)
+			return
+		}
+	}
+	s.apply(w, r, func() { s.board.PostProbes(req.Player, req.Objects, grades) })
+}
+
+func (s *Server) handleBatchLookups(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.playerParam(w, r)
+	if !ok {
+		return
+	}
+	raw := r.URL.Query().Get("objects")
+	if raw == "" {
+		http.Error(w, "missing objects", http.StatusBadRequest)
+		return
+	}
+	parts := strings.Split(raw, ",")
+	objs := make([]int, len(parts))
+	for k, part := range parts {
+		o, err := strconv.Atoi(part)
+		if err != nil || o < 0 || o >= s.board.M() {
+			http.Error(w, "invalid object", http.StatusBadRequest)
+			return
+		}
+		objs[k] = o
+	}
+	grades := make([]byte, len(objs))
+	known := make([]bool, len(objs))
+	s.board.LookupProbes(p, objs, grades, known)
+	wire := make([]byte, len(objs))
+	for k := range objs {
+		switch {
+		case !known[k]:
+			wire[k] = '?'
+		case grades[k] != 0:
+			wire[k] = '1'
+		default:
+			wire[k] = '0'
+		}
+	}
+	writeJSON(w, batchLookupsReply{Grades: string(wire)})
 }
 
 func (s *Server) handleProbedObjects(w http.ResponseWriter, r *http.Request) {
@@ -129,13 +257,15 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	if !topicParam(w, req.Topic) || !s.validPlayer(w, req.Player) {
+		return
+	}
 	vec, err := parsePartial(req.Bits)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.board.Post(req.Topic, req.Player, vec)
-	w.WriteHeader(http.StatusNoContent)
+	s.apply(w, r, func() { s.board.Post(req.Topic, req.Player, vec) })
 }
 
 func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
@@ -151,11 +281,15 @@ func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
 	votes := s.board.Votes(topic)
+	writeJSON(w, votesToJSON(votes))
+}
+
+func votesToJSON(votes []billboard.Vote) []voteJSON {
 	out := make([]voteJSON, len(votes))
 	for i, v := range votes {
 		out[i] = voteJSON{Bits: v.Vec.String(), Count: v.Count, Voters: v.Voters}
 	}
-	writeJSON(w, out)
+	return out
 }
 
 func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
@@ -163,8 +297,10 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.board.PostValues(req.Topic, req.Player, req.Vals)
-	w.WriteHeader(http.StatusNoContent)
+	if !topicParam(w, req.Topic) || !s.validPlayer(w, req.Player) {
+		return
+	}
+	s.apply(w, r, func() { s.board.PostValues(req.Topic, req.Player, req.Vals) })
 }
 
 func (s *Server) handleValuePostings(w http.ResponseWriter, r *http.Request) {
@@ -180,11 +316,34 @@ func (s *Server) handleValuePostings(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleValueVotes(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
 	votes := s.board.ValueVotes(topic)
+	writeJSON(w, valueVotesToJSON(votes))
+}
+
+func valueVotesToJSON(votes []billboard.ValueVote) []valueVoteJSON {
 	out := make([]valueVoteJSON, len(votes))
 	for i, v := range votes {
 		out[i] = valueVoteJSON{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
 	}
-	writeJSON(w, out)
+	return out
+}
+
+func (s *Server) handleTopicSnapshot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	topic := q.Get("topic")
+	if !topicParam(w, topic) {
+		return
+	}
+	// Absent/garbled stamps parse as 0; no topic generation is ever 0,
+	// so that always misses and returns the full snapshot.
+	sinceGen, _ := strconv.ParseUint(q.Get("gen"), 10, 64)
+	sinceEpoch, _ := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	gen, epoch, unchanged, votes, valVotes := s.board.TopicSnapshot(topic, sinceGen, sinceEpoch)
+	reply := topicSnapshotReply{Gen: gen, Epoch: epoch, Unchanged: unchanged}
+	if !unchanged {
+		reply.Votes = votesToJSON(votes)
+		reply.ValueVotes = valueVotesToJSON(valVotes)
+	}
+	writeJSON(w, reply)
 }
 
 func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
@@ -192,8 +351,10 @@ func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.board.DropTopic(req.Topic)
-	w.WriteHeader(http.StatusNoContent)
+	if !topicParam(w, req.Topic) {
+		return
+	}
+	s.apply(w, r, func() { s.board.DropTopic(req.Topic) })
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

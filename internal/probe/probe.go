@@ -154,6 +154,14 @@ type Player struct {
 	engine    *Engine
 	id        int
 	noiseRand *rng.Rand
+
+	// Reusable batch scratch, safe because a Player handle is owned by
+	// one goroutine (see Engine.Player).
+	objScratch []int
+	postObjs   []int
+	postGrades []byte
+	lookGrades []byte
+	lookKnown  []bool
 }
 
 // ID returns the player index.
@@ -179,6 +187,75 @@ func (pl *Player) Probe(o int) byte {
 	e.charged[pl.id].Add(1)
 	e.board.PostProbe(pl.id, o, v)
 	return v
+}
+
+// ObjScratch returns a reusable length-n object-id buffer owned by this
+// player's goroutine. Batched object spaces (core.BatchObjectSpace) use
+// it to build the real-object list for ProbeMany without allocating in
+// phase bodies. The buffer is invalidated by the next ObjScratch call;
+// ProbeMany does not touch it.
+func (pl *Player) ObjScratch(n int) []int {
+	if cap(pl.objScratch) < n {
+		pl.objScratch = make([]int, n)
+	}
+	return pl.objScratch[:n]
+}
+
+// ProbeMany probes every object in objs and writes the observed grades
+// into dst (dst[k] for objs[k]). It is observably equivalent to calling
+// Probe per object in order — same charging, same hook ticks, same
+// noise-stream consumption — except that the results reach the
+// billboard as one batched post (and, under ChargeDistinct, the cache
+// check is one batched lookup), which a networked billboard ships as a
+// single round trip instead of len(objs). Objects within one call must
+// be distinct; under ChargeDistinct a duplicate would be recharged
+// because the batch is posted only at the end.
+func (pl *Player) ProbeMany(objs []int, dst []uint32) {
+	n := len(objs)
+	if n == 0 {
+		return
+	}
+	e := pl.engine
+	e.invoked[pl.id].Add(int64(n))
+	var known []bool
+	if e.policy == ChargeDistinct {
+		if cap(pl.lookGrades) < n {
+			pl.lookGrades = make([]byte, n)
+			pl.lookKnown = make([]bool, n)
+		}
+		grades := pl.lookGrades[:n]
+		known = pl.lookKnown[:n]
+		e.board.LookupProbes(pl.id, objs, grades, known)
+		for k := range known {
+			if known[k] {
+				dst[k] = uint32(grades[k])
+			}
+		}
+	}
+	if cap(pl.postObjs) < n {
+		pl.postObjs = make([]int, 0, n)
+		pl.postGrades = make([]byte, 0, n)
+	}
+	postObjs, postGrades := pl.postObjs[:0], pl.postGrades[:0]
+	for k, o := range objs {
+		if known != nil && known[k] {
+			continue
+		}
+		if e.hook != nil {
+			e.hook(pl.id)
+		}
+		v := e.inst.Grade(pl.id, o)
+		if e.noise != nil {
+			v = e.noise(pl.id, o, v, pl.noiseRand)
+		}
+		e.charged[pl.id].Add(1)
+		dst[k] = uint32(v)
+		postObjs = append(postObjs, o)
+		postGrades = append(postGrades, v)
+	}
+	if len(postObjs) > 0 {
+		e.board.PostProbes(pl.id, postObjs, postGrades)
+	}
 }
 
 // Charged returns the probes charged to this player so far.

@@ -135,9 +135,15 @@ type Options struct {
 	OnPhase func(PhaseInfo) bool
 	// BoardURL, if non-empty, runs against a remote billboard server
 	// (cmd/billboard) at that base URL instead of an in-memory board.
-	// The simulation is deterministic either way, but every billboard
-	// operation becomes an HTTP round trip.
+	// The simulation is deterministic either way; probe posts and vote
+	// reads travel over the batched wire protocol (see DESIGN.md §8).
 	BoardURL string
+	// Board, if non-nil, is used as the billboard directly and takes
+	// precedence over BoardURL. This is how a pre-configured
+	// netboard.Client (custom retries, backoff, fault-injecting
+	// transport) or any other billboard.Interface implementation is
+	// injected into a run.
+	Board billboard.Interface
 	// TraceCapacity, if positive, enables structured tracing: the run
 	// retains up to this many sub-algorithm span events, returned in
 	// Report.TraceEvents. Tracing never changes algorithm behavior.
@@ -218,7 +224,10 @@ func Run(in *Instance, opt Options) (*Report, error) {
 
 	src := rng.NewSource(opt.Seed)
 	var board billboard.Interface = billboard.New(in.N, in.M)
-	if opt.BoardURL != "" {
+	switch {
+	case opt.Board != nil:
+		board = opt.Board
+	case opt.BoardURL != "":
 		board = netboard.NewClient(opt.BoardURL)
 	}
 	var popts []probe.Option
