@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net verify bench bench-net
+.PHONY: build test race stress-net race-telemetry verify bench bench-net bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,13 @@ race:
 stress-net:
 	$(GO) test -race -run 'FaultSchedule|FaultyHTTP|Faultnet|Dedupe|RetryAfterCommit' ./internal/netboard/
 
-verify: build race stress-net
+# The telemetry concurrency gate on its own (also part of `race`): a
+# full Run with every instrument shared across the player goroutines,
+# plus the registry hammer test, under the race detector.
+race-telemetry:
+	$(GO) test -race -run 'RunTelemetryCountsMatchReport' . && $(GO) test -race -run 'TelemetryConcurrentUpdates' ./internal/telemetry/
+
+verify: build race stress-net race-telemetry
 
 # Refresh the perf-trajectory snapshots at the repo root.
 # BENCH_1.json: core experiment benchmarks.
@@ -36,3 +42,8 @@ bench:
 # over HTTP, batched vs legacy wire protocol, with requests/op.
 bench-net:
 	$(GO) run ./cmd/benchdiff -suite netboard -count 3
+
+# BENCH_3.json: telemetry overhead — E1/E8 with the registry disabled
+# (nil, the zero-cost path) vs enabled; enabled stays within ~2%.
+bench-telemetry:
+	$(GO) run ./cmd/benchdiff -suite telemetry -count 5 -interleave

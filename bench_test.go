@@ -18,6 +18,7 @@ import (
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
+	"tellme/internal/telemetry"
 )
 
 func benchEnv(in *prefs.Instance, seed uint64) (*core.Env, *probe.Engine) {
@@ -203,5 +204,41 @@ func BenchmarkE12Adversarial(b *testing.B) {
 		in := prefs.AdversarialVoteSplit(256, 256, 0.3, 0, uint64(i))
 		env, _ := benchEnv(in, uint64(i)+1)
 		_ = core.ZeroRadiusBits(env, ids(in.N), ids(in.M), 0.3)
+	}
+}
+
+// benchEnvTel mirrors benchEnv with a live telemetry registry attached
+// to the whole stack — the enabled side of the telemetry-overhead
+// comparison (BENCH_3.json; the plain E1/E8 benchmarks are the nil
+// side).
+func benchEnvTel(in *prefs.Instance, seed uint64, reg *telemetry.Registry) (*core.Env, *probe.Engine) {
+	b := billboard.New(in.N, in.M)
+	b.SetTelemetry(reg)
+	src := rng.NewSource(seed)
+	e := probe.NewEngine(in, b, src.Child("engine", 0), probe.WithTelemetry(reg))
+	env := core.NewEnv(e, sim.NewRunner(0), src.Child("public", 0), core.DefaultConfig())
+	env.Telemetry = reg
+	return env, e
+}
+
+// BenchmarkE1ZeroRadiusTelemetry is BenchmarkE1ZeroRadius with live
+// telemetry; the delta against the plain variant is the enabled
+// overhead (budgeted ≤ 2%).
+func BenchmarkE1ZeroRadiusTelemetry(b *testing.B) {
+	reg := telemetry.New()
+	for i := 0; i < b.N; i++ {
+		in := prefs.Identical(512, 512, 0.5, uint64(i))
+		env, _ := benchEnvTel(in, uint64(i)+1, reg)
+		_ = core.ZeroRadiusBits(env, ids(in.N), ids(in.M), 0.5)
+	}
+}
+
+// BenchmarkE8MainTelemetry is BenchmarkE8Main with live telemetry.
+func BenchmarkE8MainTelemetry(b *testing.B) {
+	reg := telemetry.New()
+	for i := 0; i < b.N; i++ {
+		in := prefs.Planted(128, 128, 0.5, 8, uint64(i))
+		env, _ := benchEnvTel(in, uint64(i)+1, reg)
+		_ = core.UnknownD(env, 0.5)
 	}
 }

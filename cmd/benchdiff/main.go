@@ -52,6 +52,10 @@ var suites = map[string]struct {
 	// The networked-billboard throughput suite: full Zero Radius runs
 	// over HTTP, batched vs legacy wire protocol, reporting requests/op.
 	"netboard": {pkg: "./internal/netboard", bench: "NetboardRun|HTTP", out: "BENCH_2.json"},
+	// The telemetry-overhead suite: E1/E8 with telemetry disabled (the
+	// plain benchmarks — nil registry on the hot path) and enabled (the
+	// *Telemetry variants); enabled must stay within ~2% of disabled.
+	"telemetry": {pkg: ".", bench: "E1ZeroRadius|E8Main", out: "BENCH_3.json"},
 }
 
 // Comparison is the per-benchmark before/after delta when -baseline is
@@ -83,6 +87,7 @@ func main() {
 		suite    = flag.String("suite", "", "named preset (experiments, netboard); sets -pkg/-bench/-out unless overridden")
 		input    = flag.String("input", "", "parse this saved benchmark log instead of running go test")
 		baseline = flag.String("baseline", "", "prior benchdiff JSON or raw benchmark log to compare against")
+		inter    = flag.Bool("interleave", false, "run go test -count times with -count=1 instead of once with -count=N: each benchmark's samples then spread across the whole wall-clock window, so slow machine drift hits every benchmark equally (use when benchmarks are compared against each other, as in the telemetry suite)")
 	)
 	flag.Parse()
 	if *suite != "" {
@@ -105,7 +110,8 @@ func main() {
 
 	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchmem -count=%d %s", *bench, *count, *pkg)
 	var raw io.Reader
-	if *input != "" {
+	switch {
+	case *input != "":
 		f, err := os.Open(*input)
 		if err != nil {
 			fatal(err)
@@ -113,29 +119,15 @@ func main() {
 		defer f.Close()
 		raw = f
 		cmdline = "parsed from " + *input
-	} else {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-			"-benchmem", fmt.Sprintf("-count=%d", *count), *pkg)
-		cmd.Stderr = os.Stderr
-		outPipe, err := cmd.StdoutPipe()
-		if err != nil {
-			fatal(err)
+	case *inter:
+		var all strings.Builder
+		for i := 0; i < *count; i++ {
+			all.WriteString(runGoTest(*bench, 1, *pkg))
 		}
-		if err := cmd.Start(); err != nil {
-			fatal(err)
-		}
-		var buf strings.Builder
-		tee := io.TeeReader(outPipe, &buf)
-		sums, perr := parseBench(tee)
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprint(os.Stderr, buf.String())
-			fatal(fmt.Errorf("go test: %w", err))
-		}
-		if perr != nil {
-			fatal(perr)
-		}
-		write(*out, cmdline, sums, *baseline)
-		return
+		raw = strings.NewReader(all.String())
+		cmdline = fmt.Sprintf("%d x go test -run ^$ -bench %s -benchmem -count=1 %s (interleaved)", *count, *bench, *pkg)
+	default:
+		raw = strings.NewReader(runGoTest(*bench, *count, *pkg))
 	}
 
 	sums, err := parseBench(raw)
@@ -143,6 +135,20 @@ func main() {
 		fatal(err)
 	}
 	write(*out, cmdline, sums, *baseline)
+}
+
+// runGoTest executes one `go test -bench` invocation and returns its
+// stdout (benchmark lines).
+func runGoTest(bench string, count int, pkg string) string {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", fmt.Sprintf("-count=%d", count), pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprint(os.Stderr, string(out))
+		fatal(fmt.Errorf("go test: %w", err))
+	}
+	return string(out)
 }
 
 func write(path, cmdline string, sums []Summary, baselinePath string) {

@@ -8,6 +8,12 @@
 //
 // With -state, the board is restored from the file at startup (if it
 // exists) and snapshotted back on SIGINT/SIGTERM.
+//
+// The server always exposes runtime telemetry: GET /debug/telemetry
+// returns every counter and histogram as JSON, and
+// /debug/telemetry/prometheus the same registry in the Prometheus text
+// format. With -pprof, the standard net/http/pprof profile endpoints
+// are mounted under /debug/pprof/ as well.
 package main
 
 import (
@@ -17,21 +23,24 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"tellme/internal/billboard"
 	"tellme/internal/netboard"
+	"tellme/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7070", "listen address")
-		n      = flag.Int("n", 1024, "number of players")
-		m      = flag.Int("m", 1024, "number of objects")
-		state  = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
-		dedupe = flag.Int("dedupe", netboard.DefaultDedupeWindow, "idempotency window: remembered request ids (0 disables dedupe)")
+		addr      = flag.String("addr", ":7070", "listen address")
+		n         = flag.Int("n", 1024, "number of players")
+		m         = flag.Int("m", 1024, "number of objects")
+		state     = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
+		dedupe    = flag.Int("dedupe", netboard.DefaultDedupeWindow, "idempotency window: remembered request ids (0 disables dedupe)")
+		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *n <= 0 || *m <= 0 {
@@ -58,9 +67,27 @@ func main() {
 		}()
 	}
 
-	srv := netboard.NewServer(board, netboard.WithDedupeWindow(*dedupe))
-	log.Printf("billboard for %d players × %d objects listening on %s", board.N(), board.M(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	reg := telemetry.New()
+	board.SetTelemetry(reg)
+	srv := netboard.NewServer(board, netboard.WithDedupeWindow(*dedupe), netboard.WithTelemetry(reg))
+
+	var handler http.Handler = srv
+	if *withPprof {
+		// Mount the profile endpoints on an outer mux so they are only
+		// reachable when explicitly asked for; everything else falls
+		// through to the board server (including /debug/telemetry).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	log.Printf("billboard for %d players × %d objects listening on %s (telemetry at %s)", board.N(), board.M(), *addr, netboard.PathTelemetry)
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
 // loadBoard restores the board from path, or builds a fresh one when

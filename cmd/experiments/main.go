@@ -15,21 +15,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"tellme/internal/exp"
 	"tellme/internal/metrics"
+	"tellme/internal/telemetry"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
-		seeds  = flag.Int("seeds", 3, "repetitions per configuration")
-		scale  = flag.Int("scale", 2, "instance size scale (1 = quick, 2 = reference)")
-		format = flag.String("format", "text", "output format: text|csv|markdown")
-		quick  = flag.Bool("quick", false, "shorthand for -seeds 1 -scale 1")
-		quiet  = flag.Bool("q", false, "suppress progress lines")
-		outDir = flag.String("out", "", "also write each table as CSV into this directory")
+		run     = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		seeds   = flag.Int("seeds", 3, "repetitions per configuration")
+		scale   = flag.Int("scale", 2, "instance size scale (1 = quick, 2 = reference)")
+		format  = flag.String("format", "text", "output format: text|csv|markdown")
+		quick   = flag.Bool("quick", false, "shorthand for -seeds 1 -scale 1")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
+		withTel = flag.Bool("telemetry", false, "collect runtime telemetry and print a per-experiment cost breakdown")
 	)
 	flag.Parse()
 	if *quick {
@@ -68,6 +72,9 @@ func main() {
 	}
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "--- %s: %s (%s)\n", e.ID, e.Title, e.Claim)
+		if *withTel {
+			opts.Telemetry = telemetry.New()
+		}
 		for i, t := range e.Run(opts) {
 			if err := emit(t); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -82,7 +89,58 @@ func main() {
 				}
 			}
 		}
+		if *withTel {
+			if t := costBreakdown(e.ID, opts.Telemetry); t != nil {
+				if err := emit(t); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+		}
 	}
+}
+
+// costBreakdown turns the "core.<kind>.{calls,probes,ns}" span counters
+// accumulated across one experiment's sessions into a per-sub-algorithm
+// cost table (nil when the experiment never entered an instrumented
+// span).
+func costBreakdown(id string, reg *telemetry.Registry) *metrics.Table {
+	snap := reg.Snapshot()
+	kinds := map[string]bool{}
+	for name := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "core."); ok {
+			if kind, ok := strings.CutSuffix(rest, ".calls"); ok {
+				kinds[kind] = true
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	sorted := make([]string, 0, len(kinds))
+	for k := range kinds {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("%s cost breakdown (all seeds and configurations)", id),
+		Note:   "per sub-algorithm: invocations, probes charged inside the span, wall time",
+		Header: []string{"sub-algorithm", "calls", "probes", "probes/call", "wall", "wall/call"},
+	}
+	for _, kind := range sorted {
+		calls := snap.Counters["core."+kind+".calls"]
+		probes := snap.Counters["core."+kind+".probes"]
+		ns := snap.Counters["core."+kind+".ns"]
+		if calls == 0 {
+			continue
+		}
+		t.AddRow(kind, calls, probes,
+			fmt.Sprintf("%.1f", float64(probes)/float64(calls)),
+			time.Duration(ns).Round(time.Microsecond),
+			time.Duration(ns/calls).Round(time.Microsecond))
+	}
+	return t
 }
 
 // selectExperiments resolves a comma-separated ID list ("" = all).

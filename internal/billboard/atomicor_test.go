@@ -1,0 +1,87 @@
+package billboard
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sync"
+	"testing"
+)
+
+// TestAtomicOrResultStaysUnused guards the PostProbe workaround for a
+// go1.24.0 code generation bug: atomic Or-with-result is miscompiled on
+// amd64, so billboard.go must only ever use .Or(...) as a bare
+// statement (plain LOCK OR), never consume its return value. This test
+// parses the source so a refactor that starts reading the result —
+// e.g. `if old := s.known[w].Or(mask); old&mask != 0` — fails loudly
+// instead of reintroducing the miscompile.
+func TestAtomicOrResultStaysUnused(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "billboard.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing billboard.go: %v", err)
+	}
+	// Collect every .Or(...) call, and separately those appearing as a
+	// bare expression statement. Any call outside that set has its
+	// result consumed.
+	orCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Or" {
+				orCalls[call] = false
+			}
+		}
+		return true
+	})
+	if len(orCalls) == 0 {
+		t.Fatal("no .Or( calls found in billboard.go; if the probe store no longer uses atomic Or, delete this guard")
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if stmt, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if _, tracked := orCalls[call]; tracked {
+					orCalls[call] = true
+				}
+			}
+		}
+		return true
+	})
+	for call, bare := range orCalls {
+		if !bare {
+			pos := fset.Position(call.Pos())
+			t.Errorf("%s: .Or(...) result is consumed; keep it a bare statement (go1.24.0 miscompiles Or-with-result on amd64, see PostProbe)", pos)
+		}
+	}
+}
+
+// TestPostProbeFirstPostWinsPerWriter exercises the single-writer
+// contract the bare-Or pattern relies on: for each player all posts
+// come from one goroutine, duplicates are dropped on the known-bit
+// load, and the first posted grade sticks.
+func TestPostProbeFirstPostWinsPerWriter(t *testing.T) {
+	const n, m = 8, 256
+	b := New(n, m)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for o := 0; o < m; o++ {
+				b.PostProbe(p, o, byte((p+o)%2))
+				b.PostProbe(p, o, byte((p+o+1)%2)) // duplicate: must not flip
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got, want := b.ProbeCount(), int64(n*m); got != want {
+		t.Fatalf("ProbeCount = %d, want %d (duplicates must not be charged)", got, want)
+	}
+	for p := 0; p < n; p++ {
+		for o := 0; o < m; o++ {
+			v, ok := b.LookupProbe(p, o)
+			if !ok || v != byte((p+o)%2) {
+				t.Fatalf("LookupProbe(%d,%d) = %d,%v; first post must win", p, o, v, ok)
+			}
+		}
+	}
+}

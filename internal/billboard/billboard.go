@@ -35,10 +35,12 @@ package billboard
 import (
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tellme/internal/bitvec"
+	"tellme/internal/telemetry"
 )
 
 // Interface is the billboard surface the algorithms depend on. *Board
@@ -104,10 +106,120 @@ type Board struct {
 
 	mu     sync.RWMutex
 	topics map[string]*topic
+	// Folded stats of dropped topics, guarded by mu; see topicStats.
+	dropped      topicStats
+	droppedPosts map[string]int64 // by topic kind
+	// kindSeen tracks topic kinds already registered with the current
+	// registry (guarded by mu), so topicFor touches the registry only
+	// on the first topic of each kind, not on every creation.
+	kindSeen map[string]bool
 
 	probePosts  atomic.Int64
 	vectorPosts atomic.Int64
 	topicGen    atomic.Uint64
+
+	tel boardTelemetry
+}
+
+// boardTelemetry holds the board's resolved instruments. All fields are
+// nil when telemetry is disabled; every instrument method is
+// nil-receiver-safe, so the hot paths call them unconditionally.
+type boardTelemetry struct {
+	reg    *telemetry.Registry
+	topics *telemetry.Gauge // live topic count
+}
+
+// SetTelemetry attaches a telemetry registry to the board (nil
+// detaches; a previously attached registry keeps sampling the board).
+// Every counter on the posting and tally paths is sampled at snapshot
+// time from state the board already maintains — its own atomic post
+// totals and the per-topic stats guarded by each topic lock — so the
+// hot paths never touch a shared telemetry cache line. Call before the
+// board is shared between goroutines.
+func (b *Board) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		b.tel = boardTelemetry{}
+		b.mu.Lock()
+		b.kindSeen = nil
+		b.mu.Unlock()
+		return
+	}
+	b.tel = boardTelemetry{
+		reg:    reg,
+		topics: reg.Gauge("billboard.topics"),
+	}
+	reg.CounterFunc("billboard.probe.posts", b.ProbeCount)
+	reg.CounterFunc("billboard.vector.posts", b.VectorPostCount)
+	reg.CounterFunc("billboard.tally.cache_hits", func() int64 { return b.topicStatTotals().tallyHits })
+	reg.CounterFunc("billboard.tally.rebuilds", func() int64 { return b.topicStatTotals().rebuilds })
+	reg.CounterFunc("billboard.snapshot.unchanged", func() int64 { return b.topicStatTotals().snapUnch })
+	b.tel.topics.Set(int64(b.TopicCount()))
+	// Per-kind post counters for kinds already seen (live topics or
+	// dropped-but-counted ones); later kinds register as their first
+	// topic is created.
+	kinds := make(map[string]bool)
+	b.mu.Lock()
+	for name := range b.topics {
+		kinds[topicKind(name)] = true
+	}
+	for kind := range b.droppedPosts {
+		kinds[kind] = true
+	}
+	b.kindSeen = kinds
+	b.mu.Unlock()
+	for kind := range kinds {
+		b.registerKindFunc(reg, kind)
+	}
+}
+
+// topicKind maps a topic name to its bounded-cardinality telemetry
+// label: the prefix before the '#' sequence number of Env.freshTag
+// ("zr#17" → "zr"), or the whole name when untagged.
+func topicKind(name string) string {
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// registerKindFunc exposes "billboard.posts.<kind>" as a sampled
+// counter: the sum of postings over the kind's live topics plus the
+// folded totals of dropped ones. Idempotent (re-registering installs an
+// equivalent closure). Must be called without b.mu held — the closure
+// read-locks it at snapshot time, and the registry lock is held around
+// sampling, so taking them in the opposite order would deadlock.
+func (b *Board) registerKindFunc(reg *telemetry.Registry, kind string) {
+	reg.CounterFunc("billboard.posts."+kind, func() int64 {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		n := b.droppedPosts[kind]
+		for name, t := range b.topics {
+			if topicKind(name) != kind {
+				continue
+			}
+			t.mu.Lock()
+			n += t.stats.posts
+			t.mu.Unlock()
+		}
+		return n
+	})
+}
+
+// topicStatTotals sums the per-topic stats over live topics plus the
+// folded totals of dropped ones.
+func (b *Board) topicStatTotals() topicStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	tot := b.dropped
+	for _, t := range b.topics {
+		t.mu.Lock()
+		tot.tallyHits += t.stats.tallyHits
+		tot.rebuilds += t.stats.rebuilds
+		tot.snapUnch += t.stats.snapUnch
+		tot.posts += t.stats.posts
+		t.mu.Unlock()
+	}
+	return tot
 }
 
 // probeShard is one player's probe results as two packed bit planes.
@@ -132,12 +244,27 @@ type topic struct {
 	gen      uint64
 	postings []Posting
 	values   []ValuePosting
+	stats    topicStats // guarded by mu
 
 	epoch      uint64
 	votesAt    uint64
 	votes      []Vote
 	valVotesAt uint64
 	valVotes   []ValueVote
+}
+
+// topicStats are the per-topic bookkeeping counts behind the board's
+// sampled telemetry counters. Plain ints on purpose: the hot paths
+// update them while already holding the topic lock exclusively, so
+// counting adds no shared cache-line traffic; board-wide totals are
+// summed only at telemetry snapshot time (and folded into
+// Board.dropped when a topic is dropped, keeping the sampled counters
+// monotone).
+type topicStats struct {
+	posts     int64 // vector + value postings
+	tallyHits int64 // Votes/ValueVotes served from the epoch cache
+	rebuilds  int64 // tally rebuilds (cache invalidated by a post)
+	snapUnch  int64 // TopicSnapshot "unchanged" answers
 }
 
 const neverTallied = ^uint64(0)
@@ -274,8 +401,8 @@ func (b *Board) topicFor(name string) *topic {
 		return t
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if t, ok = b.topics[name]; ok {
+		b.mu.Unlock()
 		return t
 	}
 	t = &topic{
@@ -284,6 +411,24 @@ func (b *Board) topicFor(name string) *topic {
 		valVotesAt: neverTallied,
 	}
 	b.topics[name] = t
+	reg := b.tel.reg
+	newKind := false
+	var kind string
+	if reg != nil {
+		if kind = topicKind(name); !b.kindSeen[kind] {
+			if b.kindSeen == nil {
+				b.kindSeen = make(map[string]bool)
+			}
+			b.kindSeen[kind] = true
+			newKind = true
+		}
+	}
+	b.mu.Unlock()
+	b.tel.topics.Add(1)
+	if newKind {
+		// Outside b.mu — see registerKindFunc.
+		b.registerKindFunc(reg, kind)
+	}
 	return t
 }
 
@@ -293,6 +438,7 @@ func (b *Board) Post(name string, player int, v bitvec.Partial) {
 	t.mu.Lock()
 	t.postings = append(t.postings, Posting{Player: player, Vec: v})
 	t.epoch++
+	t.stats.posts++
 	// Under the topic lock so VectorPostCount never under-reports a
 	// posting already visible via Postings.
 	b.vectorPosts.Add(1)
@@ -329,6 +475,9 @@ func (b *Board) Votes(name string) []Vote {
 	if t.votesAt != t.epoch {
 		t.votes = tallyVotes(t.postings)
 		t.votesAt = t.epoch
+		t.stats.rebuilds++
+	} else {
+		t.stats.tallyHits++
 	}
 	out := t.votes
 	t.mu.Unlock()
@@ -379,8 +528,28 @@ func (b *Board) PopularVectors(name string, minVotes int) []bitvec.Partial {
 // phases that are complete. Dropping an absent topic is a no-op.
 func (b *Board) DropTopic(name string) {
 	b.mu.Lock()
-	delete(b.topics, name)
+	t, existed := b.topics[name]
+	if existed {
+		// Fold the topic's stats into the board totals so the sampled
+		// telemetry counters stay monotone across drops.
+		t.mu.Lock()
+		b.dropped.posts += t.stats.posts
+		b.dropped.tallyHits += t.stats.tallyHits
+		b.dropped.rebuilds += t.stats.rebuilds
+		b.dropped.snapUnch += t.stats.snapUnch
+		if t.stats.posts > 0 {
+			if b.droppedPosts == nil {
+				b.droppedPosts = make(map[string]int64)
+			}
+			b.droppedPosts[topicKind(name)] += t.stats.posts
+		}
+		t.mu.Unlock()
+		delete(b.topics, name)
+	}
 	b.mu.Unlock()
+	if existed {
+		b.tel.topics.Add(-1)
+	}
 }
 
 // TopicCount returns the number of live topics (for tests and stats).
@@ -413,6 +582,7 @@ func (b *Board) PostValues(name string, player int, vals []uint32) {
 	t.mu.Lock()
 	t.values = append(t.values, ValuePosting{Player: player, Vals: cp})
 	t.epoch++
+	t.stats.posts++
 	b.vectorPosts.Add(1) // under the lock; see Post
 	t.mu.Unlock()
 }
@@ -437,6 +607,9 @@ func (b *Board) ValueVotes(name string) []ValueVote {
 	if t.valVotesAt != t.epoch {
 		t.valVotes = tallyValueVotes(t.values)
 		t.valVotesAt = t.epoch
+		t.stats.rebuilds++
+	} else {
+		t.stats.tallyHits++
 	}
 	out := t.valVotes
 	t.mu.Unlock()
@@ -459,15 +632,22 @@ func (b *Board) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, ep
 	defer t.mu.Unlock()
 	gen, epoch = t.gen, t.epoch
 	if gen == sinceGen && epoch == sinceEpoch {
+		t.stats.snapUnch++
 		return gen, epoch, true, nil, nil
 	}
 	if t.votesAt != t.epoch {
 		t.votes = tallyVotes(t.postings)
 		t.votesAt = t.epoch
+		t.stats.rebuilds++
+	} else {
+		t.stats.tallyHits++
 	}
 	if t.valVotesAt != t.epoch {
 		t.valVotes = tallyValueVotes(t.values)
 		t.valVotesAt = t.epoch
+		t.stats.rebuilds++
+	} else {
+		t.stats.tallyHits++
 	}
 	return gen, epoch, false, t.votes, t.valVotes
 }

@@ -24,13 +24,16 @@ package core
 import (
 	"math"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"tellme/internal/billboard"
 	"tellme/internal/ints"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
+	"tellme/internal/telemetry"
 	"tellme/internal/trace"
 )
 
@@ -105,20 +108,125 @@ type Env struct {
 	// Trace, when non-nil, receives structured events from each
 	// sub-algorithm invocation (entry parameters and probe consumption).
 	Trace *trace.Log
+	// Telemetry, when non-nil, accumulates per-sub-algorithm cost
+	// counters ("core.<kind>.{calls,probes,ns}") from the same spans
+	// that feed Trace — the registry behind the -telemetry cost
+	// breakdown of cmd/experiments.
+	Telemetry *telemetry.Registry
+
+	telOnce  sync.Once
+	spanTels [nSpanKinds]spanCounters
 }
 
+// spanCounters are one span kind's pre-resolved instruments. Spans run
+// inside the recursion (hundreds to tens of thousands per run), so the
+// registry's get-or-create lookup must not happen per span.
+type spanCounters struct {
+	calls, probes, ns *telemetry.Counter
+}
+
+// The span kinds used by the algorithms, indexable without a map.
+const (
+	spanRefresh = iota
+	spanSmallRadius
+	spanZeroRadius
+	spanLargeRadius
+	spanUnknownD
+	nSpanKinds
+)
+
+var spanKindNames = [nSpanKinds]string{
+	spanRefresh:     "refresh",
+	spanSmallRadius: "smallradius",
+	spanZeroRadius:  "zeroradius",
+	spanLargeRadius: "largeradius",
+	spanUnknownD:    "unknownd",
+}
+
+func spanKindIndex(kind string) int {
+	for i, name := range spanKindNames {
+		if name == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// spanCountersFor returns the cached instruments for kind, resolving
+// all known kinds once on first use. Unknown kinds (none today) fall
+// back to a direct registry lookup.
+func (env *Env) spanCountersFor(kind string) spanCounters {
+	tel := env.Telemetry
+	i := spanKindIndex(kind)
+	if i < 0 {
+		return spanCounters{
+			calls:  tel.Counter("core." + kind + ".calls"),
+			probes: tel.Counter("core." + kind + ".probes"),
+			ns:     tel.Counter("core." + kind + ".ns"),
+		}
+	}
+	env.telOnce.Do(func() {
+		for k, name := range spanKindNames {
+			env.spanTels[k] = spanCounters{
+				calls:  tel.Counter("core." + name + ".calls"),
+				probes: tel.Counter("core." + name + ".probes"),
+				ns:     tel.Counter("core." + name + ".ns"),
+			}
+		}
+	})
+	return env.spanTels[i]
+}
+
+// spanNoop is the shared disabled-span closure, so disabled runs do not
+// allocate one closure per sub-algorithm invocation.
+var spanNoop = func() {}
+
 // span emits a start event and returns a closure that emits the
-// matching end event with the probes consumed in between. A nil Trace
-// makes both free.
+// matching end event with the probes consumed and wall time spent in
+// between. With both Trace and Telemetry nil the span is free.
 func (env *Env) span(kind string, kv ...any) func() {
-	if env.Trace == nil {
-		return func() {}
+	return env.spanPlayers(kind, nil, kv...)
+}
+
+// spanPlayers is span with the probe measurement restricted to the
+// participating players (nil means all). Sub-algorithms that run on a
+// small group pass it so a span costs two O(group) counter sweeps, not
+// two O(n) ones — ZeroRadius runs thousands of times per recursion.
+// Exact because players only probe their own grades, so a span's
+// consumption is entirely attributed to its participants.
+func (env *Env) spanPlayers(kind string, players []int, kv ...any) func() {
+	enabled := env.Telemetry != nil
+	if env.Trace == nil && !enabled {
+		return spanNoop
 	}
-	before := env.Engine.TotalCharged()
-	env.Trace.Event(kind+".start", kv...)
+	before := env.chargedSum(players)
+	var sc spanCounters
+	var start time.Time
+	if enabled {
+		sc = env.spanCountersFor(kind)
+		sc.calls.Inc()
+		start = time.Now()
+	}
+	if env.Trace != nil {
+		env.Trace.Event(kind+".start", kv...)
+	}
 	return func() {
-		env.Trace.Event(kind+".end", "probes", env.Engine.TotalCharged()-before)
+		probes := env.chargedSum(players) - before
+		if env.Trace != nil {
+			env.Trace.Event(kind+".end", "probes", probes)
+		}
+		if enabled {
+			sc.probes.Add(probes)
+			sc.ns.Add(time.Since(start).Nanoseconds())
+		}
 	}
+}
+
+func (env *Env) chargedSum(players []int) int64 {
+	if players == nil {
+		return env.Engine.TotalCharged()
+	}
+	return env.Engine.ChargedSum(players)
 }
 
 // Counter identifies one invocation counter on an Env.

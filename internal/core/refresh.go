@@ -48,7 +48,7 @@ func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha 
 	if maxPatches < 1 {
 		maxPatches = len(objs)
 	}
-	defer env.span("refresh", "players", len(players), "objs", len(objs), "redundancy", redundancy)()
+	defer env.spanPlayers("refresh", players, "players", len(players), "objs", len(objs), "redundancy", redundancy)()
 	tag := env.freshTag("rf")
 	coin := env.Public.Stream(tag, 0)
 

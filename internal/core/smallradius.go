@@ -55,7 +55,7 @@ func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) [
 		return out
 	}
 	env.count(CountSmallRadius)
-	defer env.span("smallradius", "players", len(players), "objs", len(objs), "alpha", alpha, "d", d)()
+	defer env.spanPlayers("smallradius", players, "players", len(players), "objs", len(objs), "alpha", alpha, "d", d)()
 	if k <= 0 {
 		k = env.confidenceK()
 	}

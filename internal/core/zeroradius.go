@@ -95,7 +95,7 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 		panic(fmt.Sprintf("core: ZeroRadius alpha %v out of (0,1]", alpha))
 	}
 	env.count(CountZeroRadius)
-	defer env.span("zeroradius", "players", len(players), "objs", space.Len(), "alpha", alpha)()
+	defer env.spanPlayers("zeroradius", players, "players", len(players), "objs", space.Len(), "alpha", alpha)()
 	tag := env.freshTag("zr")
 	threshold := env.leafThreshold(alpha)
 

@@ -40,7 +40,7 @@ func runE11(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(k*100 + s)
 			in := prefs.Planted(n, n, alpha, d, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, k)
 			c := ses.community()
 			bad, worst := 0, 0
@@ -75,7 +75,7 @@ func runE11(o Options) []*metrics.Table {
 		for seedI := 0; seedI < o.Seeds; seedI++ {
 			seed := uint64(seedI) + uint64(pc*1000)
 			in := prefs.Planted(n, n, alpha, d, seed)
-			ses := newSession(in, seed+1, cfg)
+			ses := o.newSession(in, seed+1, cfg)
 			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, 0)
 			c := ses.community()
 			worst := 0
@@ -106,7 +106,7 @@ func runE11(o Options) []*metrics.Table {
 		for seedI := 0; seedI < o.Seeds; seedI++ {
 			seed := uint64(seedI) + uint64(vf*100)
 			in := prefs.AdversarialVoteSplit(n, n, 0.3, 0, seed)
-			ses := newSession(in, seed+1, cfg)
+			ses := o.newSession(in, seed+1, cfg)
 			out := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), 0.3)
 			c := ses.community()
 			exact := 0

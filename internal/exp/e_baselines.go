@@ -89,7 +89,7 @@ func runFamily(o Options, t *metrics.Table, mk func(seed uint64) *prefs.Instance
 		in := mk(seed)
 		comm := in.Communities[0].Members
 
-		ses := newSession(in, seed+1, core.DefaultConfig())
+		ses := o.newSession(in, seed+1, core.DefaultConfig())
 		var out []bitvec.Partial
 		if zeroRadius {
 			zr := core.ZeroRadiusBits(ses.env, allPlayers(in.N), seqObjs(in.M), alpha)
@@ -113,7 +113,7 @@ func runFamily(o Options, t *metrics.Table, mk func(seed uint64) *prefs.Instance
 			budget = 4
 		}
 
-		ses2 := newSession(in, seed+2, core.DefaultConfig())
+		ses2 := o.newSession(in, seed+2, core.DefaultConfig())
 		outSolo := baseline.Solo(ses2.engine, ses2.runner)
 		add("solo(full)", int64(in.M), metrics.Probes(ses2.engine, in.N, nil).Max,
 			metrics.MeanErr(in, comm, outSolo), float64(metrics.Discrepancy(in, comm, outSolo)))
@@ -137,7 +137,7 @@ func runFamily(o Options, t *metrics.Table, mk func(seed uint64) *prefs.Instance
 				return baseline.Spectral(s3.engine, s3.runner, budget, rank, 10, rng.NewSource(seed+6))
 			}},
 		} {
-			ses3 := newSession(in, seed+3, core.DefaultConfig())
+			ses3 := o.newSession(in, seed+3, core.DefaultConfig())
 			outB := b.run(ses3)
 			add(b.name, int64(budget), metrics.Probes(ses3.engine, in.N, nil).Max,
 				metrics.MeanErr(in, comm, outB), float64(metrics.Discrepancy(in, comm, outB)))

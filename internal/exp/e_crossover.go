@@ -47,12 +47,12 @@ func runE14(o Options) []*metrics.Table {
 		for s := 0; s < seeds; s++ {
 			seed := uint64(n + s)
 			inZ := prefs.Identical(n, n, 0.5, seed)
-			sesZ := newSession(inZ, seed+1, cfg)
+			sesZ := o.newSession(inZ, seed+1, cfg)
 			_ = core.ZeroRadiusBits(sesZ.env, allPlayers(n), seqObjs(n), 0.5)
 			zrP = append(zrP, float64(sesZ.probeStats().Max))
 
 			inS := prefs.Planted(n, n, 0.5, 2, seed)
-			sesS := newSession(inS, seed+2, cfg)
+			sesS := o.newSession(inS, seed+2, cfg)
 			sr := core.SmallRadius(sesS.env, allPlayers(n), seqObjs(n), 0.5, 2, 4)
 			srP = append(srP, float64(sesS.probeStats().Max))
 			worst := 0

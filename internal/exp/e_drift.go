@@ -40,7 +40,7 @@ func runE17(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(600 + k*10 + s)
 			in := prefs.Identical(n, n, alpha, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			zr := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), alpha)
 			comm := in.Communities[0].Members
 			out1 := make([]bitvec.Partial, n)
@@ -51,7 +51,7 @@ func runE17(o Options) []*metrics.Table {
 
 			// the world drifts coherently by k coordinates
 			in2 := prefs.Drift(in, k, 0, seed+2)
-			ses2 := newSession(in2, seed+3, core.DefaultConfig())
+			ses2 := o.newSession(in2, seed+3, core.DefaultConfig())
 			zr2 := core.ZeroRadiusBits(ses2.env, allPlayers(n), seqObjs(n), alpha)
 			out2 := make([]bitvec.Partial, n)
 			for p := 0; p < n; p++ {

@@ -36,7 +36,7 @@ func runE6(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(d*10 + s)
 			in := prefs.Planted(n, n, alpha, d, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			out := core.LargeRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d)
 			c := ses.community()
 			maxErrs = append(maxErrs, float64(metrics.Discrepancy(in, c, out)))

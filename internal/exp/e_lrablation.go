@@ -39,7 +39,7 @@ func runE18(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(700 + s)
 			in := prefs.Planted(n, n, alpha, d, seed)
-			ses := newSession(in, seed+1, cfg)
+			ses := o.newSession(in, seed+1, cfg)
 			out := core.LargeRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d)
 			errs = append(errs, float64(metrics.Discrepancy(in, ses.community(), out)))
 			costs = append(costs, float64(ses.probeStats().Max))

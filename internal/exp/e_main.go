@@ -44,7 +44,7 @@ func runE8(o Options) []*metrics.Table {
 			for s := 0; s < o.Seeds; s++ {
 				seed := uint64(n*10+d) + uint64(s)
 				in := prefs.Planted(n, n, alpha, d, seed)
-				ses := newSession(in, seed+1, core.DefaultConfig())
+				ses := o.newSession(in, seed+1, core.DefaultConfig())
 				out := core.UnknownD(ses.env, alpha)
 				c := ses.community()
 				realized = in.Diameter(c)
@@ -74,7 +74,7 @@ func runE10(o Options) []*metrics.Table {
 	}
 	n := 128 * o.Scale
 	in := prefs.Planted(n, n, 0.25, 8, 4242)
-	ses := newSession(in, 4243, core.DefaultConfig())
+	ses := o.newSession(in, 4243, core.DefaultConfig())
 	c := ses.community()
 	core.Anytime(ses.env, 0, func(ph core.AnytimePhase) bool {
 		disc := metrics.Discrepancy(in, c, ph.Outputs)

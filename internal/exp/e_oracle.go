@@ -44,7 +44,7 @@ func runE19(o Options) []*metrics.Table {
 				{Alpha: 0.25, D: 8},
 				{Alpha: 0.20, D: 24},
 			}, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			out := core.UnknownD(ses.env, alpha)
 			for _, c := range in.Communities {
 				for _, p := range c.Members {

@@ -36,7 +36,7 @@ func runE20(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(900 + k*10 + s)
 			in := prefs.Identical(n, n, alpha, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			zr := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), alpha)
 			stale := make([]bitvec.Partial, n)
 			for p := 0; p < n; p++ {
@@ -45,13 +45,13 @@ func runE20(o Options) []*metrics.Table {
 			in2 := prefs.Drift(in, k, 0, seed+2)
 			comm := in2.Communities[0].Members
 
-			ses2 := newSession(in2, seed+3, core.DefaultConfig())
+			ses2 := o.newSession(in2, seed+3, core.DefaultConfig())
 			red, maxP := core.RefreshBudget(k)
 			out := core.Refresh(ses2.env, allPlayers(n), seqObjs(n), stale, alpha, red, maxP)
 			rfP = append(rfP, float64(ses2.probeStats().Max))
 			rfE = append(rfE, float64(metrics.Discrepancy(in2, comm, out)))
 
-			ses3 := newSession(in2, seed+4, core.DefaultConfig())
+			ses3 := o.newSession(in2, seed+4, core.DefaultConfig())
 			zr2 := core.ZeroRadiusBits(ses3.env, allPlayers(n), seqObjs(n), alpha)
 			out2 := make([]bitvec.Partial, n)
 			for p := 0; p < n; p++ {

@@ -26,7 +26,7 @@ func init() {
 // selectTrial builds a candidate set with one vector planted within d of
 // a random truth vector and k-1 decoys at the given distance, returning
 // (probes, pickedDistance, bestDistance).
-func selectTrial(seed uint64, m, k, d, decoyDist int, useRSelect bool, cLogN int) (int64, int, int) {
+func selectTrial(o Options, seed uint64, m, k, d, decoyDist int, useRSelect bool, cLogN int) (int64, int, int) {
 	r := rng.New(seed)
 	truth := bitvec.Random(r, m)
 	cands := make([]bitvec.Partial, k)
@@ -44,7 +44,7 @@ func selectTrial(seed uint64, m, k, d, decoyDist int, useRSelect bool, cLogN int
 	r.Shuffle(k, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 
 	in := prefs.FromVectors([]bitvec.Vector{truth})
-	ses := newSession(in, seed+99, core.DefaultConfig())
+	ses := o.newSession(in, seed+99, core.DefaultConfig())
 	pl := ses.engine.Player(0)
 	objs := seqObjs(m)
 	var got int
@@ -76,7 +76,7 @@ func runE2(o Options) []*metrics.Table {
 			maxP := int64(0)
 			optimal := true
 			for s := 0; s < o.Seeds*10; s++ {
-				p, picked, best := selectTrial(uint64(k*1000+d*10+s), m, k, d, m/3+d+1, false, 0)
+				p, picked, best := selectTrial(o, uint64(k*1000+d*10+s), m, k, d, m/3+d+1, false, 0)
 				probes = append(probes, float64(p))
 				if p > maxP {
 					maxP = p
@@ -107,7 +107,7 @@ func runE7(o Options) []*metrics.Table {
 			within := 0
 			trials := o.Seeds * 10
 			for s := 0; s < trials; s++ {
-				p, picked, best := selectTrial(uint64(k*7777+d*13+s), m, k, d, 8*d+40, true, cLogN)
+				p, picked, best := selectTrial(o, uint64(k*7777+d*13+s), m, k, d, 8*d+40, true, cLogN)
 				probes = append(probes, float64(p))
 				if best == 0 {
 					best = 1

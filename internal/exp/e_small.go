@@ -36,7 +36,7 @@ func runE4(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(d*100 + s)
 			in := prefs.Planted(n, n, alpha, d, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			sr := core.SmallRadius(ses.env, allPlayers(n), seqObjs(n), alpha, d, 0)
 			out := make([]bitvec.Partial, n)
 			for p := 0; p < n; p++ {

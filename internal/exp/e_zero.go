@@ -41,7 +41,7 @@ func runE1(o Options) []*metrics.Table {
 			for s := 0; s < o.Seeds; s++ {
 				seed := uint64(n)*1000 + uint64(alpha*64) + uint64(s)
 				in := prefs.Identical(n, n, alpha, seed)
-				ses := newSession(in, seed+1, core.DefaultConfig())
+				ses := o.newSession(in, seed+1, core.DefaultConfig())
 				out := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), alpha)
 				c := in.Communities[0]
 				exact := 0
@@ -92,7 +92,7 @@ func runE12(o Options) []*metrics.Table {
 		for s := 0; s < o.Seeds; s++ {
 			seed := uint64(777) + uint64(alpha*64) + uint64(s)
 			in := prefs.AdversarialVoteSplit(n, n, alpha, 0, seed)
-			ses := newSession(in, seed+1, core.DefaultConfig())
+			ses := o.newSession(in, seed+1, core.DefaultConfig())
 			out := core.ZeroRadiusBits(ses.env, allPlayers(n), seqObjs(n), alpha)
 			c := in.Communities[0]
 			exact := 0

@@ -21,6 +21,7 @@ import (
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
+	"tellme/internal/telemetry"
 )
 
 // Options control experiment size and repetition.
@@ -33,6 +34,12 @@ type Options struct {
 	Scale int
 	// Progress, when non-nil, receives one line per configuration.
 	Progress io.Writer
+	// Telemetry, when non-nil, instruments every session the experiment
+	// creates (board posts, probe charges, per-sub-algorithm cost
+	// spans). One registry accumulates across all of an experiment's
+	// configurations and seeds — the source of the -telemetry cost
+	// breakdown in cmd/experiments.
+	Telemetry *telemetry.Registry
 }
 
 // Defaults fills unset fields.
@@ -106,13 +113,20 @@ type session struct {
 	runner *sim.Runner
 }
 
-// newSession wires a deterministic environment for one run.
-func newSession(in *prefs.Instance, seed uint64, cfg core.Config) *session {
+// newSession wires a deterministic environment for one run,
+// instrumented with o.Telemetry when set.
+func (o Options) newSession(in *prefs.Instance, seed uint64, cfg core.Config) *session {
 	b := billboard.New(in.N, in.M)
+	b.SetTelemetry(o.Telemetry)
 	src := rng.NewSource(seed)
-	e := probe.NewEngine(in, b, src.Child("engine", 0))
+	var popts []probe.Option
+	if o.Telemetry != nil {
+		popts = append(popts, probe.WithTelemetry(o.Telemetry))
+	}
+	e := probe.NewEngine(in, b, src.Child("engine", 0), popts...)
 	runner := sim.NewRunner(0)
 	env := core.NewEnv(e, runner, src.Child("public", 0), cfg)
+	env.Telemetry = o.Telemetry
 	return &session{in: in, engine: e, env: env, runner: runner}
 }
 

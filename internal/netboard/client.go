@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
+	"tellme/internal/telemetry"
 )
 
 // Client implements billboard.Interface against a remote Server.
@@ -53,19 +55,36 @@ type Client struct {
 	// dead transport must not masquerade as an empty billboard.
 	OnError func(error)
 	// Retries is the number of times a failed request is retried with
-	// linear backoff before OnError fires (0 = no retries). 4xx
-	// responses are not retried — they are protocol errors, not
+	// jittered linear backoff before OnError fires (0 = no retries).
+	// 4xx responses are not retried — they are protocol errors, not
 	// transient failures.
 	Retries int
 	// RetryBackoff is the per-attempt backoff unit (default 50ms);
-	// attempt i waits i·RetryBackoff.
+	// attempt i waits i·RetryBackoff scaled by a uniform ±50% jitter,
+	// so a fleet of clients that failed together does not retry in
+	// lockstep and re-stampede a recovering server.
 	RetryBackoff time.Duration
+	// JitterSeed seeds the backoff jitter stream (0 = a random seed).
+	// Distinct clients should use distinct seeds (the default); a fixed
+	// seed makes a single client's backoff sequence reproducible.
+	JitterSeed uint64
 	// DisableBatch switches off request batching and the topic
 	// snapshot cache, issuing one legacy request per board operation.
 	DisableBatch bool
+	// Telemetry, when non-nil, records per-endpoint request counts
+	// ("netboard.client.requests.<path>", one per HTTP attempt),
+	// request latency histograms ("netboard.client.latency_ns.<path>")
+	// and the "netboard.client.retries" counter. Nil costs nothing.
+	Telemetry *telemetry.Registry
 
 	// sleep stubs time.Sleep in backoff for tests.
 	sleep func(time.Duration)
+
+	// jitter is the lazily seeded backoff jitter stream (see
+	// JitterSeed), guarded by jitterMu: one client may retry from many
+	// player goroutines at once.
+	jitterMu sync.Mutex
+	jitter   *mrand.Rand
 
 	// Request-id state: a random per-client prefix plus a sequence
 	// number, unique across processes sharing one server.
@@ -132,13 +151,29 @@ func (c *Client) httpc() *http.Client {
 	return http.DefaultClient
 }
 
-// backoff sleeps before retry attempt i (1-based).
+// backoff sleeps before retry attempt i (1-based): i·RetryBackoff
+// scaled by a uniform factor in [0.5, 1.5). Deterministic linear
+// backoff synchronizes retry stampedes — every client that failed on
+// the same server blip would sleep the same schedule and re-arrive
+// together; the seeded jitter desynchronizes the herd while keeping
+// the linear growth (and the i·RetryBackoff mean) intact.
 func (c *Client) backoff(i int) {
 	unit := c.RetryBackoff
 	if unit <= 0 {
 		unit = 50 * time.Millisecond
 	}
-	d := time.Duration(i) * unit
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		seed := c.JitterSeed
+		for seed == 0 {
+			seed = mrand.Uint64()
+		}
+		c.jitter = mrand.New(mrand.NewPCG(seed, 0x74656c6c6d65)) // "tellme"
+	}
+	f := 0.5 + c.jitter.Float64()
+	c.jitterMu.Unlock()
+	d := time.Duration(float64(i) * float64(unit) * f)
+	c.Telemetry.Counter("netboard.client.retries").Inc()
 	if c.sleep != nil {
 		c.sleep(d)
 		return
@@ -161,6 +196,17 @@ func (c *Client) requestID() string {
 	return c.idPrefix + "-" + strconv.FormatUint(c.idSeq.Add(1), 10)
 }
 
+// instruments resolves the per-endpoint request counter and latency
+// histogram for one logical call (nil instruments when telemetry is
+// off). The registry lookup happens once per call, not per attempt.
+func (c *Client) instruments(path string) (reqs *telemetry.Counter, lat *telemetry.Histogram) {
+	if c.Telemetry == nil {
+		return nil, nil
+	}
+	return c.Telemetry.Counter("netboard.client.requests." + path),
+		c.Telemetry.Histogram("netboard.client.latency_ns."+path, telemetry.LatencyBuckets())
+}
+
 // post sends a JSON POST and expects 2xx, retrying transient failures.
 // All attempts carry the same request id, so a retry of a post the
 // server already applied is acknowledged, not re-applied.
@@ -171,6 +217,7 @@ func (c *Client) post(path string, body any) {
 		return
 	}
 	id := c.requestID()
+	reqs, lat := c.instruments(path)
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
@@ -183,7 +230,10 @@ func (c *Client) post(path string, body any) {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(HeaderRequestID, id)
+		reqs.Inc()
+		start := time.Now()
 		resp, err := c.httpc().Do(req)
+		lat.ObserveSince(start)
 		if err != nil {
 			lastErr = err
 			continue
@@ -211,12 +261,16 @@ func (c *Client) get(path string, query url.Values, out any) bool {
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	reqs, lat := c.instruments(path)
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.backoff(attempt)
 		}
+		reqs.Inc()
+		start := time.Now()
 		resp, err := c.httpc().Get(u)
+		lat.ObserveSince(start)
 		if err != nil {
 			lastErr = err
 			continue

@@ -401,13 +401,16 @@ func TestRetryAttemptCountAndLinearBackoff(t *testing.T) {
 	if errs != 1 {
 		t.Fatalf("OnError fired %d times", errs)
 	}
-	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
-	if len(slept) != len(want) {
-		t.Fatalf("backoff slept %v, want %v", slept, want)
+	// Attempt i waits i·RetryBackoff scaled by a jitter factor in
+	// [0.5, 1.5), so the linear ramp shows through the randomness.
+	if len(slept) != 3 {
+		t.Fatalf("backoff slept %v, want 3 waits", slept)
 	}
-	for i := range want {
-		if slept[i] != want[i] {
-			t.Fatalf("backoff attempt %d slept %v, want %v (linear in the attempt number)", i+1, slept[i], want[i])
+	for i, d := range slept {
+		base := time.Duration(i+1) * c.RetryBackoff
+		lo, hi := base/2, base+base/2
+		if d < lo || d >= hi {
+			t.Fatalf("backoff attempt %d slept %v, want [%v, %v) (linear in the attempt number, ±50%% jitter)", i+1, d, lo, hi)
 		}
 	}
 }

@@ -40,6 +40,11 @@ const (
 	PathBatchProbes   = "/v1/batch/probes"   // POST: post many probe results at once
 	PathBatchLookups  = "/v1/batch/lookups"  // GET: look up many probe results at once
 	PathTopicSnapshot = "/v1/topic-snapshot" // GET: epoch-tagged vote tallies of a topic
+
+	// Telemetry endpoints, registered only when the server was built
+	// with WithTelemetry.
+	PathTelemetry     = "/debug/telemetry"            // GET: registry snapshot as JSON
+	PathTelemetryProm = "/debug/telemetry/prometheus" // GET: Prometheus text format
 )
 
 // HeaderRequestID carries the client-generated idempotency key of a

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"tellme/internal/billboard"
+	"tellme/internal/telemetry"
 )
 
 // DefaultDedupeWindow is the number of recently applied request ids the
@@ -19,6 +21,11 @@ type Server struct {
 	board  *billboard.Board
 	mux    *http.ServeMux
 	dedupe *dedupe
+
+	tel          *telemetry.Registry
+	dedupeHits   *telemetry.Counter
+	dedupeApply  *telemetry.Counter
+	noIDRequests *telemetry.Counter
 }
 
 // ServerOption configures a Server.
@@ -32,26 +39,76 @@ func WithDedupeWindow(n int) ServerOption {
 	return func(s *Server) { s.dedupe = newDedupe(n) }
 }
 
+// WithTelemetry attaches a telemetry registry: per-endpoint request
+// counters ("netboard.server.requests.<path>") and latency histograms
+// ("netboard.server.latency_ns.<path>"), dedupe hit/apply counters,
+// and the /debug/telemetry endpoints (JSON, plus Prometheus text at
+// /debug/telemetry/prometheus). The registry is shared — attach the
+// same one to the board via Board.SetTelemetry to serve its counters
+// from the same endpoint.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.tel = reg }
+}
+
 // NewServer wraps board in an HTTP handler.
 func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
 	s := &Server{board: board, mux: http.NewServeMux(), dedupe: newDedupe(DefaultDedupeWindow)}
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc(PathProbe, s.handleProbe)
-	s.mux.HandleFunc(PathProbedObjects, s.readOnly(s.handleProbedObjects))
-	s.mux.HandleFunc(PathVector, s.handleVector)
-	s.mux.HandleFunc(PathPostings, s.readOnly(s.handlePostings))
-	s.mux.HandleFunc(PathVotes, s.readOnly(s.handleVotes))
-	s.mux.HandleFunc(PathValues, s.handleValues)
-	s.mux.HandleFunc(PathValuePostings, s.readOnly(s.handleValuePostings))
-	s.mux.HandleFunc(PathValueVotes, s.readOnly(s.handleValueVotes))
-	s.mux.HandleFunc(PathDropTopic, s.handleDropTopic)
-	s.mux.HandleFunc(PathStats, s.readOnly(s.handleStats))
-	s.mux.HandleFunc(PathBatchProbes, s.handleBatchProbes)
-	s.mux.HandleFunc(PathBatchLookups, s.readOnly(s.handleBatchLookups))
-	s.mux.HandleFunc(PathTopicSnapshot, s.readOnly(s.handleTopicSnapshot))
+	if s.tel != nil {
+		s.dedupeHits = s.tel.Counter("netboard.server.dedupe.hits")
+		s.dedupeApply = s.tel.Counter("netboard.server.dedupe.applied")
+		s.noIDRequests = s.tel.Counter("netboard.server.dedupe.no_id")
+		s.mux.HandleFunc(PathTelemetry, s.readOnly(s.handleTelemetry))
+		s.mux.HandleFunc(PathTelemetryProm, s.readOnly(s.handleTelemetryProm))
+	}
+	s.handle(PathProbe, s.handleProbe)
+	s.handle(PathProbedObjects, s.readOnly(s.handleProbedObjects))
+	s.handle(PathVector, s.handleVector)
+	s.handle(PathPostings, s.readOnly(s.handlePostings))
+	s.handle(PathVotes, s.readOnly(s.handleVotes))
+	s.handle(PathValues, s.handleValues)
+	s.handle(PathValuePostings, s.readOnly(s.handleValuePostings))
+	s.handle(PathValueVotes, s.readOnly(s.handleValueVotes))
+	s.handle(PathDropTopic, s.handleDropTopic)
+	s.handle(PathStats, s.readOnly(s.handleStats))
+	s.handle(PathBatchProbes, s.handleBatchProbes)
+	s.handle(PathBatchLookups, s.readOnly(s.handleBatchLookups))
+	s.handle(PathTopicSnapshot, s.readOnly(s.handleTopicSnapshot))
 	return s
+}
+
+// handle registers h, wrapped with the per-endpoint request counter and
+// latency histogram when telemetry is attached. Instruments are
+// resolved once at registration; the per-request cost is two atomic
+// updates.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	if s.tel != nil {
+		reqs := s.tel.Counter("netboard.server.requests." + path)
+		lat := s.tel.Histogram("netboard.server.latency_ns."+path, telemetry.LatencyBuckets())
+		inner := h
+		h = func(w http.ResponseWriter, r *http.Request) {
+			reqs.Inc()
+			start := time.Now()
+			inner(w, r)
+			lat.ObserveSince(start)
+		}
+	}
+	s.mux.HandleFunc(path, h)
+}
+
+// handleTelemetry serves the registry snapshot as JSON.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tel.WriteJSON(w)
+}
+
+// handleTelemetryProm serves the registry snapshot in the Prometheus
+// text exposition format.
+func (s *Server) handleTelemetryProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.tel.WritePrometheus(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -75,7 +132,15 @@ func (s *Server) readOnly(h http.HandlerFunc) http.HandlerFunc {
 // acknowledges it. A replayed request id is acknowledged identically
 // without re-applying.
 func (s *Server) apply(w http.ResponseWriter, r *http.Request, mutate func()) {
-	s.dedupe.Do(r.Header.Get(HeaderRequestID), mutate)
+	id := r.Header.Get(HeaderRequestID)
+	if id == "" {
+		s.noIDRequests.Inc()
+	}
+	if s.dedupe.Do(id, mutate) {
+		s.dedupeApply.Inc()
+	} else {
+		s.dedupeHits.Inc()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

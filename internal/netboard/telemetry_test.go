@@ -1,0 +1,245 @@
+package netboard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/telemetry"
+)
+
+// collectBackoffs drives nRetries failed attempts of one logical call
+// through a client configured with the given jitter seed and returns the
+// sleep durations the backoff requested, without actually sleeping.
+func collectBackoffs(t *testing.T, seed uint64, retries int, unit time.Duration) []time.Duration {
+	t.Helper()
+	srv := httptest.NewServer(statusHandler{code: http.StatusInternalServerError})
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.Retries = retries
+	c.RetryBackoff = unit
+	c.JitterSeed = seed
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.OnError = func(error) {}
+	c.PostProbe(0, 0, 1)
+	return slept
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	const unit = 10 * time.Millisecond
+	a := collectBackoffs(t, 7, 8, unit)
+	b := collectBackoffs(t, 7, 8, unit)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("slept %d/%d times, want 8 each", len(a), len(b))
+	}
+	// Same seed, same sequence: the jitter is reproducible, so a failing
+	// retry schedule can be replayed exactly.
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	// Every wait stays inside [0.5, 1.5)·i·unit.
+	distinct := map[float64]bool{}
+	for i, d := range a {
+		base := time.Duration(i+1) * unit
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("attempt %d slept %v, outside [%v, %v)", i+1, d, base/2, base+base/2)
+		}
+		distinct[float64(d)/float64(base)] = true
+	}
+	// The factor must actually vary — a constant multiplier would mean
+	// the jitter is dead and synchronized retry storms come back.
+	if len(distinct) < 2 {
+		t.Fatalf("jitter factors %v never varied across 8 attempts", distinct)
+	}
+	// A different seed yields a different schedule (8 independent draws
+	// colliding exactly is astronomically unlikely).
+	c := collectBackoffs(t, 8, 8, unit)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical jitter sequences")
+	}
+}
+
+func TestBackoffZeroSeedStillJitters(t *testing.T) {
+	slept := collectBackoffs(t, 0, 4, 10*time.Millisecond)
+	if len(slept) != 4 {
+		t.Fatalf("slept %d times, want 4", len(slept))
+	}
+	for i, d := range slept {
+		base := time.Duration(i+1) * 10 * time.Millisecond
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("attempt %d slept %v, outside jitter bounds around %v", i+1, d, base)
+		}
+	}
+}
+
+// TestDebugTelemetryEndpoints serves a board with a shared registry and
+// cross-checks the JSON and Prometheus exports against the board's own
+// post/probe counts.
+func TestDebugTelemetryEndpoints(t *testing.T) {
+	reg := telemetry.New()
+	board := billboard.New(4, 16)
+	board.SetTelemetry(reg)
+	srv := httptest.NewServer(NewServer(board, WithTelemetry(reg)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.Telemetry = reg
+
+	c.PostProbe(0, 3, 1)
+	c.PostProbe(1, 5, 0)
+	c.PostProbe(2, 7, 1)
+	p, _ := bitvec.PartialFromString("01?1" + strings.Repeat("?", 12))
+	c.Post("zr#1", 0, p)
+	c.Post("zr#1", 1, p)
+	if _, ok := c.LookupProbe(0, 3); !ok {
+		t.Fatal("lookup failed")
+	}
+
+	resp, err := http.Get(srv.URL + PathTelemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding %s: %v", PathTelemetry, err)
+	}
+
+	// The board-side counters must agree with the board's own counts.
+	if got, want := snap.Counters["billboard.probe.posts"], board.ProbeCount(); got != want {
+		t.Fatalf("billboard.probe.posts = %d, board.ProbeCount() = %d", got, want)
+	}
+	if got, want := snap.Counters["billboard.vector.posts"], board.VectorPostCount(); got != want {
+		t.Fatalf("billboard.vector.posts = %d, board.VectorPostCount() = %d", got, want)
+	}
+	if got := snap.Counters["billboard.posts.zr"]; got != 2 {
+		t.Fatalf("billboard.posts.zr = %d, want 2", got)
+	}
+	// Server-side: three probe posts went through PathProbe, and the two
+	// vector posts through PathVector; the lookup hits PathProbe too.
+	if got := snap.Counters["netboard.server.requests."+PathProbe]; got != 4 {
+		t.Fatalf("server %s requests = %d, want 4 (3 posts + 1 lookup)", PathProbe, got)
+	}
+	if got := snap.Counters["netboard.server.requests."+PathVector]; got != 2 {
+		t.Fatalf("server %s requests = %d, want 2", PathVector, got)
+	}
+	// Client-side mirrors: same logical calls, counted per path.
+	if got := snap.Counters["netboard.client.requests."+PathProbe]; got != 4 {
+		t.Fatalf("client %s requests = %d, want 4", PathProbe, got)
+	}
+	// Every applied mutation passed the dedupe window exactly once, with
+	// an id, and none were replays.
+	if got := snap.Counters["netboard.server.dedupe.applied"]; got != 5 {
+		t.Fatalf("dedupe.applied = %d, want 5 (3 probes + 2 vector posts)", got)
+	}
+	if got := snap.Counters["netboard.server.dedupe.hits"]; got != 0 {
+		t.Fatalf("dedupe.hits = %d, want 0", got)
+	}
+	if got := snap.Counters["netboard.server.dedupe.no_id"]; got != 0 {
+		t.Fatalf("dedupe.no_id = %d, want 0", got)
+	}
+	// Latency histograms observed one sample per request.
+	h, ok := snap.Histograms["netboard.server.latency_ns."+PathProbe]
+	if !ok || h.Count != 4 {
+		t.Fatalf("server latency histogram for %s: ok=%v count=%d, want 4", PathProbe, ok, h.Count)
+	}
+
+	// Prometheus text form of the same registry.
+	resp2, err := http.Get(srv.URL + PathTelemetryProm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasPrefix(resp2.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("prometheus Content-Type = %q", resp2.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"tellme_billboard_probe_posts 3",
+		"tellme_billboard_vector_posts 2",
+		"# TYPE tellme_netboard_server_latency_ns__v1_probe histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDedupeHitCounter replays one request id and expects exactly one
+// dedupe hit on the server counter.
+func TestDedupeHitCounter(t *testing.T) {
+	reg := telemetry.New()
+	board := billboard.New(2, 8)
+	srv := httptest.NewServer(NewServer(board, WithTelemetry(reg)))
+	defer srv.Close()
+
+	post := func(id string) {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+PathProbe, strings.NewReader(`{"player":0,"object":1,"value":1}`))
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set(HeaderRequestID, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	post("dup-1")
+	post("dup-1") // replay
+	post("")      // no id: applied unconditionally
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["netboard.server.dedupe.hits"]; got != 1 {
+		t.Fatalf("dedupe.hits = %d, want 1", got)
+	}
+	if got := snap.Counters["netboard.server.dedupe.applied"]; got != 2 {
+		t.Fatalf("dedupe.applied = %d, want 2", got)
+	}
+	if got := snap.Counters["netboard.server.dedupe.no_id"]; got != 1 {
+		t.Fatalf("dedupe.no_id = %d, want 1", got)
+	}
+	if got := snap.Counters["netboard.server.requests."+PathProbe]; got != 3 {
+		t.Fatalf("server %s requests = %d, want 3", PathProbe, got)
+	}
+}
+
+// TestClientRetryCounter checks that each backoff wait bumps the
+// client-side retry counter.
+func TestClientRetryCounter(t *testing.T) {
+	srv := httptest.NewServer(statusHandler{code: http.StatusInternalServerError})
+	defer srv.Close()
+	reg := telemetry.New()
+	c := NewClient(srv.URL)
+	c.Telemetry = reg
+	c.Retries = 3
+	c.RetryBackoff = time.Millisecond
+	c.sleep = func(time.Duration) {}
+	c.OnError = func(error) {}
+	c.PostProbe(0, 0, 1)
+	if got := reg.Snapshot().Counters["netboard.client.retries"]; got != 3 {
+		t.Fatalf("netboard.client.retries = %d, want 3", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"tellme/internal/billboard"
 	"tellme/internal/prefs"
 	"tellme/internal/rng"
+	"tellme/internal/telemetry"
 )
 
 // Policy selects how repeated probes of the same (player, object) pair
@@ -37,6 +38,18 @@ const (
 	// re-probes are answered from the player's own billboard postings.
 	ChargeDistinct
 )
+
+// String names the policy (used as a telemetry label).
+func (p Policy) String() string {
+	switch p {
+	case ChargeAll:
+		return "charge_all"
+	case ChargeDistinct:
+		return "charge_distinct"
+	default:
+		return "unknown"
+	}
+}
 
 // NoiseFunc optionally corrupts a probe result. It receives the player,
 // object, true grade, and a per-player random stream, and returns the
@@ -54,6 +67,12 @@ type Engine struct {
 	charged []atomic.Int64 // per-player charged probes
 	invoked []atomic.Int64 // per-player Probe invocations
 
+	// telemetry, when set by WithTelemetry, samples the per-player
+	// counters into "probe.charged.<policy>" / "probe.invoked.<policy>"
+	// at snapshot time (CounterFunc) — the hot path never touches a
+	// shared telemetry atomic.
+	telemetry *telemetry.Registry
+
 	players []Player
 }
 
@@ -70,6 +89,15 @@ func WithNoise(f NoiseFunc) Option { return func(e *Engine) { e.noise = f } }
 // e.g. a sim.Gate tick for strict round-lockstep execution.
 func WithProbeHook(h func(player int)) Option { return func(e *Engine) { e.hook = h } }
 
+// WithTelemetry exposes the engine's charged/invoked totals in reg
+// under "probe.charged.<policy>" / "probe.invoked.<policy>". The
+// totals are sampled from the per-player counters when the registry is
+// snapshotted, so enabling telemetry adds nothing to the per-probe
+// cost (the per-player counters exist regardless).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Engine) { e.telemetry = reg }
+}
+
 // NewEngine builds a probe engine over inst that posts results to board.
 func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, opts ...Option) *Engine {
 	e := &Engine{
@@ -80,6 +108,11 @@ func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, 
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.telemetry != nil {
+		// Registered after all options so the policy label is final.
+		e.telemetry.CounterFunc("probe.charged."+e.policy.String(), e.TotalCharged)
+		e.telemetry.CounterFunc("probe.invoked."+e.policy.String(), e.TotalInvoked)
 	}
 	e.players = make([]Player, inst.N)
 	for p := 0; p < inst.N; p++ {
@@ -111,6 +144,24 @@ func (e *Engine) TotalCharged() int64 {
 	var t int64
 	for i := range e.charged {
 		t += e.charged[i].Load()
+	}
+	return t
+}
+
+// ChargedSum sums charged probes over the given players.
+func (e *Engine) ChargedSum(players []int) int64 {
+	var t int64
+	for _, p := range players {
+		t += e.charged[p].Load()
+	}
+	return t
+}
+
+// TotalInvoked sums Probe invocations over all players.
+func (e *Engine) TotalInvoked() int64 {
+	var t int64
+	for i := range e.invoked {
+		t += e.invoked[i].Load()
 	}
 	return t
 }

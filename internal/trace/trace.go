@@ -41,6 +41,12 @@ func (e Event) String() string {
 // Log is a bounded event log. When full, the oldest events are dropped
 // (and counted) so long runs keep their tail, which is usually the
 // interesting part. The zero value is not usable; call New.
+//
+// A nil *Log is a valid disabled log: every method is a no-op (or
+// returns an empty result), and Event in particular returns before
+// rendering any field, so "tracing off" costs neither allocations nor
+// fmt formatting. Callers can thread an optional *Log through without
+// guarding each call site.
 type Log struct {
 	mu      sync.Mutex
 	cap     int
@@ -60,8 +66,13 @@ func New(capacity int) *Log {
 }
 
 // Event records an occurrence. kv pairs alternate key (string) and
-// value (any; rendered with %v). A trailing odd key gets value "".
+// value (any; rendered with %v). A trailing odd key gets value "". On a
+// nil log it returns immediately, before any field is rendered — values
+// passed to a disabled log are never formatted.
 func (l *Log) Event(kind string, kv ...any) {
+	if l == nil {
+		return
+	}
 	fields := make([]Field, 0, (len(kv)+1)/2)
 	for i := 0; i < len(kv); i += 2 {
 		key := fmt.Sprintf("%v", kv[i])
@@ -85,8 +96,12 @@ func (l *Log) Event(kind string, kv ...any) {
 	l.dropped++
 }
 
-// Events returns the retained events in emission order.
+// Events returns the retained events in emission order (nil on a nil
+// log).
 func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Event, l.size)
@@ -96,15 +111,21 @@ func (l *Log) Events() []Event {
 	return out
 }
 
-// Len returns the number of retained events.
+// Len returns the number of retained events (0 on a nil log).
 func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.size
 }
 
-// Dropped returns how many events were evicted.
+// Dropped returns how many events were evicted (0 on a nil log).
 func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.dropped

@@ -133,3 +133,40 @@ func BenchmarkEvent(b *testing.B) {
 		l.Event("bench", "i", i, "k", "v")
 	}
 }
+
+// countingStringer counts how many times it was rendered, to prove a
+// disabled (nil) log never formats its event values.
+type countingStringer struct{ renders int }
+
+func (c *countingStringer) String() string {
+	c.renders++
+	return "rendered"
+}
+
+func TestNilLogIsFreeNoOp(t *testing.T) {
+	var l *Log
+	val := &countingStringer{}
+	l.Event("kind", "k", val)
+	if val.renders != 0 {
+		t.Fatalf("nil log rendered its field value %d times; formatting must stay behind the enabled check", val.renders)
+	}
+	if evs := l.Events(); evs != nil {
+		t.Fatalf("nil log Events() = %v", evs)
+	}
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatalf("nil log Len/Dropped = %d/%d", l.Len(), l.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil log Render wrote %q, err %v", buf.String(), err)
+	}
+	if kinds := l.CountKinds(); len(kinds) != 0 {
+		t.Fatalf("nil log CountKinds = %v", kinds)
+	}
+	// And the same value IS rendered once the log is real.
+	real := New(16)
+	real.Event("kind", "k", val)
+	if val.renders != 1 {
+		t.Fatalf("enabled log rendered the value %d times, want 1", val.renders)
+	}
+}

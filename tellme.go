@@ -44,6 +44,7 @@ import (
 	"tellme/internal/probe"
 	"tellme/internal/rng"
 	"tellme/internal/sim"
+	"tellme/internal/telemetry"
 	"tellme/internal/trace"
 )
 
@@ -148,6 +149,13 @@ type Options struct {
 	// retains up to this many sub-algorithm span events, returned in
 	// Report.TraceEvents. Tracing never changes algorithm behavior.
 	TraceCapacity int
+	// Telemetry, if non-nil, receives runtime counters from the whole
+	// stack during the run: billboard cache hits and posts (when Run
+	// creates the in-memory board), probe charges per policy,
+	// per-sub-algorithm cost ("core.<kind>.{calls,probes,ns}"), and
+	// netboard client request/retry counters (when BoardURL is used).
+	// A nil registry costs nothing on the probe hot path.
+	Telemetry *telemetry.Registry
 }
 
 // TraceEvent is one recorded observability event; see Options.TraceCapacity.
@@ -223,20 +231,30 @@ func Run(in *Instance, opt Options) (*Report, error) {
 	}
 
 	src := rng.NewSource(opt.Seed)
-	var board billboard.Interface = billboard.New(in.N, in.M)
+	var board billboard.Interface
 	switch {
 	case opt.Board != nil:
 		board = opt.Board
 	case opt.BoardURL != "":
-		board = netboard.NewClient(opt.BoardURL)
+		client := netboard.NewClient(opt.BoardURL)
+		client.Telemetry = opt.Telemetry
+		board = client
+	default:
+		mem := billboard.New(in.N, in.M)
+		mem.SetTelemetry(opt.Telemetry)
+		board = mem
 	}
 	var popts []probe.Option
 	if opt.FlipNoise > 0 {
 		popts = append(popts, probe.WithNoise(probe.FlipNoise(opt.FlipNoise)))
 	}
+	if opt.Telemetry != nil {
+		popts = append(popts, probe.WithTelemetry(opt.Telemetry))
+	}
 	engine := probe.NewEngine(in, board, src.Child("engine", 0), popts...)
 	runner := sim.NewRunner(opt.Parallelism)
 	env := core.NewEnv(engine, runner, src.Child("public", 0), cfg)
+	env.Telemetry = opt.Telemetry
 	if opt.TraceCapacity > 0 {
 		env.Trace = trace.New(opt.TraceCapacity)
 	}
