@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net race-telemetry verify bench bench-net bench-telemetry
+.PHONY: build test race stress-net race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,14 @@ stress-net:
 race-telemetry:
 	$(GO) test -race -run 'RunTelemetryCountsMatchReport' . && $(GO) test -race -run 'TelemetryConcurrentUpdates' ./internal/telemetry/
 
-verify: build race stress-net race-telemetry
+# The cancellation gate on its own (also part of `race`): phase workers
+# cancelled mid-phase, player panics surfacing as errors with the
+# barrier intact, a dead networked billboard hitting its deadline, and
+# an aborted run leaving the shared board consistent.
+race-cancel:
+	$(GO) test -race -run 'Cancel|PanicBecomes|Deadline|PreCancelled' . ./internal/sim/ ./internal/netboard/
+
+verify: build race stress-net race-telemetry race-cancel
 
 # Refresh the perf-trajectory snapshots at the repo root.
 # BENCH_1.json: core experiment benchmarks.
@@ -47,3 +54,10 @@ bench-net:
 # (nil, the zero-cost path) vs enabled; enabled stays within ~2%.
 bench-telemetry:
 	$(GO) run ./cmd/benchdiff -suite telemetry -count 5 -interleave
+
+# BENCH_4.json: context-threading overhead — the same E1/E8 benchmarks
+# after ctx plumbing reached every layer, compared against the
+# pre-context BENCH_3 baseline; the nil/Background fast path must keep
+# them within ~2%.
+bench-cancel:
+	$(GO) run ./cmd/benchdiff -suite cancel -count 5 -interleave -baseline BENCH_3.json

@@ -1,0 +1,244 @@
+package tellme
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/netboard"
+	"tellme/internal/netboard/faultnet"
+	"tellme/internal/sim"
+)
+
+func TestRunOptionsValidation(t *testing.T) {
+	ok := IdenticalInstance(16, 16, 0.5, 1)
+	cases := []struct {
+		name string
+		in   *Instance
+		opt  Options
+		want string
+	}{
+		{"nil instance", nil, Options{Alpha: 0.5}, "empty instance"},
+		{"empty instance", new(Instance), Options{Alpha: 0.5}, "empty instance"},
+		{"alpha zero", ok, Options{Alpha: 0}, "alpha"},
+		{"alpha above one", ok, Options{Alpha: 1.5}, "alpha"},
+		{"negative D", ok, Options{Alpha: 0.5, D: -1}, "out of"},
+		{"D above m", ok, Options{Alpha: 0.5, D: 17}, "out of"},
+		{"unknown algorithm", ok, Options{Alpha: 0.5, Algorithm: Algorithm(42)}, "unknown algorithm"},
+		{"negative timeout", ok, Options{Alpha: 0.5, Timeout: -time.Second}, "negative timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(tc.in, tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+			if rep != nil {
+				t.Fatalf("validation error returned a report: %+v", rep)
+			}
+			var rerr *RunError
+			if errors.As(err, &rerr) {
+				t.Fatalf("validation failure is a *RunError: %v", err)
+			}
+		})
+	}
+}
+
+// panicBoard panics on the victim player's first probe post and counts
+// which other players got their posts through.
+type panicBoard struct {
+	billboard.Interface
+	victim int
+
+	mu     sync.Mutex
+	posted map[int]bool
+}
+
+func (b *panicBoard) PostProbe(p, o int, val byte) {
+	if p == b.victim {
+		panic("player exploded")
+	}
+	b.mu.Lock()
+	b.posted[p] = true
+	b.mu.Unlock()
+	b.Interface.PostProbe(p, o, val)
+}
+
+func (b *panicBoard) PostProbes(p int, objs []int, grades []byte) {
+	if p == b.victim {
+		panic("player exploded")
+	}
+	b.mu.Lock()
+	b.posted[p] = true
+	b.mu.Unlock()
+	b.Interface.PostProbes(p, objs, grades)
+}
+
+func TestPlayerPanicBecomesRunError(t *testing.T) {
+	in := IdenticalInstance(32, 64, 0.5, 9)
+	pb := &panicBoard{
+		Interface: billboard.New(in.N, in.M),
+		posted:    map[int]bool{},
+	}
+	rep, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 10, Board: pb})
+	if err == nil {
+		t.Fatal("panicking player produced no error")
+	}
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %T %v, want *RunError", err, err)
+	}
+	if rerr.Phase != "zeroradius" {
+		t.Fatalf("Phase = %q, want zeroradius", rerr.Phase)
+	}
+	var perr *sim.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("cause = %T %v, want *sim.PanicError in chain", rerr.Cause, rerr.Cause)
+	}
+	if perr.Value != "player exploded" {
+		t.Fatalf("panic value = %v", perr.Value)
+	}
+	if rep == nil || rep.Outputs != nil {
+		t.Fatalf("want partial report without outputs, got %+v", rep)
+	}
+	// The barrier still completed: the other workers kept claiming
+	// players after the panic, so everyone but the victim posted.
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	for p := 0; p < in.N; p++ {
+		if p == pb.victim {
+			continue
+		}
+		if !pb.posted[p] {
+			t.Fatalf("player %d never posted: barrier abandoned after panic", p)
+		}
+	}
+}
+
+func TestDeadRemoteBoardHitsDeadline(t *testing.T) {
+	// A netboard client whose every request vanishes (faultnet drop
+	// probability 1) must not spin in retry backoff forever: the run's
+	// deadline cancels in-flight requests and backoff waits, and the
+	// whole run returns a *RunError well within a small multiple of the
+	// deadline.
+	in := IdenticalInstance(16, 16, 0.5, 11)
+	ft := faultnet.New(nil, 7)
+	ft.DropRequest = 1.0
+	client := netboard.NewClient("http://127.0.0.1:0")
+	client.HTTPClient = &http.Client{Transport: ft}
+	client.Retries = 1000
+	client.RetryBackoff = 50 * time.Millisecond
+
+	const deadline = 100 * time.Millisecond
+	start := time.Now()
+	rep, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 12, Board: client, Timeout: deadline})
+	elapsed := time.Since(start)
+
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %T %v, want *RunError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err chain hides the deadline: %v", err)
+	}
+	if !rerr.Timeout() {
+		t.Fatal("RunError.Timeout() = false for a blown deadline")
+	}
+	if rep == nil {
+		t.Fatal("no partial report")
+	}
+	// ~2× deadline is the spec; allow generous CI slack on top.
+	if elapsed > 10*deadline {
+		t.Fatalf("run took %v against a %v deadline", elapsed, deadline)
+	}
+}
+
+// cancelBoard cancels the run's context after the k-th topic post.
+type cancelBoard struct {
+	billboard.Interface
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	posts int
+	after int
+}
+
+func (b *cancelBoard) PostValues(name string, player int, vals []uint32) {
+	b.Interface.PostValues(name, player, vals)
+	b.mu.Lock()
+	b.posts++
+	if b.posts == b.after {
+		b.cancel()
+	}
+	b.mu.Unlock()
+}
+
+func TestCancelMidZeroRadiusLeavesBoardConsistent(t *testing.T) {
+	in := IdenticalInstance(32, 64, 0.5, 13)
+	opt := Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 14}
+
+	// Reference: the outputs of an undisturbed run on a fresh board.
+	want, err := Run(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted run: cancel mid-ZeroRadius, on a board we keep.
+	shared := billboard.New(in.N, in.M)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cb := &cancelBoard{Interface: shared, cancel: cancel, after: 5}
+	aopt := opt
+	aopt.Board = cb
+	_, err = RunContext(ctx, in, aopt)
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %T %v, want *RunError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err chain hides the cancellation: %v", err)
+	}
+
+	// Consistency 1: the abort path dropped every partially-posted
+	// topic, so no in-flight phase state leaks to the next run.
+	if n := shared.TopicCount(); n != 0 {
+		t.Fatalf("%d topics left on the board after an aborted run", n)
+	}
+
+	// Consistency 2: a subsequent run on the same board sees only
+	// committed probe postings (which are deterministic ground truth)
+	// and reproduces the fresh-board outputs exactly.
+	ropt := opt
+	ropt.Board = shared
+	got, err := Run(in, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < in.N; p++ {
+		if !want.Outputs[p].Equal(got.Outputs[p]) {
+			t.Fatalf("player %d output differs after running on the aborted run's board", p)
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	in := IdenticalInstance(16, 16, 0.5, 15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunContext(ctx, in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 16})
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %T %v, want *RunError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if rep == nil || rep.Outputs != nil {
+		t.Fatalf("want partial report without outputs, got %+v", rep)
+	}
+}

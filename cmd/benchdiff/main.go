@@ -56,6 +56,11 @@ var suites = map[string]struct {
 	// plain benchmarks — nil registry on the hot path) and enabled (the
 	// *Telemetry variants); enabled must stay within ~2% of disabled.
 	"telemetry": {pkg: ".", bench: "E1ZeroRadius|E8Main", out: "BENCH_3.json"},
+	// The context-threading suite: the same E1/E8 benchmarks after ctx
+	// plumbing reached every layer. Run with -baseline BENCH_3.json to
+	// prove the nil/Background fast path keeps the hot loops within ~2%
+	// of the pre-context numbers.
+	"cancel": {pkg: ".", bench: "E1ZeroRadius|E8Main", out: "BENCH_4.json"},
 }
 
 // Comparison is the per-benchmark before/after delta when -baseline is

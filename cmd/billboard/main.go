@@ -6,8 +6,10 @@
 //	billboard -addr :7070 -n 1024 -m 1024
 //	billboard -addr :7070 -n 1024 -m 1024 -state board.json  # persistent
 //
-// With -state, the board is restored from the file at startup (if it
-// exists) and snapshotted back on SIGINT/SIGTERM.
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -shutdown-grace before exiting. With
+// -state, the board is restored from the file at startup (if it exists)
+// and snapshotted back after the drain.
 //
 // The server always exposes runtime telemetry: GET /debug/telemetry
 // returns every counter and histogram as JSON, and
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tellme/internal/billboard"
 	"tellme/internal/netboard"
@@ -41,6 +45,10 @@ func main() {
 		state     = flag.String("state", "", "snapshot file: restore at start, save on shutdown")
 		dedupe    = flag.Int("dedupe", netboard.DefaultDedupeWindow, "idempotency window: remembered request ids (0 disables dedupe)")
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		readHdrT  = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readT     = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout for a full request")
+		idleT     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		grace     = flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *n <= 0 || *m <= 0 {
@@ -51,20 +59,6 @@ func main() {
 	board, err := loadBoard(*state, *n, *m)
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	if *state != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := saveBoard(*state, board); err != nil {
-				log.Printf("snapshot failed: %v", err)
-				os.Exit(1)
-			}
-			log.Printf("state saved to %s", *state)
-			os.Exit(0)
-		}()
 	}
 
 	reg := telemetry.New()
@@ -86,8 +80,45 @@ func main() {
 		handler = mux
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
+	hsrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHdrT,
+		ReadTimeout:       *readT,
+		IdleTimeout:       *idleT,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests for up to -shutdown-grace, then (with
+	// -state) snapshot the board. Snapshotting after the drain means the
+	// saved state includes every request the server acknowledged.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		s := <-sig
+		log.Printf("received %v, draining (grace %v)", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hsrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v (closing remaining connections)", err)
+			hsrv.Close()
+		}
+		if *state != "" {
+			if err := saveBoard(*state, board); err != nil {
+				log.Printf("snapshot failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("state saved to %s", *state)
+		}
+	}()
+
 	log.Printf("billboard for %d players × %d objects listening on %s (telemetry at %s)", board.N(), board.M(), *addr, netboard.PathTelemetry)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	if err := hsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }
 
 // loadBoard restores the board from path, or builds a fresh one when

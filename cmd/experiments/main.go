@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"tellme/internal/core"
 	"tellme/internal/exp"
 	"tellme/internal/metrics"
+	"tellme/internal/probe"
 	"tellme/internal/telemetry"
 )
 
@@ -34,6 +37,7 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
 		withTel = flag.Bool("telemetry", false, "collect runtime telemetry and print a per-experiment cost breakdown")
+		tmo     = flag.Duration("timeout", 0, "per-experiment wall-clock budget; a timed-out experiment is skipped (0 = no limit)")
 	)
 	flag.Parse()
 	if *quick {
@@ -70,12 +74,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	exitCode := 0
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "--- %s: %s (%s)\n", e.ID, e.Title, e.Claim)
 		if *withTel {
 			opts.Telemetry = telemetry.New()
 		}
-		for i, t := range e.Run(opts) {
+		tables, err := runExperiment(e, opts, *tmo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s aborted: %v\n", e.ID, err)
+			exitCode = 1
+			continue
+		}
+		for i, t := range tables {
 			if err := emit(t); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)
@@ -99,6 +110,33 @@ func main() {
 			}
 		}
 	}
+	os.Exit(exitCode)
+}
+
+// runExperiment executes one experiment under an optional wall-clock
+// budget. A cancelled context surfaces from player code as a
+// *core.Abort or *probe.Canceled panic; recover it here so one
+// timed-out experiment does not kill the rest of the sweep. Any other
+// panic is a real bug and is re-raised.
+func runExperiment(e exp.Experiment, opts exp.Options, timeout time.Duration) (tables []*metrics.Table, err error) {
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+	defer func() {
+		rec := recover()
+		switch v := rec.(type) {
+		case nil:
+		case *core.Abort:
+			tables, err = nil, v
+		case *probe.Canceled:
+			tables, err = nil, v
+		default:
+			panic(rec)
+		}
+	}()
+	return e.Run(opts), nil
 }
 
 // costBreakdown turns the "core.<kind>.{calls,probes,ns}" span counters

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"tellme"
 )
@@ -34,6 +36,7 @@ func main() {
 		save  = flag.String("save", "", "write the generated instance to this file (binary) and exit")
 		load  = flag.String("load", "", "load the instance from this file instead of generating")
 		board = flag.String("board", "", "run against a remote billboard server at this base URL")
+		tmo   = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		cnts  = flag.Bool("counts", false, "print nested sub-algorithm invocation counts")
 		scen  = flag.String("scenarios", "", "run a JSON scenario file (see tellme.Scenario) and exit")
 	)
@@ -63,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *verb, *cnts); err != nil {
+		if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *tmo, *verb, *cnts); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -102,7 +105,7 @@ func main() {
 		fmt.Printf("saved %s (%d players × %d objects) to %s\n", in.Name, in.N, in.M, *save)
 		return
 	}
-	if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *verb, *cnts); err != nil {
+	if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *tmo, *verb, *cnts); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -135,7 +138,7 @@ func runScenarios(w io.Writer, path string) error {
 
 // runOn executes one algorithm over the instance and writes the report
 // to w. Split from main for testability.
-func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, seed uint64, budg int64, flip float64, board string, verb, cnts bool) error {
+func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, seed uint64, budg int64, flip float64, board string, timeout time.Duration, verb, cnts bool) error {
 	algos := map[string]tellme.Algorithm{
 		"auto":    tellme.AlgoAuto,
 		"main":    tellme.AlgoMain,
@@ -157,6 +160,7 @@ func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, 
 		Budget:    budg,
 		FlipNoise: flip,
 		BoardURL:  board,
+		Timeout:   timeout,
 	}
 	if a == tellme.AlgoAnytime {
 		opt.OnPhase = func(ph tellme.PhaseInfo) bool {
@@ -166,6 +170,14 @@ func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, 
 	}
 
 	rep, err := tellme.Run(in, opt)
+	var rerr *tellme.RunError
+	if errors.As(err, &rerr) && rep != nil {
+		// A cancelled run still reports the probes it charged.
+		fmt.Fprintf(w, "aborted during %s: %v\n", rerr.Phase, rerr.Cause)
+		fmt.Fprintf(w, "partial probes max=%d mean=%.1f total=%d  time %v\n",
+			rep.MaxProbes, rep.MeanProbes, rep.TotalProbes, rep.Duration.Round(time.Millisecond))
+		return err
+	}
 	if err != nil {
 		return err
 	}

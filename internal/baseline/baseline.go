@@ -31,7 +31,7 @@ import (
 func Solo(e *probe.Engine, runner *sim.Runner) []bitvec.Partial {
 	in := e.Instance()
 	out := make([]bitvec.Partial, in.N)
-	runner.PhaseAll(in.N, func(p int) {
+	sim.MustPhaseAll(runner, in.N, func(p int) {
 		pl := e.Player(p)
 		w := bitvec.NewPartial(in.M)
 		for o := 0; o < in.M; o++ {
@@ -46,7 +46,7 @@ func Solo(e *probe.Engine, runner *sim.Runner) []bitvec.Partial {
 // objects (all of them if budget ≥ m), posting to the billboard.
 func sampleProbes(e *probe.Engine, runner *sim.Runner, budget int, src rng.Source) {
 	in := e.Instance()
-	runner.PhaseAll(in.N, func(p int) {
+	sim.MustPhaseAll(runner, in.N, func(p int) {
 		pl := e.Player(p)
 		r := src.Stream("sample", p)
 		if budget >= in.M {
@@ -85,7 +85,7 @@ func SampleMajority(e *probe.Engine, runner *sim.Runner, budget int, src rng.Sou
 		}
 	}
 	out := make([]bitvec.Partial, in.N)
-	runner.PhaseAll(in.N, func(p int) {
+	sim.MustPhaseAll(runner, in.N, func(p int) {
 		w := bitvec.NewPartial(in.M)
 		for o := 0; o < in.M; o++ {
 			w.SetBit(o, majority.Get(o))
@@ -124,7 +124,7 @@ func KNN(e *probe.Engine, runner *sim.Runner, budget, k int, src rng.Source) []b
 	}
 
 	out := make([]bitvec.Partial, in.N)
-	runner.PhaseAll(in.N, func(p int) {
+	sim.MustPhaseAll(runner, in.N, func(p int) {
 		type scored struct {
 			q    int
 			rate float64

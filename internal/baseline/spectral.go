@@ -54,7 +54,7 @@ func Spectral(e *probe.Engine, runner *sim.Runner, budget, rank, iters int, src 
 	approx := lowRankApprox(a, rank, iters, src.Stream("power", 0))
 
 	out := make([]bitvec.Partial, n)
-	runner.PhaseAll(n, func(p int) {
+	sim.MustPhaseAll(runner, n, func(p int) {
 		w := bitvec.NewPartial(m)
 		for o := 0; o < m; o++ {
 			if approx[p][o] > 0 {

@@ -1,0 +1,32 @@
+package billboard
+
+import "context"
+
+// ContextBinder is the optional context-aware entry point of a board
+// implementation. A board whose operations can block — netboard.Client,
+// whose every method is an HTTP request with retries — implements it by
+// returning a view of itself whose operations are governed by ctx:
+// in-flight requests and backoff sleeps abort when ctx is cancelled.
+// The in-memory Board does not implement it; its operations never block
+// on anything but short-lived locks, so there is nothing to interrupt.
+type ContextBinder interface {
+	// BindContext returns a view of the board whose operations observe
+	// ctx. The view shares all state with the receiver (posting through
+	// either is visible through both).
+	BindContext(ctx context.Context) Interface
+}
+
+// BindContext binds ctx to b when b supports it and ctx is cancellable;
+// otherwise it returns b unchanged. This is the single seam through
+// which the probe engine (and any other board client) becomes
+// cancellation-aware without the 18-method Interface growing a ctx
+// parameter on every call.
+func BindContext(ctx context.Context, b Interface) Interface {
+	if ctx == nil || ctx.Done() == nil {
+		return b
+	}
+	if cb, ok := b.(ContextBinder); ok {
+		return cb.BindContext(ctx)
+	}
+	return b
+}

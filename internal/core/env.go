@@ -22,6 +22,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"strconv"
 	"sync"
@@ -116,6 +118,80 @@ type Env struct {
 
 	telOnce  sync.Once
 	spanTels [nSpanKinds]spanCounters
+
+	// ctx/done carry the run's cancellation signal, taken from the probe
+	// engine in NewEnv. done is nil for an uncancellable run — every
+	// check is then a single nil comparison. Read-only after NewEnv.
+	ctx  context.Context
+	done <-chan struct{}
+
+	// cur is the innermost sub-algorithm kind entered so far, recorded
+	// by spanPlayers and reported through ActiveKind so an abort can say
+	// which phase it interrupted. Written only by the coordinator
+	// goroutine (spans start and end between phases, never inside one).
+	cur string
+}
+
+// Abort is the panic payload the Env helpers use to unwind a cancelled
+// or failed run out of the recursive algorithms: the algorithms return
+// values, not errors, so a mid-recursion failure has no error path and
+// unwinds instead. The facade (package tellme) recovers it at the run
+// boundary and converts it into a *RunError; code between the two — the
+// algorithm bodies — only needs panic-safety, which they have by
+// construction (the billboard cleanup is handled by the abort-cleanup
+// defers in the topic-owning algorithms).
+type Abort struct {
+	// Err is the underlying failure: a cancellation cause such as
+	// context.DeadlineExceeded, a *sim.PanicError from player code, or a
+	// transport error like *netboard.TransportError.
+	Err error
+}
+
+// Error implements error.
+func (a *Abort) Error() string { return fmt.Sprintf("core: run aborted: %v", a.Err) }
+
+// Unwrap exposes the failure to errors.Is/As.
+func (a *Abort) Unwrap() error { return a.Err }
+
+// phase runs one fallible phase over the Env's context and unwinds with
+// *Abort when it fails. All algorithm phase bodies go through this (or
+// Clock.Run at the facade level), so cancellation and player panics
+// surface at the run boundary no matter how deep the recursion is.
+func (env *Env) phase(players []int, f func(p int)) {
+	if err := env.Run.Phase(env.ctx, players, f); err != nil {
+		panic(&Abort{Err: err})
+	}
+}
+
+// checkAborted unwinds with *Abort if the run's context is done. The
+// coordinator loops call it between phases so a cancelled run stops at
+// the next loop boundary even when no player probes again (phases and
+// probes have their own checks).
+func (env *Env) checkAborted() {
+	if env.done == nil {
+		return
+	}
+	select {
+	case <-env.done:
+		panic(&Abort{Err: context.Cause(env.ctx)})
+	default:
+	}
+}
+
+// ActiveKind returns the innermost sub-algorithm kind entered so far
+// ("" when tracing and telemetry are both disabled or nothing ran); the
+// facade stamps it into RunError.Phase.
+func (env *Env) ActiveKind() string { return env.cur }
+
+// Context returns the run's context (nil for an uncancellable run).
+func (env *Env) Context() context.Context { return env.ctx }
+
+// dropQuietly removes a topic, swallowing any failure: it runs on the
+// abort path, where the transport may be the very thing that died, and
+// a cleanup panic must not mask the original abort cause.
+func (env *Env) dropQuietly(name string) {
+	defer func() { _ = recover() }()
+	env.Board.DropTopic(name)
 }
 
 // spanCounters are one span kind's pre-resolved instruments. Spans run
@@ -195,6 +271,7 @@ func (env *Env) span(kind string, kv ...any) func() {
 // Exact because players only probe their own grades, so a span's
 // consumption is entirely attributed to its participants.
 func (env *Env) spanPlayers(kind string, players []int, kv ...any) func() {
+	env.cur = kind
 	enabled := env.Telemetry != nil
 	if env.Trace == nil && !enabled {
 		return spanNoop
@@ -277,7 +354,7 @@ func NewEnv(e *probe.Engine, runner sim.PhaseRunner, public rng.Source, cfg Conf
 	if runner == nil {
 		runner = sim.NewRunner(0)
 	}
-	return &Env{
+	env := &Env{
 		Board:  e.Board(),
 		Engine: e,
 		Run:    runner,
@@ -286,6 +363,13 @@ func NewEnv(e *probe.Engine, runner sim.PhaseRunner, public rng.Source, cfg Conf
 		M:      e.Instance().M,
 		Cfg:    cfg,
 	}
+	// The engine's context (probe.WithContext) is the run's context: the
+	// coordinator loops observe the same cancellation the players do.
+	if ctx := e.Context(); ctx != nil && ctx.Done() != nil {
+		env.ctx = ctx
+		env.done = ctx.Done()
+	}
+	return env
 }
 
 // freshTag returns a unique topic prefix for one algorithm invocation,

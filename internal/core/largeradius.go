@@ -105,10 +105,24 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 		coalD = cap
 	}
 
+	// Abort-path cleanup: Step 2 posts to deterministic per-group topics
+	// that Step 3 normally drops; an abort between the two would leave
+	// them for the next run on a shared board to misread. Re-drops of
+	// already-dropped topics are no-ops.
+	defer func() {
+		if rec := recover(); rec != nil {
+			for g := 0; g < groupCount; g++ {
+				env.dropQuietly(fmt.Sprintf("%s/g%d", tag, g))
+			}
+			panic(rec)
+		}
+	}()
+
 	// Step 2: Small Radius per group, with frequency parameter α/2 and
 	// confidence parameter K = Θ(log n); players post their outputs.
 	k := env.confidenceK()
 	for g := 0; g < groupCount; g++ {
+		env.checkAborted()
 		if len(groupPlayers[g]) == 0 || len(groupObjs[g]) == 0 {
 			continue
 		}
@@ -124,6 +138,7 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 	// 11λ = 5λ + λ + 5λ; coalD above uses the realized ≈2λ scale).
 	cands := make([][]bitvec.Partial, groupCount)
 	for g := 0; g < groupCount; g++ {
+		env.checkAborted()
 		topic := fmt.Sprintf("%s/g%d", tag, g)
 		postings := env.Board.Postings(topic)
 		vecs := make([]bitvec.Partial, len(postings))
@@ -158,7 +173,7 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 	choice := ZeroRadius(env, players, space, alpha)
 
 	// Stitch each player's chosen candidates into a full output vector.
-	env.Run.Phase(players, func(p int) {
+	env.phase(players, func(p int) {
 		w := bitvec.NewPartial(len(objs))
 		for g := 0; g < groupCount; g++ {
 			ci := int(choice[p][g])

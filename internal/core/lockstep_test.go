@@ -8,6 +8,7 @@ package core
 // measures.
 
 import (
+	"context"
 	"testing"
 
 	"tellme/internal/billboard"
@@ -28,14 +29,15 @@ type accountingLockstep struct {
 	snap   []int64
 }
 
-func (r *accountingLockstep) Phase(players []int, f func(p int)) {
+func (r *accountingLockstep) Phase(ctx context.Context, players []int, f func(p int)) error {
 	r.snap = r.engine.Snapshot(r.snap)
-	r.inner.Phase(players, f)
+	err := r.inner.Phase(ctx, players, f)
 	r.rounds += r.engine.MaxDelta(r.snap)
+	return err
 }
 
-func (r *accountingLockstep) PhaseAll(n int, f func(p int)) {
-	r.Phase(ints.Iota(n), f)
+func (r *accountingLockstep) PhaseAll(ctx context.Context, n int, f func(p int)) error {
+	return r.Phase(ctx, ints.Iota(n), f)
 }
 
 func TestZeroRadiusUnderStrictLockstep(t *testing.T) {

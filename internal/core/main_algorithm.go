@@ -56,6 +56,7 @@ func DispatchRegime(n, d int) Regime {
 // out[p] is nil only for n == 0 inputs; outputs may contain '?' entries
 // in the Large Radius regime.
 func Main(env *Env, alpha float64, d int) []bitvec.Partial {
+	env.checkAborted()
 	players := allPlayers(env.N)
 	objs := allObjects(env.M)
 	out := make([]bitvec.Partial, env.N)

@@ -65,11 +65,24 @@ func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha 
 	votes := env.Board.Votes(staleTopic)
 	env.Board.DropTopic(staleTopic)
 
+	// Abort-path cleanup: the stale topic and any in-flight patch topic
+	// use deterministic tags; drop them quietly so an aborted repair does
+	// not leak postings into the next run on a shared board.
 	groupID := 0
+	defer func() {
+		if rec := recover(); rec != nil {
+			env.dropQuietly(staleTopic)
+			for g := 0; g <= groupID; g++ {
+				env.dropQuietly(tag + "/patches/" + strconv.Itoa(g))
+			}
+			panic(rec)
+		}
+	}()
 	for _, v := range votes {
 		if v.Count < need {
 			continue
 		}
+		env.checkAborted()
 		refreshGroup(env, coin, objs, v.Voters, v.Vec, out, redundancy, maxPatches,
 			tag, groupID)
 		groupID++
@@ -96,7 +109,7 @@ func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
 	}
 
 	// Phase 1: holders re-probe their share against the group consensus.
-	env.Run.Phase(holders, func(p int) {
+	env.phase(holders, func(p int) {
 		pl := env.Engine.Player(p)
 		for _, lc := range assigned[p] {
 			v := pl.Probe(objs[lc])
@@ -129,7 +142,7 @@ func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
 	}
 
 	// Phase 2: every holder self-verifies each patch coordinate.
-	env.Run.Phase(holders, func(p int) {
+	env.phase(holders, func(p int) {
 		pl := env.Engine.Player(p)
 		for _, pa := range patches {
 			out[p].SetBit(pa.lc, pl.Probe(objs[pa.lc]))

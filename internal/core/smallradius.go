@@ -77,6 +77,7 @@ func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) [
 	iterVecs := make([][]bitvec.Vector, k)
 
 	for t := 0; t < k; t++ {
+		env.checkAborted()
 		// Step 1a: random partition of the (local) object coordinates.
 		parts := assignParts(coin, local, s)
 
@@ -105,7 +106,7 @@ func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) [
 			}
 
 			// Step 1c: every player adopts the closest popular vector.
-			env.Run.Phase(players, func(p int) {
+			env.phase(players, func(p int) {
 				pl := env.Engine.Player(p)
 				win := ui[SelectPartial(pl, partObjs, ui, d)]
 				for j, lc := range partLocal {
@@ -120,7 +121,7 @@ func SmallRadius(env *Env, players []int, objs []int, alpha float64, d, k int) [
 
 	// Step 2: each player selects among its k stitched vectors with
 	// distance bound 5d.
-	env.Run.Phase(players, func(p int) {
+	env.phase(players, func(p int) {
 		pl := env.Engine.Player(p)
 		cands := make([]bitvec.Partial, k)
 		for t := 0; t < k; t++ {

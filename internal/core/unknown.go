@@ -31,6 +31,7 @@ func UnknownD(env *Env, alpha float64) []bitvec.Partial {
 	ds := CandidateDs(env.M)
 	perD := make([][]bitvec.Partial, len(ds))
 	for i, d := range ds {
+		env.checkAborted()
 		perD[i] = Main(env, alpha, d)
 	}
 	return pickBest(env, perD)
@@ -50,7 +51,7 @@ func pickBest(env *Env, runs [][]bitvec.Partial) []bitvec.Partial {
 	objs := allObjects(env.M)
 	cLogN := RSelSamples(env.Cfg, env.N)
 	tag := env.freshTag("rsel")
-	env.Run.Phase(players, func(p int) {
+	env.phase(players, func(p int) {
 		cands := make([]bitvec.Partial, 0, len(runs))
 		for _, r := range runs {
 			if r[p].Len() > 0 {
@@ -109,12 +110,13 @@ func Anytime(env *Env, budget int64, observe func(AnytimePhase) bool) []bitvec.P
 	}
 
 	for j := 1; ; j++ {
+		env.checkAborted()
 		alpha := math.Pow(2, -float64(j))
 		if alpha < minAlpha {
 			break
 		}
 		outs := UnknownD(env, alpha)
-		env.Run.Phase(players, func(p int) {
+		env.phase(players, func(p int) {
 			if best[p].Len() == 0 {
 				best[p] = outs[p]
 				return

@@ -128,6 +128,24 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 	}
 	root := build(players, objs, 0)
 
+	// Abort-path cleanup: topic tags are deterministic (freshTag is a
+	// plain sequence number — load-bearing for public-coin streams), so
+	// a run aborted mid-level would leave partial postings that a later
+	// run on the same shared board would read as its own. Drop every
+	// node topic quietly before letting the abort continue; on the
+	// normal path topics are dropped level-by-level below and re-drops
+	// are no-ops.
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, level := range byLevel {
+				for _, nd := range level {
+					env.dropQuietly(nd.topic)
+				}
+			}
+			panic(rec)
+		}
+	}()
+
 	// childAt[p] tracks the node player p most recently completed, so an
 	// internal node knows which child p came from. out rows and the
 	// per-player posting scratch share one backing array each.
@@ -155,6 +173,7 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 	phasePlayers := make([]int, 0, len(players))
 	batchSpace, batched := space.(BatchObjectSpace)
 	for level := len(byLevel) - 1; level >= 0; level-- {
+		env.checkAborted()
 		phasePlayers = phasePlayers[:0]
 		for _, nd := range byLevel[level] {
 			for _, p := range nd.players {
@@ -167,7 +186,7 @@ func ZeroRadius(env *Env, players []int, space ObjectSpace, alpha float64) [][]u
 				}
 			}
 		}
-		env.Run.Phase(phasePlayers, func(p int) {
+		env.phase(phasePlayers, func(p int) {
 			nd := nodeAt[p]
 			pl := env.Engine.Player(p)
 			if nd.leaf() {

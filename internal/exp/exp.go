@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -40,6 +41,13 @@ type Options struct {
 	// configurations and seeds — the source of the -telemetry cost
 	// breakdown in cmd/experiments.
 	Telemetry *telemetry.Registry
+	// Context, when non-nil and cancellable, governs every session the
+	// experiment creates: player code observes cancellation between
+	// probes, and the abort surfaces as a *core.Abort / *probe.Canceled
+	// panic out of Run (recovered by cmd/experiments). A nil or
+	// background context keeps every hot path on the nil-check fast
+	// path.
+	Context context.Context
 }
 
 // Defaults fills unset fields.
@@ -122,6 +130,9 @@ func (o Options) newSession(in *prefs.Instance, seed uint64, cfg core.Config) *s
 	var popts []probe.Option
 	if o.Telemetry != nil {
 		popts = append(popts, probe.WithTelemetry(o.Telemetry))
+	}
+	if o.Context != nil && o.Context.Done() != nil {
+		popts = append(popts, probe.WithContext(o.Context))
 	}
 	e := probe.NewEngine(in, b, src.Child("engine", 0), popts...)
 	runner := sim.NewRunner(0)

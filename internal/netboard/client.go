@@ -2,6 +2,7 @@ package netboard
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -25,7 +26,7 @@ import (
 //
 // billboard.Interface is error-free (the model treats the billboard as
 // reliable shared memory), so transport failures are routed to OnError,
-// which defaults to panicking with a descriptive message.
+// which defaults to panicking with a *TransportError.
 //
 // Every mutating request carries a client-generated idempotency key
 // (HeaderRequestID) that is reused verbatim across retries, so a retry
@@ -39,6 +40,13 @@ import (
 // DisableBatch restores the one-request-per-operation legacy protocol
 // (useful to measure what batching buys; see cmd/benchdiff's netboard
 // suite).
+//
+// The plain Interface methods run uncancellable (context.Background
+// semantics). BindContext returns a view of the client whose every
+// request — including retry backoff sleeps — aborts when the bound
+// context is cancelled; the probe engine binds the run context this
+// way, so a deadline cuts through in-flight HTTP calls instead of
+// waiting out the full retry schedule.
 type Client struct {
 	// BaseURL is the server's root, e.g. "http://localhost:7070".
 	BaseURL string
@@ -77,7 +85,9 @@ type Client struct {
 	// and the "netboard.client.retries" counter. Nil costs nothing.
 	Telemetry *telemetry.Registry
 
-	// sleep stubs time.Sleep in backoff for tests.
+	// sleep stubs the backoff wait for tests. The stub is only invoked
+	// with a live context; a cancelled context skips the wait entirely,
+	// which is what the cancellation tests assert.
 	sleep func(time.Duration)
 
 	// jitter is the lazily seeded backoff jitter stream (see
@@ -110,10 +120,39 @@ type topicCacheEntry struct {
 }
 
 var _ billboard.Interface = (*Client)(nil)
+var _ billboard.ContextBinder = (*Client)(nil)
+
+// TransportError is a terminal transport/protocol failure: retries were
+// exhausted (or cut short by cancellation) for one logical request. It
+// is the value fail panics with when no OnError is installed, and the
+// value recorded by Err, so callers can errors.As for it — and
+// errors.Is through it to the underlying cause (e.g.
+// context.DeadlineExceeded when a deadline cut the retry loop short).
+type TransportError struct {
+	// Err is the last attempt's failure.
+	Err error
+}
+
+// Error implements error, keeping the historical "netboard: " prefix.
+func (e *TransportError) Error() string { return fmt.Sprintf("netboard: %v", e.Err) }
+
+// Unwrap exposes the underlying failure.
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // NewClient returns a Client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
+}
+
+// BindContext implements billboard.ContextBinder: the returned view
+// shares all state with c (request ids, snapshot cache, degraded-mode
+// record) but runs every request under ctx — in-flight HTTP calls are
+// aborted and backoff sleeps return early when ctx is cancelled.
+func (c *Client) BindContext(ctx context.Context) billboard.Interface {
+	if ctx == nil || ctx.Done() == nil {
+		return c
+	}
+	return &boundClient{c: c, ctx: ctx}
 }
 
 // Err returns the first transport/protocol error the client swallowed
@@ -131,17 +170,18 @@ func (c *Client) Err() error {
 func (c *Client) Failures() int64 { return c.failures.Load() }
 
 func (c *Client) fail(err error) {
+	terr := &TransportError{Err: err}
 	c.failures.Add(1)
 	c.errMu.Lock()
 	if c.firstErr == nil {
-		c.firstErr = err
+		c.firstErr = terr
 	}
 	c.errMu.Unlock()
 	if c.OnError != nil {
-		c.OnError(err)
+		c.OnError(terr)
 		return
 	}
-	panic(fmt.Sprintf("netboard: %v", err))
+	panic(terr)
 }
 
 func (c *Client) httpc() *http.Client {
@@ -151,13 +191,15 @@ func (c *Client) httpc() *http.Client {
 	return http.DefaultClient
 }
 
-// backoff sleeps before retry attempt i (1-based): i·RetryBackoff
-// scaled by a uniform factor in [0.5, 1.5). Deterministic linear
-// backoff synchronizes retry stampedes — every client that failed on
-// the same server blip would sleep the same schedule and re-arrive
-// together; the seeded jitter desynchronizes the herd while keeping
-// the linear growth (and the i·RetryBackoff mean) intact.
-func (c *Client) backoff(i int) {
+// backoff waits before retry attempt i (1-based): i·RetryBackoff scaled
+// by a uniform factor in [0.5, 1.5). Deterministic linear backoff
+// synchronizes retry stampedes — every client that failed on the same
+// server blip would sleep the same schedule and re-arrive together; the
+// seeded jitter desynchronizes the herd while keeping the linear growth
+// (and the i·RetryBackoff mean) intact. The wait selects on ctx: a
+// cancellation cuts it short, and backoff returns the cancellation
+// cause so the retry loop stops instead of issuing doomed attempts.
+func (c *Client) backoff(ctx context.Context, i int) error {
 	unit := c.RetryBackoff
 	if unit <= 0 {
 		unit = 50 * time.Millisecond
@@ -174,11 +216,30 @@ func (c *Client) backoff(i int) {
 	c.jitterMu.Unlock()
 	d := time.Duration(float64(i) * float64(unit) * f)
 	c.Telemetry.Counter("netboard.client.retries").Inc()
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return context.Cause(ctx)
+		default:
+		}
+	}
 	if c.sleep != nil {
 		c.sleep(d)
-		return
+		return nil
 	}
-	time.Sleep(d)
+	if done == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return context.Cause(ctx)
+	}
 }
 
 // requestID mints a fresh idempotency key: random client prefix plus a
@@ -209,8 +270,9 @@ func (c *Client) instruments(path string) (reqs *telemetry.Counter, lat *telemet
 
 // post sends a JSON POST and expects 2xx, retrying transient failures.
 // All attempts carry the same request id, so a retry of a post the
-// server already applied is acknowledged, not re-applied.
-func (c *Client) post(path string, body any) {
+// server already applied is acknowledged, not re-applied. Cancelling
+// ctx aborts the in-flight request and the backoff wait.
+func (c *Client) post(ctx context.Context, path string, body any) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		c.fail(err)
@@ -221,9 +283,12 @@ func (c *Client) post(path string, body any) {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
-			c.backoff(attempt)
+			if cerr := c.backoff(ctx, attempt); cerr != nil {
+				lastErr = fmt.Errorf("POST %s: canceled during retry backoff: %w (last attempt: %v)", path, cerr, lastErr)
+				break
+			}
 		}
-		req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
 		if err != nil {
 			c.fail(err)
 			return
@@ -255,8 +320,9 @@ func (c *Client) post(path string, body any) {
 
 // get fetches JSON into out, retrying transient failures. It reports
 // whether it succeeded; on false the client has already failed (and, in
-// degraded mode, out is untouched).
-func (c *Client) get(path string, query url.Values, out any) bool {
+// degraded mode, out is untouched). Cancelling ctx aborts the in-flight
+// request and the backoff wait.
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) bool {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -265,11 +331,19 @@ func (c *Client) get(path string, query url.Values, out any) bool {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
-			c.backoff(attempt)
+			if cerr := c.backoff(ctx, attempt); cerr != nil {
+				lastErr = fmt.Errorf("GET %s: canceled during retry backoff: %w (last attempt: %v)", path, cerr, lastErr)
+				break
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			c.fail(err)
+			return false
 		}
 		reqs.Inc()
 		start := time.Now()
-		resp, err := c.httpc().Get(u)
+		resp, err := c.httpc().Do(req)
 		lat.ObserveSince(start)
 		if err != nil {
 			lastErr = err
@@ -297,20 +371,28 @@ func (c *Client) get(path string, query url.Values, out any) bool {
 	return false
 }
 
+// bg is the context of the plain Interface methods: uncancellable, the
+// pre-context behavior.
+var bg = context.Background()
+
 // PostProbe implements billboard.Interface.
-func (c *Client) PostProbe(p, o int, val byte) {
-	c.post(PathProbe, probePost{Player: p, Object: o, Value: val})
+func (c *Client) PostProbe(p, o int, val byte) { c.postProbe(bg, p, o, val) }
+
+func (c *Client) postProbe(ctx context.Context, p, o int, val byte) {
+	c.post(ctx, PathProbe, probePost{Player: p, Object: o, Value: val})
 }
 
 // PostProbes implements billboard.Interface: the whole batch travels as
 // one idempotent request (one per-probe request when DisableBatch).
-func (c *Client) PostProbes(p int, objs []int, grades []byte) {
+func (c *Client) PostProbes(p int, objs []int, grades []byte) { c.postProbes(bg, p, objs, grades) }
+
+func (c *Client) postProbes(ctx context.Context, p int, objs []int, grades []byte) {
 	if len(objs) == 0 {
 		return
 	}
 	if c.DisableBatch {
 		for k, o := range objs {
-			c.PostProbe(p, o, grades[k])
+			c.postProbe(ctx, p, o, grades[k])
 		}
 		return
 	}
@@ -322,13 +404,15 @@ func (c *Client) PostProbes(p int, objs []int, grades []byte) {
 			wire[k] = '0'
 		}
 	}
-	c.post(PathBatchProbes, batchProbesPost{Player: p, Objects: objs, Grades: string(wire)})
+	c.post(ctx, PathBatchProbes, batchProbesPost{Player: p, Objects: objs, Grades: string(wire)})
 }
 
 // LookupProbe implements billboard.Interface.
-func (c *Client) LookupProbe(p, o int) (byte, bool) {
+func (c *Client) LookupProbe(p, o int) (byte, bool) { return c.lookupProbe(bg, p, o) }
+
+func (c *Client) lookupProbe(ctx context.Context, p, o int) (byte, bool) {
 	var reply probeReply
-	c.get(PathProbe, url.Values{
+	c.get(ctx, PathProbe, url.Values{
 		"player": {strconv.Itoa(p)},
 		"object": {strconv.Itoa(o)},
 	}, &reply)
@@ -338,12 +422,16 @@ func (c *Client) LookupProbe(p, o int) (byte, bool) {
 // LookupProbes implements billboard.Interface: one request for the
 // whole batch (one per object when DisableBatch).
 func (c *Client) LookupProbes(p int, objs []int, grades []byte, known []bool) {
+	c.lookupProbes(bg, p, objs, grades, known)
+}
+
+func (c *Client) lookupProbes(ctx context.Context, p int, objs []int, grades []byte, known []bool) {
 	if len(objs) == 0 {
 		return
 	}
 	if c.DisableBatch {
 		for k, o := range objs {
-			grades[k], known[k] = c.LookupProbe(p, o)
+			grades[k], known[k] = c.lookupProbe(ctx, p, o)
 		}
 		return
 	}
@@ -355,7 +443,7 @@ func (c *Client) LookupProbes(p int, objs []int, grades []byte, known []bool) {
 		sb.WriteString(strconv.Itoa(o))
 	}
 	var reply batchLookupsReply
-	if !c.get(PathBatchLookups, url.Values{
+	if !c.get(ctx, PathBatchLookups, url.Values{
 		"player":  {strconv.Itoa(p)},
 		"objects": {sb.String()},
 	}, &reply) {
@@ -381,9 +469,11 @@ func (c *Client) LookupProbes(p int, objs []int, grades []byte, known []bool) {
 }
 
 // ProbedObjects implements billboard.Interface.
-func (c *Client) ProbedObjects(p int) map[int]byte {
+func (c *Client) ProbedObjects(p int) map[int]byte { return c.probedObjects(bg, p) }
+
+func (c *Client) probedObjects(ctx context.Context, p int) map[int]byte {
 	var reply probedObjectsReply
-	c.get(PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
+	c.get(ctx, PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
 	out := make(map[int]byte, len(reply.Objects))
 	for _, og := range reply.Objects {
 		out[og.Object] = og.Grade
@@ -394,31 +484,37 @@ func (c *Client) ProbedObjects(p int) map[int]byte {
 // ForEachProbe implements billboard.Interface. It fetches the player's
 // probe results once and iterates them in the server's order (ascending
 // object order for a billboard.Board-backed server).
-func (c *Client) ForEachProbe(p int, fn func(o int, grade byte)) {
+func (c *Client) ForEachProbe(p int, fn func(o int, grade byte)) { c.forEachProbe(bg, p, fn) }
+
+func (c *Client) forEachProbe(ctx context.Context, p int, fn func(o int, grade byte)) {
 	var reply probedObjectsReply
-	c.get(PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
+	c.get(ctx, PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
 	for _, og := range reply.Objects {
 		fn(og.Object, og.Grade)
 	}
 }
 
 // ProbeCount implements billboard.Interface.
-func (c *Client) ProbeCount() int64 { return c.stats().ProbeCount }
+func (c *Client) ProbeCount() int64 { return c.stats(bg).ProbeCount }
 
 // Post implements billboard.Interface.
-func (c *Client) Post(name string, player int, v bitvec.Partial) {
-	c.post(PathVector, vectorPost{Topic: name, Player: player, Bits: v.String()})
+func (c *Client) Post(name string, player int, v bitvec.Partial) { c.postTopic(bg, name, player, v) }
+
+func (c *Client) postTopic(ctx context.Context, name string, player int, v bitvec.Partial) {
+	c.post(ctx, PathVector, vectorPost{Topic: name, Player: player, Bits: v.String()})
 }
 
 // PostVector implements billboard.Interface.
 func (c *Client) PostVector(name string, player int, v bitvec.Vector) {
-	c.Post(name, player, bitvec.PartialOf(v))
+	c.postTopic(bg, name, player, bitvec.PartialOf(v))
 }
 
 // Postings implements billboard.Interface.
-func (c *Client) Postings(name string) []billboard.Posting {
+func (c *Client) Postings(name string) []billboard.Posting { return c.postings(bg, name) }
+
+func (c *Client) postings(ctx context.Context, name string) []billboard.Posting {
 	var reply []postingJSON
-	c.get(PathPostings, url.Values{"topic": {name}}, &reply)
+	c.get(ctx, PathPostings, url.Values{"topic": {name}}, &reply)
 	out := make([]billboard.Posting, len(reply))
 	for i, p := range reply {
 		vec, err := parsePartial(p.Bits)
@@ -436,7 +532,7 @@ func (c *Client) Postings(name string) []billboard.Posting {
 // zero decode work when the server answers "unchanged". The returned
 // entry is shared and immutable, matching the billboard.Interface
 // contract for Votes/ValueVotes. Returns nil in degraded mode.
-func (c *Client) snapshot(name string) *topicCacheEntry {
+func (c *Client) snapshot(ctx context.Context, name string) *topicCacheEntry {
 	c.cacheMu.Lock()
 	if c.cache == nil {
 		c.cache = make(map[string]*topicCacheEntry)
@@ -450,7 +546,7 @@ func (c *Client) snapshot(name string) *topicCacheEntry {
 		q.Set("epoch", strconv.FormatUint(cached.epoch, 10))
 	}
 	var reply topicSnapshotReply
-	if !c.get(PathTopicSnapshot, q, &reply) {
+	if !c.get(ctx, PathTopicSnapshot, q, &reply) {
 		return nil // degraded; c.fail already fired
 	}
 	if reply.Unchanged && cached != nil {
@@ -481,10 +577,12 @@ func (c *Client) snapshot(name string) *topicCacheEntry {
 // Votes implements billboard.Interface. The result is the shared,
 // immutable snapshot-cache entry (same contract as the in-memory
 // board's epoch-cached tallies).
-func (c *Client) Votes(name string) []billboard.Vote {
+func (c *Client) Votes(name string) []billboard.Vote { return c.votes(bg, name) }
+
+func (c *Client) votes(ctx context.Context, name string) []billboard.Vote {
 	if c.DisableBatch {
 		var reply []voteJSON
-		c.get(PathVotes, url.Values{"topic": {name}}, &reply)
+		c.get(ctx, PathVotes, url.Values{"topic": {name}}, &reply)
 		out := make([]billboard.Vote, len(reply))
 		for i, v := range reply {
 			vec, err := parsePartial(v.Bits)
@@ -496,7 +594,7 @@ func (c *Client) Votes(name string) []billboard.Vote {
 		}
 		return out
 	}
-	entry := c.snapshot(name)
+	entry := c.snapshot(ctx, name)
 	if entry == nil {
 		return nil
 	}
@@ -505,8 +603,12 @@ func (c *Client) Votes(name string) []billboard.Vote {
 
 // PopularVectors implements billboard.Interface.
 func (c *Client) PopularVectors(name string, minVotes int) []bitvec.Partial {
+	return c.popularVectors(bg, name, minVotes)
+}
+
+func (c *Client) popularVectors(ctx context.Context, name string, minVotes int) []bitvec.Partial {
 	var out []bitvec.Partial
-	for _, v := range c.Votes(name) {
+	for _, v := range c.votes(ctx, name) {
 		if v.Count >= minVotes {
 			out = append(out, v.Vec)
 		}
@@ -516,13 +618,21 @@ func (c *Client) PopularVectors(name string, minVotes int) []bitvec.Partial {
 
 // PostValues implements billboard.Interface.
 func (c *Client) PostValues(name string, player int, vals []uint32) {
-	c.post(PathValues, valuesPost{Topic: name, Player: player, Vals: vals})
+	c.postValues(bg, name, player, vals)
+}
+
+func (c *Client) postValues(ctx context.Context, name string, player int, vals []uint32) {
+	c.post(ctx, PathValues, valuesPost{Topic: name, Player: player, Vals: vals})
 }
 
 // ValuePostings implements billboard.Interface.
 func (c *Client) ValuePostings(name string) []billboard.ValuePosting {
+	return c.valuePostings(bg, name)
+}
+
+func (c *Client) valuePostings(ctx context.Context, name string) []billboard.ValuePosting {
 	var reply []valuePostingJSON
-	c.get(PathValuePostings, url.Values{"topic": {name}}, &reply)
+	c.get(ctx, PathValuePostings, url.Values{"topic": {name}}, &reply)
 	out := make([]billboard.ValuePosting, len(reply))
 	for i, p := range reply {
 		out[i] = billboard.ValuePosting{Player: p.Player, Vals: p.Vals}
@@ -532,17 +642,19 @@ func (c *Client) ValuePostings(name string) []billboard.ValuePosting {
 
 // ValueVotes implements billboard.Interface. Like Votes, the result is
 // the shared immutable snapshot-cache entry.
-func (c *Client) ValueVotes(name string) []billboard.ValueVote {
+func (c *Client) ValueVotes(name string) []billboard.ValueVote { return c.valueVotes(bg, name) }
+
+func (c *Client) valueVotes(ctx context.Context, name string) []billboard.ValueVote {
 	if c.DisableBatch {
 		var reply []valueVoteJSON
-		c.get(PathValueVotes, url.Values{"topic": {name}}, &reply)
+		c.get(ctx, PathValueVotes, url.Values{"topic": {name}}, &reply)
 		out := make([]billboard.ValueVote, len(reply))
 		for i, v := range reply {
 			out[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
 		}
 		return out
 	}
-	entry := c.snapshot(name)
+	entry := c.snapshot(ctx, name)
 	if entry == nil {
 		return nil
 	}
@@ -550,23 +662,81 @@ func (c *Client) ValueVotes(name string) []billboard.ValueVote {
 }
 
 // DropTopic implements billboard.Interface.
-func (c *Client) DropTopic(name string) {
-	c.post(PathDropTopic, dropPost{Topic: name})
+func (c *Client) DropTopic(name string) { c.dropTopic(bg, name) }
+
+func (c *Client) dropTopic(ctx context.Context, name string) {
+	c.post(ctx, PathDropTopic, dropPost{Topic: name})
 	c.cacheMu.Lock()
 	delete(c.cache, name)
 	c.cacheMu.Unlock()
 }
 
 // TopicCount implements billboard.Interface.
-func (c *Client) TopicCount() int { return c.stats().TopicCount }
+func (c *Client) TopicCount() int { return c.stats(bg).TopicCount }
 
 // VectorPostCount implements billboard.Interface.
-func (c *Client) VectorPostCount() int64 { return c.stats().VectorPostCount }
+func (c *Client) VectorPostCount() int64 { return c.stats(bg).VectorPostCount }
 
-func (c *Client) stats() statsReply {
+func (c *Client) stats(ctx context.Context) statsReply {
 	var reply statsReply
-	c.get(PathStats, nil, &reply)
+	c.get(ctx, PathStats, nil, &reply)
 	return reply
+}
+
+// boundClient is the context-bound view of a Client: every operation
+// forwards to the shared client with the bound context. It cannot embed
+// *Client — the embedded methods would run with the background context —
+// so it forwards all 18 Interface methods explicitly.
+type boundClient struct {
+	c   *Client
+	ctx context.Context
+}
+
+var _ billboard.Interface = (*boundClient)(nil)
+var _ billboard.ContextBinder = (*boundClient)(nil)
+
+// BindContext rebinds to a different context, still sharing the client.
+func (b *boundClient) BindContext(ctx context.Context) billboard.Interface {
+	return b.c.BindContext(ctx)
+}
+
+func (b *boundClient) PostProbe(p, o int, val byte) { b.c.postProbe(b.ctx, p, o, val) }
+func (b *boundClient) PostProbes(p int, objs []int, grades []byte) {
+	b.c.postProbes(b.ctx, p, objs, grades)
+}
+func (b *boundClient) LookupProbe(p, o int) (byte, bool) { return b.c.lookupProbe(b.ctx, p, o) }
+func (b *boundClient) LookupProbes(p int, objs []int, grades []byte, known []bool) {
+	b.c.lookupProbes(b.ctx, p, objs, grades, known)
+}
+func (b *boundClient) ProbedObjects(p int) map[int]byte { return b.c.probedObjects(b.ctx, p) }
+func (b *boundClient) ForEachProbe(p int, fn func(o int, grade byte)) {
+	b.c.forEachProbe(b.ctx, p, fn)
+}
+func (b *boundClient) ProbeCount() int64 { return b.c.stats(b.ctx).ProbeCount }
+func (b *boundClient) Post(name string, player int, v bitvec.Partial) {
+	b.c.postTopic(b.ctx, name, player, v)
+}
+func (b *boundClient) PostVector(name string, player int, v bitvec.Vector) {
+	b.c.postTopic(b.ctx, name, player, bitvec.PartialOf(v))
+}
+func (b *boundClient) Postings(name string) []billboard.Posting { return b.c.postings(b.ctx, name) }
+func (b *boundClient) Votes(name string) []billboard.Vote       { return b.c.votes(b.ctx, name) }
+func (b *boundClient) PopularVectors(name string, minVotes int) []bitvec.Partial {
+	return b.c.popularVectors(b.ctx, name, minVotes)
+}
+func (b *boundClient) PostValues(name string, player int, vals []uint32) {
+	b.c.postValues(b.ctx, name, player, vals)
+}
+func (b *boundClient) ValuePostings(name string) []billboard.ValuePosting {
+	return b.c.valuePostings(b.ctx, name)
+}
+func (b *boundClient) ValueVotes(name string) []billboard.ValueVote {
+	return b.c.valueVotes(b.ctx, name)
+}
+func (b *boundClient) DropTopic(name string) { b.c.dropTopic(b.ctx, name) }
+func (b *boundClient) TopicCount() int       { return b.c.stats(b.ctx).TopicCount }
+func (b *boundClient) VectorPostCount() int64 {
+	return b.c.stats(b.ctx).VectorPostCount
 }
 
 // parsePartial decodes the wire form of a partial vector.

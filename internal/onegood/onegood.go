@@ -114,7 +114,7 @@ func Run(e *probe.Engine, runner *sim.Runner, src rng.Source, maxRounds int) Res
 		}
 
 		found := make([]int, len(active)) // -1 or found object
-		runner.Phase(seq(len(active)), func(i int) {
+		sim.MustPhase(runner, seq(len(active)), func(i int) {
 			p := active[i]
 			r := rands[p]
 			pl := e.Player(p)
@@ -176,7 +176,7 @@ func RandomOnly(e *probe.Engine, runner *sim.Runner, src rng.Source, maxRounds i
 	for p := range res.Liked {
 		res.Liked[p] = -1
 	}
-	runner.PhaseAll(n, func(p int) {
+	sim.MustPhaseAll(runner, n, func(p int) {
 		r := src.Stream("rand-only", p)
 		pl := e.Player(p)
 		perm := r.Perm(m)

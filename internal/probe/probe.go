@@ -19,6 +19,8 @@
 package probe
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 
 	"tellme/internal/billboard"
@@ -26,6 +28,24 @@ import (
 	"tellme/internal/rng"
 	"tellme/internal/telemetry"
 )
+
+// Canceled is panicked by Player.Probe/ProbeMany when the engine's
+// context is cancelled mid-phase: a player deep inside a recursive
+// algorithm has no error return path, so cancellation unwinds its phase
+// body the same way any player panic would, and the simulator
+// (sim.Runner) recognizes the type and reports Cause as the phase error
+// instead of a panic.
+type Canceled struct {
+	// Cause is the context's cancellation cause (context.Canceled,
+	// context.DeadlineExceeded, or the cause passed to the cancel func).
+	Cause error
+}
+
+// Error implements error.
+func (c *Canceled) Error() string { return fmt.Sprintf("probe: run canceled: %v", c.Cause) }
+
+// Unwrap exposes the cancellation cause to errors.Is/As.
+func (c *Canceled) Unwrap() error { return c.Cause }
 
 // Policy selects how repeated probes of the same (player, object) pair
 // are charged.
@@ -73,6 +93,13 @@ type Engine struct {
 	// shared telemetry atomic.
 	telemetry *telemetry.Registry
 
+	// ctx/done, when set by WithContext, make probing cancellable: the
+	// board is bound to ctx (a networked board aborts in-flight
+	// requests) and Probe panics *Canceled on a periodic done check.
+	// done is nil for an uncancellable engine — the zero-cost fast path.
+	ctx  context.Context
+	done <-chan struct{}
+
 	players []Player
 }
 
@@ -88,6 +115,23 @@ func WithNoise(f NoiseFunc) Option { return func(e *Engine) { e.noise = f } }
 // WithProbeHook installs a function invoked before every charged probe,
 // e.g. a sim.Gate tick for strict round-lockstep execution.
 func WithProbeHook(h func(player int)) Option { return func(e *Engine) { e.hook = h } }
+
+// WithContext makes the engine's probes observe ctx: the billboard is
+// bound to it via billboard.BindContext (a networked board's requests
+// and retry sleeps then abort on cancellation), and Probe itself checks
+// ctx every 64th invocation per player, panicking *Canceled so an
+// in-memory run also stops promptly instead of only at the next phase
+// boundary. A nil or never-cancellable ctx leaves the engine on the
+// uncancellable fast path.
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) {
+		if ctx == nil || ctx.Done() == nil {
+			return
+		}
+		e.ctx = ctx
+		e.done = ctx.Done()
+	}
+}
 
 // WithTelemetry exposes the engine's charged/invoked totals in reg
 // under "probe.charged.<policy>" / "probe.invoked.<policy>". The
@@ -108,6 +152,9 @@ func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, 
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.ctx != nil {
+		e.board = billboard.BindContext(e.ctx, e.board)
 	}
 	if e.telemetry != nil {
 		// Registered after all options so the policy label is final.
@@ -193,8 +240,25 @@ func (e *Engine) MaxDelta(prev []int64) int64 {
 	return worst
 }
 
-// Board returns the billboard the engine posts to.
+// Board returns the billboard the engine posts to. When the engine was
+// built with WithContext this is the context-bound view.
 func (e *Engine) Board() billboard.Interface { return e.board }
+
+// Context returns the context the engine was built with, or nil for an
+// uncancellable engine. core.NewEnv reads it so the coordinator loops
+// observe the same cancellation the players do.
+func (e *Engine) Context() context.Context { return e.ctx }
+
+// checkCanceled panics *Canceled if the engine's context is done. Only
+// called on the sampled slow path (done != nil and the invocation
+// counter hit the sampling mask).
+func (e *Engine) checkCanceled() {
+	select {
+	case <-e.done:
+		panic(&Canceled{Cause: context.Cause(e.ctx)})
+	default:
+	}
+}
 
 // Instance returns the instance being probed (for metrics; algorithms
 // must not touch ground truth).
@@ -222,7 +286,13 @@ func (pl *Player) ID() int { return pl.id }
 // cost, and posts the result to the billboard.
 func (pl *Player) Probe(o int) byte {
 	e := pl.engine
-	e.invoked[pl.id].Add(1)
+	// The invocation counter doubles as the cancellation sampler: every
+	// 64th probe by a player checks the engine's done channel, so an
+	// in-memory run observes cancellation within a bounded number of
+	// probes without a per-probe select on the fast path.
+	if k := e.invoked[pl.id].Add(1); e.done != nil && k&63 == 0 {
+		e.checkCanceled()
+	}
 	if e.policy == ChargeDistinct {
 		if v, ok := e.board.LookupProbe(pl.id, o); ok {
 			return v
@@ -268,6 +338,11 @@ func (pl *Player) ProbeMany(objs []int, dst []uint32) {
 	}
 	e := pl.engine
 	e.invoked[pl.id].Add(int64(n))
+	if e.done != nil {
+		// One check per batch: a batch is one round trip, so per-object
+		// sampling buys nothing here.
+		e.checkCanceled()
+	}
 	var known []bool
 	if e.policy == ChargeDistinct {
 		if cap(pl.lookGrades) < n {

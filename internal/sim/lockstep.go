@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"tellme/internal/ints"
 )
@@ -91,10 +93,12 @@ func (g *Gate) Rounds() int64 {
 // caller arranges that, e.g. via probe.WithGate), and the phase's round
 // cost is the gate's round delta. Unlike Runner.Phase this spawns one
 // goroutine per player — a player blocked in Tick must not prevent
-// others from being scheduled.
-func LockstepPhase(g *Gate, players []int, f func(p int)) {
+// others from being scheduled. A panic in f is recovered per player
+// (the gate still sees the Leave, so the others' rounds keep advancing)
+// and the first one is returned after all players finish.
+func LockstepPhase(g *Gate, players []int, f func(p int)) error {
 	if len(players) == 0 {
-		return
+		return nil
 	}
 	// Register everyone before any goroutine starts: otherwise a fast
 	// player could tick against a half-populated gate and complete
@@ -102,23 +106,32 @@ func LockstepPhase(g *Gate, players []int, f func(p int)) {
 	for range players {
 		g.Enter()
 	}
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		firstPanic atomic.Pointer[panicRec]
+	)
 	for _, p := range players {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			defer g.Leave()
-			f(p)
+			if rec := safeCall(f, p); rec != nil {
+				firstPanic.CompareAndSwap(nil, rec)
+			}
 		}(p)
 	}
 	wg.Wait()
+	return phaseError(nil, firstPanic.Load())
 }
 
 // LockstepRunner is a PhaseRunner that executes every phase under the
 // strict round model via a shared Gate. Use together with
 // probe.WithProbeHook(func(int){ g.Tick() }) so each probe synchronizes
 // a round. One goroutine per player; intended for validation and small
-// instances, not throughput.
+// instances, not throughput. Cancellation is observed at phase
+// boundaries only: inside a phase every registered player must keep
+// ticking or the gate would deadlock, so a cancelled context skips the
+// phase entirely rather than abandoning it halfway.
 type LockstepRunner struct {
 	G *Gate
 }
@@ -126,11 +139,17 @@ type LockstepRunner struct {
 var _ PhaseRunner = (*LockstepRunner)(nil)
 
 // Phase implements PhaseRunner.
-func (l *LockstepRunner) Phase(players []int, f func(p int)) {
-	LockstepPhase(l.G, players, f)
+func (l *LockstepRunner) Phase(ctx context.Context, players []int, f func(p int)) error {
+	if cancelled(ctxDone(ctx)) {
+		return context.Cause(ctx)
+	}
+	if err := LockstepPhase(l.G, players, f); err != nil {
+		return err
+	}
+	return phaseError(ctx, nil)
 }
 
 // PhaseAll implements PhaseRunner.
-func (l *LockstepRunner) PhaseAll(n int, f func(p int)) {
-	LockstepPhase(l.G, ints.Iota(n), f)
+func (l *LockstepRunner) PhaseAll(ctx context.Context, n int, f func(p int)) error {
+	return l.Phase(ctx, ints.Iota(n), f)
 }

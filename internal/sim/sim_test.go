@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -19,7 +21,7 @@ func TestPhaseRunsEveryPlayerOnce(t *testing.T) {
 	for i := range players {
 		players[i] = i
 	}
-	r.Phase(players, func(p int) { counts[p].Add(1) })
+	r.Phase(nil, players, func(p int) { counts[p].Add(1) })
 	for p := range counts {
 		if got := counts[p].Load(); got != 1 {
 			t.Fatalf("player %d ran %d times", p, got)
@@ -30,42 +32,99 @@ func TestPhaseRunsEveryPlayerOnce(t *testing.T) {
 func TestPhaseSubset(t *testing.T) {
 	r := NewRunner(2)
 	var sum atomic.Int64
-	r.Phase([]int{3, 5, 9}, func(p int) { sum.Add(int64(p)) })
+	r.Phase(nil, []int{3, 5, 9}, func(p int) { sum.Add(int64(p)) })
 	if sum.Load() != 17 {
 		t.Fatalf("sum = %d", sum.Load())
 	}
 }
 
 func TestPhaseEmpty(t *testing.T) {
-	NewRunner(0).Phase(nil, func(p int) { t.Fatal("called on empty set") })
+	NewRunner(0).Phase(nil, nil, func(p int) { t.Fatal("called on empty set") })
 }
 
 func TestPhaseSingleWorkerSequential(t *testing.T) {
 	r := NewRunner(1)
 	order := []int{}
-	r.Phase([]int{4, 2, 7}, func(p int) { order = append(order, p) })
+	r.Phase(nil, []int{4, 2, 7}, func(p int) { order = append(order, p) })
 	if len(order) != 3 || order[0] != 4 || order[1] != 2 || order[2] != 7 {
 		t.Fatalf("order = %v", order)
 	}
 }
 
-func TestPhasePanicPropagates(t *testing.T) {
+func TestPhasePanicBecomesError(t *testing.T) {
+	var ran atomic.Int32
+	err := NewRunner(4).PhaseAll(nil, 10, func(p int) {
+		ran.Add(1)
+		if p == 5 {
+			panic("boom")
+		}
+	})
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if perr.Value != "boom" {
+		t.Fatalf("panic value = %v", perr.Value)
+	}
+	if len(perr.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	// The barrier completed: the panicking player did not abandon the
+	// other workers' work.
+	if ran.Load() != 10 {
+		t.Fatalf("%d of 10 players ran", ran.Load())
+	}
+}
+
+func TestMustPhaseAllRepanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("panic not propagated")
 		}
 	}()
-	NewRunner(4).PhaseAll(10, func(p int) {
+	MustPhaseAll(NewRunner(4), 10, func(p int) {
 		if p == 5 {
 			panic("boom")
 		}
 	})
 }
 
+func TestPhaseObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := NewRunner(4).PhaseAll(ctx, 1000, func(p int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Fatal("cancelled phase still ran every player")
+	}
+}
+
+func TestPhaseCancelMidway(t *testing.T) {
+	// Cancel from inside player code: workers must stop claiming new
+	// chunks and the barrier must still complete without deadlock.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	err := NewRunner(4).PhaseAll(ctx, 10000, func(p int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n < 50 || n == 10000 {
+		t.Fatalf("ran %d players, want >=50 and <10000", n)
+	}
+}
+
 func TestPhaseAll(t *testing.T) {
 	r := NewRunner(8)
 	var n atomic.Int32
-	r.PhaseAll(50, func(p int) { n.Add(1) })
+	r.PhaseAll(nil, 50, func(p int) { n.Add(1) })
 	if n.Load() != 50 {
 		t.Fatalf("ran %d players", n.Load())
 	}
@@ -77,7 +136,7 @@ func TestClockRoundsAreMaxPerPlayer(t *testing.T) {
 	e := probe.NewEngine(in, b, rng.NewSource(1))
 	c := NewClock(NewRunner(4), e)
 	// Phase 1: player p probes p+1 objects → max 8 rounds.
-	c.Run("uneven", []int{0, 1, 2, 3, 4, 5, 6, 7}, func(p int) {
+	c.Run(nil, "uneven", []int{0, 1, 2, 3, 4, 5, 6, 7}, func(p int) {
 		pl := e.Player(p)
 		for o := 0; o <= p; o++ {
 			pl.Probe(o)
@@ -87,7 +146,7 @@ func TestClockRoundsAreMaxPerPlayer(t *testing.T) {
 		t.Fatalf("Rounds = %d, want 8", c.Rounds())
 	}
 	// Phase 2: everyone probes 3 → +3.
-	c.Run("even", []int{0, 1, 2, 3}, func(p int) {
+	c.Run(nil, "even", []int{0, 1, 2, 3}, func(p int) {
 		pl := e.Player(p)
 		for o := 10; o < 13; o++ {
 			pl.Probe(o)
@@ -110,7 +169,7 @@ func TestClockZeroProbePhase(t *testing.T) {
 	b := billboard.New(in.N, in.M)
 	e := probe.NewEngine(in, b, rng.NewSource(1))
 	c := NewClock(NewRunner(2), e)
-	c.Run("free", []int{0, 1, 2, 3}, func(p int) {}) // billboard-only phase
+	c.Run(nil, "free", []int{0, 1, 2, 3}, func(p int) {}) // billboard-only phase
 	if c.Rounds() != 0 {
 		t.Fatalf("free phase cost %d rounds", c.Rounds())
 	}
@@ -121,7 +180,7 @@ func TestConcurrentPhaseWithProbes(t *testing.T) {
 	b := billboard.New(in.N, in.M)
 	e := probe.NewEngine(in, b, rng.NewSource(3))
 	c := NewClock(NewRunner(0), e)
-	c.Run("all-probe", allPlayers(in.N), func(p int) {
+	c.Run(nil, "all-probe", allPlayers(in.N), func(p int) {
 		pl := e.Player(p)
 		for o := 0; o < in.M; o++ {
 			if pl.Probe(o) != in.Grade(p, o) {
@@ -142,7 +201,7 @@ func BenchmarkPhaseOverhead(b *testing.B) {
 	players := allPlayers(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Phase(players, func(p int) {})
+		r.Phase(nil, players, func(p int) {})
 	}
 }
 
@@ -163,7 +222,7 @@ func BenchmarkPhaseParallelScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			r := NewRunner(workers)
 			for i := 0; i < b.N; i++ {
-				r.Phase(players, work)
+				r.Phase(nil, players, work)
 			}
 		})
 	}

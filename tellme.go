@@ -30,6 +30,7 @@
 package tellme
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -156,7 +157,41 @@ type Options struct {
 	// netboard client request/retry counters (when BoardURL is used).
 	// A nil registry costs nothing on the probe hot path.
 	Telemetry *telemetry.Registry
+	// Timeout, if positive, bounds the run's wall-clock time: RunContext
+	// derives a deadline from it (on top of any deadline already on the
+	// caller's context) and a run that exceeds it returns a partial
+	// Report with a *RunError whose cause is context.DeadlineExceeded.
+	// Negative timeouts are a validation error.
+	Timeout time.Duration
 }
+
+// RunError is the typed failure of a cancelled or crashed run: Phase
+// says where in the algorithm stack the run died, Cause says why.
+// errors.Is sees through it — errors.Is(err, context.DeadlineExceeded)
+// identifies a blown deadline whether cancellation was observed by a
+// coordinator loop, a phase worker, the probe engine, or an in-flight
+// netboard request.
+type RunError struct {
+	// Phase is the innermost sub-algorithm that was running when the
+	// run aborted ("zeroradius", "smallradius", ...), falling back to
+	// the Options.Algorithm name when the run died before entering one.
+	Phase string
+	// Cause is the underlying failure: a context cancellation cause, a
+	// *sim.PanicError from player code, or a transport error such as
+	// *netboard.TransportError.
+	Cause error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("tellme: run aborted during %s: %v", e.Phase, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// Timeout reports whether the run died to a blown deadline.
+func (e *RunError) Timeout() bool { return errors.Is(e.Cause, context.DeadlineExceeded) }
 
 // TraceEvent is one recorded observability event; see Options.TraceCapacity.
 type TraceEvent = trace.Event
@@ -209,8 +244,26 @@ type CommunityReport struct {
 }
 
 // Run executes one algorithm over the instance and reports outputs and
-// costs.
+// costs. It is RunContext with an uncancellable context — the zero-cost
+// fast path through every layer.
 func Run(in *Instance, opt Options) (*Report, error) {
+	return RunContext(context.Background(), in, opt)
+}
+
+// RunContext is Run governed by a context: cancelling ctx (or blowing
+// Options.Timeout) aborts the run promptly at every layer — coordinator
+// loops stop at the next iteration, phase workers stop claiming work at
+// chunk boundaries, the probe engine aborts players mid-phase, and a
+// networked billboard cancels in-flight requests and retry waits.
+//
+// A cancelled or crashed run returns a non-nil *RunError together with
+// a partial Report: probe costs, duration and sub-algorithm counts
+// reflect the work actually done, while Outputs and Communities are
+// absent (no phase completed its barrier after the abort, so there is
+// no consistent output set to report). An uncancellable ctx (nil,
+// context.Background, ...) with zero Timeout takes the same fast path
+// as Run.
+func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error) {
 	if in == nil || in.N == 0 || in.M == 0 {
 		return nil, errors.New("tellme: empty instance")
 	}
@@ -221,6 +274,20 @@ func Run(in *Instance, opt Options) (*Report, error) {
 	}
 	if opt.D < 0 || opt.D > in.M {
 		return nil, fmt.Errorf("tellme: D %d out of [0,%d]", opt.D, in.M)
+	}
+	if opt.Algorithm < AlgoAuto || opt.Algorithm > AlgoAnytime {
+		return nil, fmt.Errorf("tellme: unknown algorithm %d", opt.Algorithm)
+	}
+	if opt.Timeout < 0 {
+		return nil, fmt.Errorf("tellme: negative timeout %v", opt.Timeout)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
 	}
 	cfg := core.DefaultConfig()
 	if opt.Config != nil {
@@ -251,6 +318,12 @@ func Run(in *Instance, opt Options) (*Report, error) {
 	if opt.Telemetry != nil {
 		popts = append(popts, probe.WithTelemetry(opt.Telemetry))
 	}
+	if ctx.Done() != nil {
+		// The engine binds the board to ctx and checks it between
+		// probes; core.NewEnv picks the same context up for the
+		// coordinator loops and phases.
+		popts = append(popts, probe.WithContext(ctx))
+	}
 	engine := probe.NewEngine(in, board, src.Child("engine", 0), popts...)
 	runner := sim.NewRunner(opt.Parallelism)
 	env := core.NewEnv(engine, runner, src.Child("public", 0), cfg)
@@ -259,11 +332,54 @@ func Run(in *Instance, opt Options) (*Report, error) {
 		env.Trace = trace.New(opt.TraceCapacity)
 	}
 
+	start := time.Now()
+	outputs, runErr := execute(env, in, opt, cfg)
+	elapsed := time.Since(start)
+
+	st := metrics.Probes(engine, in.N, nil)
+	rep := &Report{
+		Outputs:          outputs,
+		MaxProbes:        st.Max,
+		TotalProbes:      st.Total,
+		MeanProbes:       st.Mean,
+		Duration:         elapsed,
+		Algorithm:        opt.Algorithm,
+		SubAlgorithmRuns: env.RunCounts(),
+	}
+	if env.Trace != nil {
+		rep.TraceEvents = env.Trace.Events()
+	}
+	if runErr != nil {
+		// Partial report: cost accounting is valid (probes charged are
+		// real), outputs are not.
+		return rep, runErr
+	}
+	for _, c := range in.Communities {
+		diam := in.Diameter(c.Members)
+		rep.Communities = append(rep.Communities, CommunityReport{
+			Size:        len(c.Members),
+			Diameter:    diam,
+			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
+			Stretch:     metrics.Stretch(in, c.Members, outputs),
+			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
+		})
+	}
+	return rep, nil
+}
+
+// execute dispatches to the selected algorithm and converts an abort —
+// cancellation or a player panic, unwound through the recursion as a
+// panic because the algorithms return values, not errors — into a
+// *RunError at this single boundary.
+func execute(env *core.Env, in *Instance, opt Options, cfg Config) (outputs []Partial, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			outputs = nil
+			err = asRunError(rec, env, opt)
+		}
+	}()
 	players := ints.Iota(in.N)
 	objs := ints.Iota(in.M)
-
-	start := time.Now()
-	var outputs []Partial
 	switch opt.Algorithm {
 	case AlgoAuto:
 		outputs = core.UnknownD(env, opt.Alpha)
@@ -297,35 +413,31 @@ func Run(in *Instance, opt Options) (*Report, error) {
 			}
 		}
 		outputs = core.Anytime(env, opt.Budget, cb)
-	default:
-		return nil, fmt.Errorf("tellme: unknown algorithm %d", opt.Algorithm)
 	}
-	elapsed := time.Since(start)
+	return outputs, nil
+}
 
-	st := metrics.Probes(engine, in.N, nil)
-	rep := &Report{
-		Outputs:          outputs,
-		MaxProbes:        st.Max,
-		TotalProbes:      st.Total,
-		MeanProbes:       st.Mean,
-		Duration:         elapsed,
-		Algorithm:        opt.Algorithm,
-		SubAlgorithmRuns: env.RunCounts(),
+// asRunError maps a recovered run panic to the *RunError the facade
+// returns. The phase is the innermost sub-algorithm the Env saw start.
+func asRunError(rec any, env *core.Env, opt Options) error {
+	phase := env.ActiveKind()
+	if phase == "" {
+		phase = opt.Algorithm.String()
 	}
-	if env.Trace != nil {
-		rep.TraceEvents = env.Trace.Events()
+	var cause error
+	switch v := rec.(type) {
+	case *core.Abort:
+		cause = v.Err
+	case *probe.Canceled:
+		// A cancellation observed outside a phase body (coordinator
+		// code probing directly) reaches here unwrapped.
+		cause = v.Cause
+	case error:
+		cause = v
+	default:
+		cause = &sim.PanicError{Value: rec}
 	}
-	for _, c := range in.Communities {
-		diam := in.Diameter(c.Members)
-		rep.Communities = append(rep.Communities, CommunityReport{
-			Size:        len(c.Members),
-			Diameter:    diam,
-			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
-			Stretch:     metrics.Stretch(in, c.Members, outputs),
-			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
-		})
-	}
-	return rep, nil
+	return &RunError{Phase: phase, Cause: cause}
 }
 
 // Evaluate measures output quality over an arbitrary player set — the
@@ -354,6 +466,9 @@ type RefreshOptions struct {
 	Seed uint64
 	// Parallelism bounds the worker pool (0 = GOMAXPROCS).
 	Parallelism int
+	// Timeout, if positive, bounds the repair's wall-clock time; see
+	// Options.Timeout.
+	Timeout time.Duration
 }
 
 // RunRefresh repairs previously-computed outputs against the current
@@ -362,6 +477,12 @@ type RefreshOptions struct {
 // extension measured in experiments E17/E20. Players whose stale output
 // is not shared by an α fraction keep it unchanged.
 func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, error) {
+	return RunRefreshContext(context.Background(), in, stale, opt)
+}
+
+// RunRefreshContext is RunRefresh governed by a context; the
+// cancellation and partial-report semantics match RunContext.
+func RunRefreshContext(ctx context.Context, in *Instance, stale []Partial, opt RefreshOptions) (*Report, error) {
 	if in == nil || in.N == 0 || in.M == 0 {
 		return nil, errors.New("tellme: empty instance")
 	}
@@ -371,15 +492,30 @@ func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, err
 	if opt.Alpha <= 0 || opt.Alpha > 1 {
 		return nil, fmt.Errorf("tellme: alpha %v out of (0,1]", opt.Alpha)
 	}
+	if opt.Timeout < 0 {
+		return nil, fmt.Errorf("tellme: negative timeout %v", opt.Timeout)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	src := rng.NewSource(opt.Seed)
 	board := billboard.New(in.N, in.M)
-	engine := probe.NewEngine(in, board, src.Child("engine", 0))
+	var popts []probe.Option
+	if ctx.Done() != nil {
+		popts = append(popts, probe.WithContext(ctx))
+	}
+	engine := probe.NewEngine(in, board, src.Child("engine", 0), popts...)
 	env := core.NewEnv(engine, sim.NewRunner(opt.Parallelism), src.Child("public", 0), core.DefaultConfig())
 	players := ints.Iota(in.N)
 	objs := ints.Iota(in.M)
 	red, maxP := core.RefreshBudget(opt.ExpectedDrift)
 	start := time.Now()
-	outputs := core.Refresh(env, players, objs, stale, opt.Alpha, red, maxP)
+	outputs, runErr := executeRefresh(env, players, objs, stale, opt, red, maxP)
 	elapsed := time.Since(start)
 	st := metrics.Probes(engine, in.N, nil)
 	rep := &Report{
@@ -388,6 +524,9 @@ func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, err
 		TotalProbes: st.Total,
 		MeanProbes:  st.Mean,
 		Duration:    elapsed,
+	}
+	if runErr != nil {
+		return rep, runErr
 	}
 	for _, c := range in.Communities {
 		diam := in.Diameter(c.Members)
@@ -400,4 +539,16 @@ func RunRefresh(in *Instance, stale []Partial, opt RefreshOptions) (*Report, err
 		})
 	}
 	return rep, nil
+}
+
+// executeRefresh runs Refresh under the same abort-recovery boundary as
+// execute.
+func executeRefresh(env *core.Env, players, objs []int, stale []Partial, opt RefreshOptions, red, maxP int) (outputs []Partial, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			outputs = nil
+			err = asRunError(rec, env, Options{})
+		}
+	}()
+	return core.Refresh(env, players, objs, stale, opt.Alpha, red, maxP), nil
 }
