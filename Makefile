@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel
+.PHONY: build test race stress-net race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,26 @@ bench-telemetry:
 # them within ~2%.
 bench-cancel:
 	$(GO) run ./cmd/benchdiff -suite cancel -count 5 -interleave -baseline BENCH_3.json
+
+# BENCH_5.json: the bit-plane tally engine and arena scratch reuse —
+# E1/E8 end to end plus the billboard tally microbenchmarks, compared
+# against the pre-rewrite BENCH_4 baseline. Fails (exit 1) if an E8
+# benchmark regresses more than 10% over the baseline. The gate is
+# scoped to E8 because BENCH_4's wall-clock numbers were recorded under
+# that session's machine speed: E8's rewrite headroom (>2×) absorbs any
+# plausible drift, while gating E1 (a ~1.2× win) against stale numbers
+# would fail spuriously whenever the box runs slower than it did then.
+# For a drift-immune comparison, benchmark the baseline *code* in the
+# same window instead: make bench-core-ab REF=<pre-rewrite commit>.
+bench-core:
+	$(GO) run ./cmd/benchdiff -suite core -count 5 -interleave -baseline BENCH_4.json -fail-regress 10 -fail-bench 'E8Main'
+
+# Same suite, but measured A/B against the code at REF (default HEAD:
+# working tree vs last commit) in alternating runs within one
+# wall-clock window — machine-speed drift cancels out, so any benchmark
+# may be gated, not just the high-headroom ones. Point REF at an older
+# commit (e.g. the one recorded in a BENCH_N.json) to re-measure a
+# whole PR's effect on today's machine.
+REF ?= HEAD
+bench-core-ab:
+	$(GO) run ./cmd/benchdiff -suite core -count 5 -ref "$(REF)" -fail-regress 10

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,6 +62,11 @@ var suites = map[string]struct {
 	// prove the nil/Background fast path keeps the hot loops within ~2%
 	// of the pre-context numbers.
 	"cancel": {pkg: ".", bench: "E1ZeroRadius|E8Main", out: "BENCH_4.json"},
+	// The core-engine suite: E1/E8 end to end plus the billboard tally
+	// microbenchmarks behind them. Run with -baseline BENCH_4.json to
+	// track the bit-plane/arena rewrite; `make bench-core` adds
+	// -fail-regress 10 so a >10% E1/E8 slowdown fails the build.
+	"core": {pkg: ".,./internal/billboard", bench: "E1ZeroRadius|E8Main|VotesLargeTopic|PopularVectors|PostValues", out: "BENCH_5.json"},
 }
 
 // Comparison is the per-benchmark before/after delta when -baseline is
@@ -76,8 +82,17 @@ type Comparison struct {
 
 // File is the BENCH_N.json schema.
 type File struct {
-	Command    string       `json:"command"`
-	Go         string       `json:"go"`
+	Command string `json:"command"`
+	Go      string `json:"go"`
+	// Commit is the HEAD commit the benchmarks ran on (best-effort), so
+	// a later PR can re-run this snapshot's code with -ref instead of
+	// trusting wall-clock numbers recorded on a different machine state.
+	Commit string `json:"commit,omitempty"`
+	// RefCommit is set when -ref was used: the baseline summaries were
+	// measured from this commit in the same wall-clock window as the
+	// current ones (alternating runs), so their ns/op ratio is valid
+	// even on a machine whose speed drifts between sessions.
+	RefCommit  string       `json:"ref_commit,omitempty"`
 	Benchmarks []Summary    `json:"benchmarks"`
 	Baseline   []Summary    `json:"baseline,omitempty"`
 	Comparison []Comparison `json:"comparison,omitempty"`
@@ -93,12 +108,15 @@ func main() {
 		input    = flag.String("input", "", "parse this saved benchmark log instead of running go test")
 		baseline = flag.String("baseline", "", "prior benchdiff JSON or raw benchmark log to compare against")
 		inter    = flag.Bool("interleave", false, "run go test -count times with -count=1 instead of once with -count=N: each benchmark's samples then spread across the whole wall-clock window, so slow machine drift hits every benchmark equally (use when benchmarks are compared against each other, as in the telemetry suite)")
+		failPct  = flag.Float64("fail-regress", 0, "exit nonzero when any benchmark present in the baseline is more than this percent slower (ns/op) than the baseline; 0 disables the gate")
+		failRe   = flag.String("fail-bench", "", "restrict the -fail-regress gate to benchmarks matching this regexp; wall-clock numbers in a saved baseline were recorded under that machine's speed, so gate only the benchmarks whose budget has headroom for drift (or use -ref, which is drift-immune)")
+		ref      = flag.String("ref", "", "git rev to benchmark as the baseline in the same wall-clock window: the rev is checked out into a temporary worktree and its runs alternate with the current tree's, so the comparison (and -fail-regress) is immune to machine-speed drift; implies -interleave and overrides -baseline")
 	)
 	flag.Parse()
 	if *suite != "" {
 		preset, ok := suites[*suite]
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q (have: experiments, netboard)", *suite))
+			fatal(fmt.Errorf("unknown suite %q (have: experiments, netboard, telemetry, cancel, core)", *suite))
 		}
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -114,55 +132,146 @@ func main() {
 	}
 
 	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchmem -count=%d %s", *bench, *count, *pkg)
-	var raw io.Reader
+	var sums, baseSums []Summary
+	var err error
+	refCommit := ""
 	switch {
 	case *input != "":
 		f, err := os.Open(*input)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		raw = f
-		cmdline = "parsed from " + *input
-	case *inter:
-		var all strings.Builder
-		for i := 0; i < *count; i++ {
-			all.WriteString(runGoTest(*bench, 1, *pkg))
-		}
-		raw = strings.NewReader(all.String())
-		cmdline = fmt.Sprintf("%d x go test -run ^$ -bench %s -benchmem -count=1 %s (interleaved)", *count, *bench, *pkg)
-	default:
-		raw = strings.NewReader(runGoTest(*bench, *count, *pkg))
-	}
-
-	sums, err := parseBench(raw)
-	if err != nil {
-		fatal(err)
-	}
-	write(*out, cmdline, sums, *baseline)
-}
-
-// runGoTest executes one `go test -bench` invocation and returns its
-// stdout (benchmark lines).
-func runGoTest(bench string, count int, pkg string) string {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchmem", fmt.Sprintf("-count=%d", count), pkg)
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		fmt.Fprint(os.Stderr, string(out))
-		fatal(fmt.Errorf("go test: %w", err))
-	}
-	return string(out)
-}
-
-func write(path, cmdline string, sums []Summary, baselinePath string) {
-	f := File{Command: cmdline, Go: goVersion(), Benchmarks: sums}
-	if baselinePath != "" {
-		base, err := loadBaseline(baselinePath)
+		sums, err = parseBench(f)
+		f.Close()
 		if err != nil {
 			fatal(err)
 		}
+		cmdline = "parsed from " + *input
+	case *ref != "":
+		sums, baseSums, refCommit = runAB(*bench, *count, *pkg, *ref)
+		cmdline = fmt.Sprintf("%d x go test -run ^$ -bench %s -benchmem -count=1 %s (interleaved A/B vs %s)",
+			*count, *bench, *pkg, *ref)
+	case *inter:
+		var all strings.Builder
+		for i := 0; i < *count; i++ {
+			out, err := runGoTest("", *bench, 1, *pkg)
+			if err != nil {
+				fatal(err)
+			}
+			all.WriteString(out)
+		}
+		sums, err = parseBench(strings.NewReader(all.String()))
+		if err != nil {
+			fatal(err)
+		}
+		cmdline = fmt.Sprintf("%d x go test -run ^$ -bench %s -benchmem -count=1 %s (interleaved)", *count, *bench, *pkg)
+	default:
+		out, err := runGoTest("", *bench, *count, *pkg)
+		if err != nil {
+			fatal(err)
+		}
+		sums, err = parseBench(strings.NewReader(out))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if baseSums == nil && *baseline != "" {
+		baseSums, err = loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	comps := write(*out, cmdline, refCommit, sums, baseSums)
+	if *failPct > 0 {
+		gate := regexp.MustCompile(*failRe) // "" matches everything
+		failed := false
+		for _, c := range comps {
+			if !gate.MatchString(c.Name) {
+				continue
+			}
+			if c.BaseNsPerOp > 0 && c.NsPerOp > c.BaseNsPerOp*(1+*failPct/100) {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s %.0f -> %.0f ns/op (more than %.0f%% slower than baseline)\n",
+					c.Name, c.BaseNsPerOp, c.NsPerOp, *failPct)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// runAB benchmarks the working tree against a git rev in the same
+// wall-clock window: the rev is checked out into a temporary worktree
+// and single-count runs of the two trees alternate, so machine-speed
+// drift during (or before) the session biases both sides equally. The
+// returned baseline summaries come from the rev's code, freshly
+// measured — never from numbers recorded on an earlier machine state.
+func runAB(bench string, count int, pkgs, ref string) (cur, base []Summary, refCommit string) {
+	dir, err := os.MkdirTemp("", "benchdiff-ref-")
+	if err != nil {
+		fatal(err)
+	}
+	cleanup := func() {
+		exec.Command("git", "worktree", "remove", "--force", dir).Run()
+		os.RemoveAll(dir)
+	}
+	fail := func(err error) {
+		cleanup()
+		fatal(err)
+	}
+	if out, err := exec.Command("git", "worktree", "add", "--detach", dir, ref).CombinedOutput(); err != nil {
+		fail(fmt.Errorf("git worktree add %s: %v\n%s", ref, err, out))
+	}
+	defer cleanup()
+	if out, err := exec.Command("git", "-C", dir, "rev-parse", "HEAD").Output(); err == nil {
+		refCommit = strings.TrimSpace(string(out))
+	}
+	var curBuf, refBuf strings.Builder
+	for i := 0; i < count; i++ {
+		out, err := runGoTest(dir, bench, 1, pkgs)
+		if err != nil {
+			fail(err)
+		}
+		refBuf.WriteString(out)
+		if out, err = runGoTest("", bench, 1, pkgs); err != nil {
+			fail(err)
+		}
+		curBuf.WriteString(out)
+	}
+	if cur, err = parseBench(strings.NewReader(curBuf.String())); err != nil {
+		fail(err)
+	}
+	if base, err = parseBench(strings.NewReader(refBuf.String())); err != nil {
+		fail(err)
+	}
+	return cur, base, refCommit
+}
+
+// runGoTest executes one `go test -bench` invocation per comma-separated
+// package in dir ("" = current directory) and returns the concatenated
+// stdout (benchmark lines).
+func runGoTest(dir, bench string, count int, pkgs string) (string, error) {
+	var all strings.Builder
+	for _, pkg := range strings.Split(pkgs, ",") {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+			"-benchmem", fmt.Sprintf("-count=%d", count), pkg)
+		cmd.Dir = dir
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			fmt.Fprint(os.Stderr, string(out))
+			return "", fmt.Errorf("go test %s: %w", pkg, err)
+		}
+		all.Write(out)
+	}
+	return all.String(), nil
+}
+
+func write(path, cmdline, refCommit string, sums, base []Summary) []Comparison {
+	f := File{Command: cmdline, Go: goVersion(), Commit: headCommit(), RefCommit: refCommit, Benchmarks: sums}
+	if base != nil {
 		f.Baseline = base
 		f.Comparison = compare(base, sums)
 	}
@@ -191,6 +300,7 @@ func write(path, cmdline string, sums []Summary, baselinePath string) {
 			c.Name, c.Speedup, c.BaseAllocsOp, c.AllocsOp)
 	}
 	fmt.Printf("wrote %s\n", path)
+	return f.Comparison
 }
 
 // parseBench reads `go test -bench -benchmem` output lines of the form
@@ -344,6 +454,20 @@ func goVersion() string {
 		return ""
 	}
 	return strings.TrimSpace(string(out))
+}
+
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	// A dirty tree means the numbers reflect code beyond the commit;
+	// say so rather than record a misleadingly precise provenance.
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		commit += "-dirty"
+	}
+	return commit
 }
 
 func fatal(err error) {

@@ -108,6 +108,13 @@ func main() {
 				}
 				fmt.Println()
 			}
+			if t := tallyBreakdown(e.ID, opts.Telemetry); t != nil {
+				if err := emit(t); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
 		}
 	}
 	os.Exit(exitCode)
@@ -178,6 +185,36 @@ func costBreakdown(id string, reg *telemetry.Registry) *metrics.Table {
 			time.Duration(ns).Round(time.Microsecond),
 			time.Duration(ns/calls).Round(time.Microsecond))
 	}
+	return t
+}
+
+// tallyBreakdown summarizes the billboard's tally-cache behaviour for
+// one experiment: epoch-cache hits vs rebuilds, the hit rate, total and
+// mean rebuild wall time, and how many rebuilds took the parallel
+// grouping path (nil when the board posted nothing).
+func tallyBreakdown(id string, reg *telemetry.Registry) *metrics.Table {
+	snap := reg.Snapshot()
+	hits := snap.Counters["billboard.tally.cache_hits"]
+	rebuilds := snap.Counters["billboard.tally.rebuilds"]
+	if hits+rebuilds == 0 {
+		return nil
+	}
+	rebuildNs := snap.Counters["billboard.tally.rebuild_ns"]
+	par := snap.Counters["billboard.tally.par_rebuilds"]
+	meanNs := int64(0)
+	if rebuilds > 0 {
+		meanNs = rebuildNs / rebuilds
+	}
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("%s billboard tally cache (all seeds and configurations)", id),
+		Note:   "epoch-cache effectiveness and rebuild cost of the vote tallies",
+		Header: []string{"hits", "rebuilds", "hit rate", "rebuild wall", "wall/rebuild", "parallel rebuilds"},
+	}
+	t.AddRow(hits, rebuilds,
+		fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+rebuilds)),
+		time.Duration(rebuildNs).Round(time.Microsecond),
+		time.Duration(meanNs).Round(time.Microsecond),
+		par)
 	return t
 }
 

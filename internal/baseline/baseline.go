@@ -42,6 +42,33 @@ func Solo(e *probe.Engine, runner *sim.Runner) []bitvec.Partial {
 	return out
 }
 
+// probeTallier is the optional fast path for the per-object grade tally
+// the baselines share: the in-memory Board computes it word-parallel
+// over its packed probe planes. Boards reached through a wrapper (e.g.
+// billboard.BindContext) or a network client don't expose it and fall
+// back to the per-probe walk.
+type probeTallier interface {
+	ProbeTally(ones, total []int) ([]int, []int)
+}
+
+// probeTally returns ones[o] / total[o] tallies of all posted grades.
+func probeTally(e *probe.Engine, n, m int) (ones, total []int) {
+	if pt, ok := e.Board().(probeTallier); ok {
+		return pt.ProbeTally(nil, nil)
+	}
+	ones = make([]int, m)
+	total = make([]int, m)
+	for p := 0; p < n; p++ {
+		e.Board().ForEachProbe(p, func(o int, v byte) {
+			total[o]++
+			if v == 1 {
+				ones[o]++
+			}
+		})
+	}
+	return ones, total
+}
+
 // sampleProbes has every player probe `budget` uniformly random distinct
 // objects (all of them if budget ≥ m), posting to the billboard.
 func sampleProbes(e *probe.Engine, runner *sim.Runner, budget int, src rng.Source) {
@@ -68,16 +95,7 @@ func sampleProbes(e *probe.Engine, runner *sim.Runner, budget int, src rng.Sourc
 func SampleMajority(e *probe.Engine, runner *sim.Runner, budget int, src rng.Source) []bitvec.Partial {
 	in := e.Instance()
 	sampleProbes(e, runner, budget, src)
-	ones := make([]int, in.M)
-	total := make([]int, in.M)
-	for p := 0; p < in.N; p++ {
-		e.Board().ForEachProbe(p, func(o int, v byte) {
-			total[o]++
-			if v == 1 {
-				ones[o]++
-			}
-		})
-	}
+	ones, total := probeTally(e, in.N, in.M)
 	majority := bitvec.New(in.M)
 	for o := 0; o < in.M; o++ {
 		if 2*ones[o] > total[o] {
@@ -112,16 +130,7 @@ func KNN(e *probe.Engine, runner *sim.Runner, budget, k int, src rng.Source) []b
 	for p := 0; p < in.N; p++ {
 		probes[p] = board.ProbedObjects(p)
 	}
-	ones := make([]int, in.M)
-	total := make([]int, in.M)
-	for p := 0; p < in.N; p++ {
-		board.ForEachProbe(p, func(o int, v byte) {
-			total[o]++
-			if v == 1 {
-				ones[o]++
-			}
-		})
-	}
+	ones, total := probeTally(e, in.N, in.M)
 
 	out := make([]bitvec.Partial, in.N)
 	sim.MustPhaseAll(runner, in.N, func(p int) {

@@ -34,11 +34,12 @@ package billboard
 
 import (
 	"math/bits"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"tellme/internal/arena"
 	"tellme/internal/bitvec"
 	"tellme/internal/telemetry"
 )
@@ -118,7 +119,110 @@ type Board struct {
 	vectorPosts atomic.Int64
 	topicGen    atomic.Uint64
 
+	// valPool recycles value-posting storage across dropped topics; its
+	// own leaf lock keeps it acquirable from under mu and topic locks.
+	valPool valPool
+
 	tel boardTelemetry
+}
+
+// valPool recycles the storage behind a dropped topic's value postings —
+// the valSlab backing blocks and the []ValuePosting array — into the
+// next topics created on the board. The recursive algorithms churn
+// through thousands of short-lived topics per run with one posting
+// burst each; without recycling, that storage is the board's dominant
+// allocation and GC-pressure source.
+//
+// Only the value side is recycled. Vector postings (and their Votes
+// tallies) may legitimately be retained by callers across a DropTopic —
+// Refresh tallies a topic and drops it before consuming the votes — so
+// their storage is left to the garbage collector. Value-side snapshots
+// (ValuePostings, ValueVotes) must not be read after their topic is
+// dropped: the memory is reused, in keeping with DropTopic's "phases
+// that are complete" contract.
+//
+// The pool is bounded (element counts below); beyond the caps, retiring
+// storage falls through to the GC as before.
+// Both sides are bucketed by floor-log2 size class: bucket c holds
+// entries of size [2^c, 2^(c+1)), so a request of min elements is
+// satisfied by any entry in bucket ceil-log2(min) or above, found in
+// O(#buckets). Plain LIFO with a shallow scan was tried first and
+// missed ~2/3 of requests once big and tiny blocks interleaved.
+type valPool struct {
+	mu      sync.Mutex
+	blocks  [32][][]uint32 // retired valSlab blocks, LIFO per class
+	blockEl int            // total elements across blocks
+	arrays  [32][][]ValuePosting
+	arrayEl int // total capacity across arrays
+}
+
+const (
+	valPoolMaxBlockEl = 1 << 21 // 8 MiB of uint32 block storage
+	valPoolMaxArrayEl = 1 << 17 // ~4 MiB of ValuePosting array storage
+)
+
+// sizeClass returns the bucket whose every entry has size ≥ n (for
+// taking); put uses bits.Len(n)-1 so entries land where that holds.
+func valPoolClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// NextBlock implements arena.BlockSource for the topics' value slabs:
+// it returns a retired block of at least min elements, or nil to let
+// the slab allocate fresh.
+func (p *valPool) NextBlock(min int) []uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := valPoolClass(min); c < len(p.blocks); c++ {
+		if bucket := p.blocks[c]; len(bucket) > 0 {
+			blk := bucket[len(bucket)-1]
+			p.blocks[c] = bucket[:len(bucket)-1]
+			p.blockEl -= len(blk)
+			return blk
+		}
+	}
+	return nil
+}
+
+// takeArray returns a retired posting array with capacity ≥ min
+// (length reset to 0), or nil.
+func (p *valPool) takeArray(min int) []ValuePosting {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := valPoolClass(min); c < len(p.arrays); c++ {
+		if bucket := p.arrays[c]; len(bucket) > 0 {
+			arr := bucket[len(bucket)-1]
+			p.arrays[c] = bucket[:len(bucket)-1]
+			p.arrayEl -= cap(arr)
+			return arr[:0]
+		}
+	}
+	return nil
+}
+
+// put retires a topic's value storage into the pool, dropping whatever
+// exceeds the caps.
+func (p *valPool) put(blocks [][]uint32, arr []ValuePosting) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, blk := range blocks {
+		if len(blk) == 0 || p.blockEl+len(blk) > valPoolMaxBlockEl {
+			continue
+		}
+		c := bits.Len(uint(len(blk))) - 1
+		p.blocks[c] = append(p.blocks[c], blk)
+		p.blockEl += len(blk)
+	}
+	if cap(arr) > 0 && p.arrayEl+cap(arr) <= valPoolMaxArrayEl {
+		// Entries keep stale Vals pointers into the pooled blocks; both
+		// sides are reused together, so nothing leaks past the caps.
+		c := bits.Len(uint(cap(arr))) - 1
+		p.arrays[c] = append(p.arrays[c], arr[:0])
+		p.arrayEl += cap(arr)
+	}
 }
 
 // boardTelemetry holds the board's resolved instruments. All fields are
@@ -152,6 +256,8 @@ func (b *Board) SetTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("billboard.vector.posts", b.VectorPostCount)
 	reg.CounterFunc("billboard.tally.cache_hits", func() int64 { return b.topicStatTotals().tallyHits })
 	reg.CounterFunc("billboard.tally.rebuilds", func() int64 { return b.topicStatTotals().rebuilds })
+	reg.CounterFunc("billboard.tally.rebuild_ns", func() int64 { return b.topicStatTotals().rebuildNs })
+	reg.CounterFunc("billboard.tally.par_rebuilds", func() int64 { return b.topicStatTotals().parRebuilds })
 	reg.CounterFunc("billboard.snapshot.unchanged", func() int64 { return b.topicStatTotals().snapUnch })
 	b.tel.topics.Set(int64(b.TopicCount()))
 	// Per-kind post counters for kinds already seen (live topics or
@@ -213,10 +319,7 @@ func (b *Board) topicStatTotals() topicStats {
 	tot := b.dropped
 	for _, t := range b.topics {
 		t.mu.Lock()
-		tot.tallyHits += t.stats.tallyHits
-		tot.rebuilds += t.stats.rebuilds
-		tot.snapUnch += t.stats.snapUnch
-		tot.posts += t.stats.posts
+		tot.fold(t.stats)
 		t.mu.Unlock()
 	}
 	return tot
@@ -244,13 +347,43 @@ type topic struct {
 	gen      uint64
 	postings []Posting
 	values   []ValuePosting
-	stats    topicStats // guarded by mu
+	// valSlab backs the copies PostValues makes: per-topic slab blocks
+	// instead of one heap allocation per posting. Guarded by mu (a slab
+	// is not concurrency-safe on its own); the memory is released
+	// wholesale when the topic is dropped and its last reader lets go.
+	valSlab arena.Slab[uint32]
+	stats   topicStats // guarded by mu
 
 	epoch      uint64
 	votesAt    uint64
 	votes      []Vote
 	valVotesAt uint64
 	valVotes   []ValueVote
+}
+
+// rebuildVotes recomputes the vector-vote cache at the current epoch,
+// charging stats. Caller holds t.mu.
+func (t *topic) rebuildVotes() {
+	start := time.Now()
+	t.votes = tallyVotes(t.postings)
+	t.votesAt = t.epoch
+	t.stats.rebuilds++
+	t.stats.rebuildNs += time.Since(start).Nanoseconds()
+	if len(t.postings) >= tallyParallelThreshold && tallyWorkers() > 1 {
+		t.stats.parRebuilds++
+	}
+}
+
+// rebuildValVotes is rebuildVotes for value postings. Caller holds t.mu.
+func (t *topic) rebuildValVotes() {
+	start := time.Now()
+	t.valVotes = tallyValueVotes(t.values)
+	t.valVotesAt = t.epoch
+	t.stats.rebuilds++
+	t.stats.rebuildNs += time.Since(start).Nanoseconds()
+	if len(t.values) >= tallyParallelThreshold && tallyWorkers() > 1 {
+		t.stats.parRebuilds++
+	}
 }
 
 // topicStats are the per-topic bookkeeping counts behind the board's
@@ -261,10 +394,21 @@ type topic struct {
 // Board.dropped when a topic is dropped, keeping the sampled counters
 // monotone).
 type topicStats struct {
-	posts     int64 // vector + value postings
-	tallyHits int64 // Votes/ValueVotes served from the epoch cache
-	rebuilds  int64 // tally rebuilds (cache invalidated by a post)
-	snapUnch  int64 // TopicSnapshot "unchanged" answers
+	posts       int64 // vector + value postings
+	tallyHits   int64 // Votes/ValueVotes served from the epoch cache
+	rebuilds    int64 // tally rebuilds (cache invalidated by a post)
+	rebuildNs   int64 // wall time spent in tally rebuilds
+	parRebuilds int64 // rebuilds that took the parallel grouping path
+	snapUnch    int64 // TopicSnapshot "unchanged" answers
+}
+
+func (s *topicStats) fold(o topicStats) {
+	s.posts += o.posts
+	s.tallyHits += o.tallyHits
+	s.rebuilds += o.rebuilds
+	s.rebuildNs += o.rebuildNs
+	s.parRebuilds += o.parRebuilds
+	s.snapUnch += o.snapUnch
 }
 
 const neverTallied = ^uint64(0)
@@ -362,6 +506,31 @@ func (b *Board) ForEachProbe(p int, fn func(o int, grade byte)) {
 	}
 }
 
+// ProbeTally tallies the probe planes column-wise: ones[o] counts the
+// players whose posted grade for object o is 1 and total[o] the players
+// with any posted grade for o, for every o < M(). ones and total are
+// reused when they have capacity (pass nil to allocate). The shards are
+// fed straight into a bit-plane set, so the tally runs word-parallel
+// instead of bit-by-bit per player; the value plane is masked with the
+// known plane so a concurrent half-published post (value bit stored,
+// known bit not yet) never counts.
+func (b *Board) ProbeTally(ones, total []int) ([]int, []int) {
+	ps := bitvec.NewPlaneSet(b.m)
+	w := bitvec.WordsFor(b.m)
+	row := make([]uint64, 2*w)
+	vr, kr := row[:w], row[w:]
+	for p := range b.probeShards {
+		s := &b.probeShards[p]
+		for i := range kr {
+			k := s.known[i].Load()
+			kr[i] = k
+			vr[i] = s.val[i].Load() & k
+		}
+		ps.AddBits(vr, kr)
+	}
+	return ps.TallyColumns(ones), ps.TallyKnown(total)
+}
+
 // ProbedObjects returns a copy of the object→grade map posted by p.
 // Prefer ForEachProbe on hot paths; this allocates the map.
 func (b *Board) ProbedObjects(p int) map[int]byte {
@@ -410,6 +579,13 @@ func (b *Board) topicFor(name string) *topic {
 		votesAt:    neverTallied,
 		valVotesAt: neverTallied,
 	}
+	// The value slab is write-once per topic (released wholesale on
+	// drop), so unbounded doubling would overshoot a busy topic's
+	// footprint by up to 2× in eagerly-zeroed large blocks; 8192
+	// uint32s keeps every block within the runtime's 32 KiB
+	// small-object classes.
+	t.valSlab.SetMaxBlock(8192)
+	t.valSlab.SetSource(&b.valPool)
 	b.topics[name] = t
 	reg := b.tel.reg
 	newKind := false
@@ -432,10 +608,49 @@ func (b *Board) topicFor(name string) *topic {
 	return t
 }
 
+// growPostings quadruples a posting slice's capacity (minimum 16).
+// Topics routinely take dozens to hundreds of posts between drops, and
+// append's power-of-two doubling from capacity 1 made posting the
+// board's hottest allocation site under the recursive algorithms.
+func growPostings[T any](s []T) []T {
+	c := 4 * cap(s)
+	if c < 16 {
+		c = 16
+	}
+	ns := make([]T, len(s), c)
+	copy(ns, s)
+	return ns
+}
+
+// HintPosts presizes the named topic's posting storage for `vectors`
+// upcoming Post calls and `values` upcoming PostValues calls, so a
+// known burst of posts (one per player of a ZeroRadius node, say) costs
+// one exact-fit allocation instead of a growth sequence. Purely a
+// capacity hint: it never shrinks, and posting beyond the hint just
+// grows as usual.
+func (b *Board) HintPosts(name string, vectors, values int) {
+	t := b.topicFor(name)
+	t.mu.Lock()
+	if need := len(t.postings) + vectors; need > cap(t.postings) {
+		np := make([]Posting, len(t.postings), need)
+		copy(np, t.postings)
+		t.postings = np
+	}
+	if need := len(t.values) + values; need > cap(t.values) {
+		nv := make([]ValuePosting, len(t.values), need)
+		copy(nv, t.values)
+		t.values = nv
+	}
+	t.mu.Unlock()
+}
+
 // Post publishes a partial vector by player under the named topic.
 func (b *Board) Post(name string, player int, v bitvec.Partial) {
 	t := b.topicFor(name)
 	t.mu.Lock()
+	if len(t.postings) == cap(t.postings) {
+		t.postings = growPostings(t.postings)
+	}
 	t.postings = append(t.postings, Posting{Player: player, Vec: v})
 	t.epoch++
 	t.stats.posts++
@@ -473,42 +688,12 @@ func (b *Board) Votes(name string) []Vote {
 	t := b.topicFor(name)
 	t.mu.Lock()
 	if t.votesAt != t.epoch {
-		t.votes = tallyVotes(t.postings)
-		t.votesAt = t.epoch
-		t.stats.rebuilds++
+		t.rebuildVotes()
 	} else {
 		t.stats.tallyHits++
 	}
 	out := t.votes
 	t.mu.Unlock()
-	return out
-}
-
-// tallyVotes groups identical vectors; see Votes for the order contract.
-func tallyVotes(postings []Posting) []Vote {
-	byKey := make(map[string]int, len(postings))
-	out := make([]Vote, 0, len(byKey))
-	var kb []byte
-	for _, p := range postings {
-		kb = p.Vec.AppendKey(kb[:0])
-		i, ok := byKey[string(kb)]
-		if !ok {
-			i = len(out)
-			out = append(out, Vote{Vec: p.Vec})
-			byKey[string(kb)] = i
-		}
-		out[i].Count++
-		out[i].Voters = append(out[i].Voters, p.Player)
-	}
-	for i := range out {
-		sort.Ints(out[i].Voters)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Vec.Less(out[j].Vec)
-	})
 	return out
 }
 
@@ -533,17 +718,23 @@ func (b *Board) DropTopic(name string) {
 		// Fold the topic's stats into the board totals so the sampled
 		// telemetry counters stay monotone across drops.
 		t.mu.Lock()
-		b.dropped.posts += t.stats.posts
-		b.dropped.tallyHits += t.stats.tallyHits
-		b.dropped.rebuilds += t.stats.rebuilds
-		b.dropped.snapUnch += t.stats.snapUnch
+		b.dropped.fold(t.stats)
 		if t.stats.posts > 0 {
 			if b.droppedPosts == nil {
 				b.droppedPosts = make(map[string]int64)
 			}
 			b.droppedPosts[topicKind(name)] += t.stats.posts
 		}
+		// Retire the topic's value storage into the pool. Value-side
+		// snapshots must not be read after the drop (see valPool); the
+		// vector side is deliberately left alone. A straggler posting
+		// through a stale handle after this lands in fresh orphaned
+		// storage, as before.
+		blocks := t.valSlab.TakeBlocks()
+		arr := t.values
+		t.values, t.valVotes, t.valVotesAt = nil, nil, neverTallied
 		t.mu.Unlock()
+		b.valPool.put(blocks, arr)
 		delete(b.topics, name)
 	}
 	b.mu.Unlock()
@@ -575,12 +766,77 @@ type ValueVote struct {
 }
 
 // PostValues publishes a generic value vector under the named topic.
-// The slice is copied; callers may reuse it.
+// The slice is copied (into the topic's slab; one heap allocation per
+// slab block, not per posting); callers may reuse it.
 func (b *Board) PostValues(name string, player int, vals []uint32) {
-	t := b.topicFor(name)
-	cp := append([]uint32(nil), vals...)
+	b.postValuesTo(b.topicFor(name), player, vals)
+}
+
+// TopicRef is a resolved handle to a live topic, letting a phase that
+// posts once per player skip the registry lookup PostValues does on
+// every call. A ref is only meaningful while its topic is live:
+// posting through it after DropTopic lands in the dropped topic's
+// orphaned storage, invisible to readers — refs must not outlive the
+// phase they were resolved for.
+type TopicRef struct{ t *topic }
+
+// TopicRef resolves (creating if needed) the named topic to a handle.
+func (b *Board) TopicRef(name string) TopicRef {
+	return TopicRef{t: b.topicFor(name)}
+}
+
+// PostValuesRef is PostValues through a resolved handle.
+func (b *Board) PostValuesRef(r TopicRef, player int, vals []uint32) {
+	b.postValuesTo(r.t, player, vals)
+}
+
+// PostValuesBatchRef publishes one value vector per player — rows[i]
+// by players[i] — under the topic, equivalent to calling PostValuesRef
+// for each pair in order but with a single lock acquisition and one
+// slab carve covering every copy. Nothing may read the topic between
+// the individual posts being batched (the phase-barrier discipline
+// already guarantees that for per-phase posting bursts), so readers
+// cannot distinguish the batch from the per-post sequence.
+func (b *Board) PostValuesBatchRef(r TopicRef, players []int, rows [][]uint32) {
+	n := len(players)
+	if n == 0 {
+		return
+	}
+	t := r.t
 	t.mu.Lock()
-	t.values = append(t.values, ValuePosting{Player: player, Vals: cp})
+	if need := len(t.values) + n; need > cap(t.values) {
+		nv := b.valPool.takeArray(need)
+		if nv == nil {
+			nv = make([]ValuePosting, 0, need)
+		}
+		nv = nv[:len(t.values)]
+		copy(nv, t.values)
+		t.values = nv
+	}
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	buf := t.valSlab.Raw(total) // fully overwritten below
+	off := 0
+	for i, p := range players {
+		dst := buf[off : off+len(rows[i]) : off+len(rows[i])]
+		copy(dst, rows[i])
+		off += len(rows[i])
+		t.values = append(t.values, ValuePosting{Player: p, Vals: dst})
+	}
+	t.epoch += uint64(n)
+	t.stats.posts += int64(n)
+	b.vectorPosts.Add(int64(n)) // under the lock; see Post
+	t.mu.Unlock()
+}
+
+func (b *Board) postValuesTo(t *topic, player int, vals []uint32) {
+	t.mu.Lock()
+	if len(t.values) == cap(t.values) {
+		t.values = growPostings(t.values)
+	}
+	t.values = append(t.values, ValuePosting{Player: player, Vals: t.valSlab.Copy(vals)})
 	t.epoch++
 	t.stats.posts++
 	b.vectorPosts.Add(1) // under the lock; see Post
@@ -605,9 +861,7 @@ func (b *Board) ValueVotes(name string) []ValueVote {
 	t := b.topicFor(name)
 	t.mu.Lock()
 	if t.valVotesAt != t.epoch {
-		t.valVotes = tallyValueVotes(t.values)
-		t.valVotesAt = t.epoch
-		t.stats.rebuilds++
+		t.rebuildValVotes()
 	} else {
 		t.stats.tallyHits++
 	}
@@ -636,48 +890,16 @@ func (b *Board) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, ep
 		return gen, epoch, true, nil, nil
 	}
 	if t.votesAt != t.epoch {
-		t.votes = tallyVotes(t.postings)
-		t.votesAt = t.epoch
-		t.stats.rebuilds++
+		t.rebuildVotes()
 	} else {
 		t.stats.tallyHits++
 	}
 	if t.valVotesAt != t.epoch {
-		t.valVotes = tallyValueVotes(t.values)
-		t.valVotesAt = t.epoch
-		t.stats.rebuilds++
+		t.rebuildValVotes()
 	} else {
 		t.stats.tallyHits++
 	}
 	return gen, epoch, false, t.votes, t.valVotes
-}
-
-// tallyValueVotes groups identical value vectors; see ValueVotes.
-func tallyValueVotes(values []ValuePosting) []ValueVote {
-	byKey := make(map[string]int, len(values))
-	out := make([]ValueVote, 0, len(byKey))
-	var kb []byte
-	for _, p := range values {
-		kb = appendValsKey(kb[:0], p.Vals)
-		i, ok := byKey[string(kb)]
-		if !ok {
-			i = len(out)
-			out = append(out, ValueVote{Vals: p.Vals})
-			byKey[string(kb)] = i
-		}
-		out[i].Count++
-		out[i].Voters = append(out[i].Voters, p.Player)
-	}
-	for i := range out {
-		sort.Ints(out[i].Voters)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return lessVals(out[i].Vals, out[j].Vals)
-	})
-	return out
 }
 
 func appendValsKey(buf []byte, vals []uint32) []byte {

@@ -246,15 +246,16 @@ func (v Vector) Key() string {
 }
 
 // Less imposes the paper's lexicographic order on equal-length vectors
-// (coordinate 0 is the most significant position).
+// (coordinate 0 is the most significant position). The first differing
+// coordinate is the lowest set bit of the first nonzero xor word —
+// coordinates are stored LSB-first — so the scan is word-parallel.
 func (v Vector) Less(u Vector) bool {
 	if v.n != u.n {
 		panic("bitvec: Less length mismatch")
 	}
-	for i := 0; i < v.n; i++ {
-		a, b := v.Get(i), u.Get(i)
-		if a != b {
-			return a < b
+	for i, w := range v.w {
+		if x := w ^ u.w[i]; x != 0 {
+			return w&(x&-x) == 0
 		}
 	}
 	return false

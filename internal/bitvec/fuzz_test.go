@@ -1,6 +1,9 @@
 package bitvec
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // FuzzPartialFromString checks the ternary-vector parser on arbitrary
 // strings: never crash, accept exactly {0,1,?}* and round-trip.
@@ -22,6 +25,164 @@ func FuzzPartialFromString(f *testing.F) {
 		}
 		if err == nil && p.String() != s {
 			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+	})
+}
+
+// FuzzPlaneTally differentially checks the bit-plane tally kernels
+// against the naive row-major definition: for an arbitrary (seed, d, n)
+// a mix of total, partial and raw-plane rows is added to a PlaneSet and
+// TallyColumns / TallyKnown / MajorityVector must agree bit-for-bit
+// with per-row Get loops — including '?' masks, non-word-aligned
+// dimensions and row counts straddling the 64-row staging block.
+func FuzzPlaneTally(f *testing.F) {
+	f.Add(uint64(1), 5, 3)
+	f.Add(uint64(2), 64, 64)
+	f.Add(uint64(3), 65, 129)
+	f.Add(uint64(4), 130, 200)
+	f.Add(uint64(5), 0, 10)
+	f.Add(uint64(6), 63, 0)
+	f.Fuzz(func(t *testing.T, seed uint64, d, n int) {
+		if d < 0 || d > 300 || n < 0 || n > 500 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(int64(seed)))
+		s := NewPlaneSet(d)
+		rows := make([]Partial, 0, n)
+		for i := 0; i < n; i++ {
+			p := NewPartial(d)
+			for j := 0; j < d; j++ {
+				switch r.Intn(3) {
+				case 0:
+					p.SetBit(j, 0)
+				case 1:
+					p.SetBit(j, 1)
+				}
+			}
+			switch r.Intn(3) {
+			case 0: // total vector row: force every coordinate known
+				v := New(d)
+				for j := 0; j < d; j++ {
+					if p.Get(j) == 1 {
+						v.Set(j, 1)
+					}
+				}
+				p = PartialOf(v)
+				s.AddVector(v)
+			case 1:
+				s.AddPartial(p)
+			default: // raw planes, nil known = fully known
+				v := New(d)
+				for j := 0; j < d; j++ {
+					if p.Get(j) == 1 {
+						v.Set(j, 1)
+					}
+				}
+				p = PartialOf(v)
+				s.AddBits(v.Words(), nil)
+			}
+			rows = append(rows, p)
+		}
+		if s.Len() != n {
+			t.Fatalf("Len = %d, want %d", s.Len(), n)
+		}
+		wantOnes := make([]int, d)
+		wantKnown := make([]int, d)
+		for _, p := range rows {
+			for j := 0; j < d; j++ {
+				switch p.Get(j) {
+				case 1:
+					wantOnes[j]++
+					wantKnown[j]++
+				case 0:
+					wantKnown[j]++
+				}
+			}
+		}
+		ones := s.TallyColumns(nil)
+		known := s.TallyKnown(nil)
+		for j := 0; j < d; j++ {
+			if ones[j] != wantOnes[j] || known[j] != wantKnown[j] {
+				t.Fatalf("coordinate %d: got (%d,%d), want (%d,%d)",
+					j, ones[j], known[j], wantOnes[j], wantKnown[j])
+			}
+		}
+		maj := New(d)
+		s.MajorityVector(maj, ones, known)
+		for j := 0; j < d; j++ {
+			want := byte(0)
+			if 2*wantOnes[j] > wantKnown[j] {
+				want = 1
+			}
+			if maj.Get(j) != want {
+				t.Fatalf("majority bit %d: got %d, want %d", j, maj.Get(j), want)
+			}
+		}
+	})
+}
+
+// FuzzLessEquivalence checks the word-parallel Vector.Less and
+// Partial.Less against per-coordinate reference comparisons.
+func FuzzLessEquivalence(f *testing.F) {
+	f.Add(uint64(1), 70)
+	f.Add(uint64(2), 64)
+	f.Add(uint64(3), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, d int) {
+		if d < 0 || d > 300 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(int64(seed)))
+		mkPartial := func() Partial {
+			p := NewPartial(d)
+			for j := 0; j < d; j++ {
+				switch r.Intn(3) {
+				case 0:
+					p.SetBit(j, 0)
+				case 1:
+					p.SetBit(j, 1)
+				}
+			}
+			return p
+		}
+		p, q := mkPartial(), mkPartial()
+		if r.Intn(2) == 0 {
+			q = p // equal case
+		}
+		refLess := func(a, b Partial) bool {
+			for j := 0; j < d; j++ {
+				x, y := a.Get(j), b.Get(j)
+				if x == y {
+					continue
+				}
+				// Order: 0 < 1 < '?' (Unknown sorts last).
+				if x == Unknown {
+					return false
+				}
+				if y == Unknown {
+					return true
+				}
+				return x < y
+			}
+			return false
+		}
+		if got, want := p.Less(q), refLess(p, q); got != want {
+			t.Fatalf("Partial.Less(%s, %s) = %v, want %v", p, q, got, want)
+		}
+		v, u := New(d), New(d)
+		for j := 0; j < d; j++ {
+			v.Set(j, byte(r.Intn(2)))
+			u.Set(j, byte(r.Intn(2)))
+		}
+		refVLess := func(a, b Vector) bool {
+			for j := 0; j < d; j++ {
+				if a.Get(j) != b.Get(j) {
+					return a.Get(j) < b.Get(j)
+				}
+			}
+			return false
+		}
+		if got, want := v.Less(u), refVLess(v, u); got != want {
+			t.Fatalf("Vector.Less(%s, %s) = %v, want %v", v, u, got, want)
 		}
 	})
 }

@@ -241,25 +241,28 @@ func (p Partial) AppendKey(buf []byte) []byte {
 
 // Less imposes a total lexicographic order with 0 < 1 < ?, giving the
 // deterministic tie-breaking Coalesce and Select need.
+//
+// Word-parallel: under the val ⊆ known invariant two coordinates rank
+// equal iff their val bits and known bits both agree, so the first
+// rank difference is the lowest set bit of (valᵖ⊕valᵠ)|(knownᵖ⊕knownᵠ)
+// in the first word where that is nonzero.
 func (p Partial) Less(q Partial) bool {
 	if p.n != q.n {
 		panic("bitvec: Less length mismatch")
 	}
-	rank := func(b byte) int {
-		switch b {
-		case 0:
-			return 0
-		case 1:
-			return 1
-		default:
-			return 2
+	for i := range p.val {
+		x := (p.val[i] ^ q.val[i]) | (p.known[i] ^ q.known[i])
+		if x == 0 {
+			continue
 		}
-	}
-	for i := 0; i < p.n; i++ {
-		a, b := rank(p.Get(i)), rank(q.Get(i))
-		if a != b {
-			return a < b
+		bit := x & -x
+		if p.known[i]&bit == 0 {
+			return false // p is '?' (rank 2), the highest rank
 		}
+		if q.known[i]&bit == 0 {
+			return true // p known, q is '?'
+		}
+		return p.val[i]&bit == 0 // both known: 0 < 1
 	}
 	return false
 }

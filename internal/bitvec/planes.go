@@ -1,0 +1,330 @@
+package bitvec
+
+import "math/bits"
+
+// This file holds the columnar (bit-plane) representation used by the
+// tally engines. A PlaneSet stores N added rows (players' vectors) as
+// D coordinate planes of ⌈N/64⌉ words each: bit k of coordinate j's
+// plane word b is row (64b+k)'s value at coordinate j. Per-coordinate
+// tallies then become one popcount per plane word instead of N
+// per-coordinate bit reads.
+//
+// Equivalence contract (DESIGN.md §11): for every kernel there is a
+// naive row-major loop over Get(i) that defines its meaning, and the
+// plane kernels must agree with it exactly — FuzzPlaneTally enforces
+// this differentially, including '?' masks and non-word-aligned D.
+
+// WordsFor returns the number of 64-bit words that back an n-coordinate
+// vector — the length Wrap and WrapPartial require of their word slices.
+func WordsFor(n int) int { return words(n) }
+
+// Words exposes v's backing words (coordinate i is bit i&63 of word
+// i>>6). The slice is shared, not copied: writes through it mutate v.
+func (v Vector) Words() []uint64 { return v.w }
+
+// Wrap builds a Vector over an existing word slice without copying.
+// len(w) must be WordsFor(n) and bits at positions ≥ n must be clear;
+// the caller keeps ownership of the backing array (e.g. an arena).
+func Wrap(n int, w []uint64) Vector {
+	if len(w) != words(n) {
+		panic("bitvec: Wrap word count mismatch")
+	}
+	return Vector{n: n, w: w}
+}
+
+// Planes exposes p's value and known planes (shared, not copied). The
+// representation invariant val ⊆ known holds: a val bit is set only
+// where the known bit is set.
+func (p Partial) Planes() (val, known []uint64) { return p.val, p.known }
+
+// FillOnes sets bits 0..n-1 of w and clears any bits ≥ n; len(w) must
+// be WordsFor(n). It prepares e.g. the shared known plane of
+// fully-determined WrapPartial views.
+func FillOnes(n int, w []uint64) {
+	if len(w) != words(n) {
+		panic("bitvec: FillOnes word count mismatch")
+	}
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+	if len(w) > 0 {
+		w[len(w)-1] = lastMask(n)
+	}
+}
+
+// WrapPartial builds a Partial over existing value/known word slices
+// without copying. Both must have WordsFor(n) words, bits ≥ n clear,
+// and satisfy val ⊆ known.
+func WrapPartial(n int, val, known []uint64) Partial {
+	if len(val) != words(n) || len(known) != words(n) {
+		panic("bitvec: WrapPartial word count mismatch")
+	}
+	return Partial{n: n, val: val, known: known}
+}
+
+// transpose64 transposes a in place as a 64×64 bit matrix under the
+// package's LSB-first convention: element (r, c) is bit c of a[r].
+// (This is the Hacker's Delight recursive block transpose mirrored for
+// LSB-first columns.)
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j, m = j>>1, m^(m<<(j>>1)) {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k+int(j)] ^= t
+			a[k] ^= t << j
+		}
+	}
+}
+
+// PlaneSet accumulates rows — total Vectors or Partials of one common
+// dimension d — and serves word-parallel per-coordinate tallies over
+// them. Rows are staged 64 at a time and block-transposed into planes,
+// so both insertion and tallying run word-parallel.
+//
+// The zero value is unusable; construct with NewPlaneSet and recycle
+// with Reset. A PlaneSet is single-goroutine, like the arenas.
+type PlaneSet struct {
+	d  int // coordinates per row
+	wd int // words per row, words(d)
+	n  int // rows added
+
+	// Flushed blocks, block-major: coordinate j of block b lives at
+	// index b*d+j; bit k is row 64b+k. val bits are set only where the
+	// matching known bit is (rows are Partials under val ⊆ known; total
+	// vectors get a fully-set known row).
+	val   []uint64
+	known []uint64
+
+	// Staging for the next (partial) block: row k's words at
+	// [k*wd, (k+1)*wd). Rows ≥ nbuf are kept zero so the tail transpose
+	// can run over all 64 without masking.
+	bufVal []uint64
+	bufKn  []uint64
+	nbuf   int
+}
+
+// NewPlaneSet returns an empty PlaneSet for d-coordinate rows.
+func NewPlaneSet(d int) *PlaneSet {
+	s := &PlaneSet{}
+	s.Reset(d)
+	return s
+}
+
+// Reset empties the set and re-dimensions it for d-coordinate rows,
+// keeping allocated storage for reuse.
+func (s *PlaneSet) Reset(d int) {
+	if d < 0 {
+		panic("bitvec: negative dimension")
+	}
+	wd := words(d)
+	if cap(s.bufVal) < 64*wd {
+		s.bufVal = make([]uint64, 64*wd)
+		s.bufKn = make([]uint64, 64*wd)
+	} else {
+		s.bufVal = s.bufVal[:64*wd]
+		s.bufKn = s.bufKn[:64*wd]
+		clear(s.bufVal)
+		clear(s.bufKn)
+	}
+	s.d, s.wd, s.n, s.nbuf = d, wd, 0, 0
+	s.val = s.val[:0]
+	s.known = s.known[:0]
+}
+
+// Len returns the number of rows added.
+func (s *PlaneSet) Len() int { return s.n }
+
+// Dim returns the per-row coordinate count.
+func (s *PlaneSet) Dim() int { return s.d }
+
+// AddVector adds a total vector as a fully-known row.
+func (s *PlaneSet) AddVector(v Vector) {
+	if v.n != s.d {
+		panic("bitvec: AddVector dimension mismatch")
+	}
+	s.AddBits(v.w, nil)
+}
+
+// AddPartial adds a partial vector row; its '?' coordinates are
+// excluded from known tallies.
+func (s *PlaneSet) AddPartial(p Partial) {
+	if p.n != s.d {
+		panic("bitvec: AddPartial dimension mismatch")
+	}
+	s.AddBits(p.val, p.known)
+}
+
+// AddBits adds a row from raw planes: val holds the value bits and
+// known the determined-coordinate mask (nil meaning fully known). Both
+// must have WordsFor(Dim()) words with bits ≥ Dim() clear and
+// val ⊆ known.
+func (s *PlaneSet) AddBits(val, known []uint64) {
+	if len(val) != s.wd || (known != nil && len(known) != s.wd) {
+		panic("bitvec: AddBits word count mismatch")
+	}
+	row := s.bufVal[s.nbuf*s.wd:][:s.wd]
+	copy(row, val)
+	krow := s.bufKn[s.nbuf*s.wd:][:s.wd]
+	if known != nil {
+		copy(krow, known)
+	} else if s.wd > 0 {
+		for i := range krow {
+			krow[i] = ^uint64(0)
+		}
+		krow[s.wd-1] = lastMask(s.d)
+	}
+	s.nbuf++
+	s.n++
+	if s.nbuf == 64 {
+		s.flush()
+	}
+}
+
+// flush transposes the 64 staged rows into one flushed block and clears
+// the staging area (tail transposes rely on unused staged rows being
+// zero).
+func (s *PlaneSet) flush() {
+	base := len(s.val)
+	s.val = extendZero(s.val, s.d)
+	s.known = extendZero(s.known, s.d)
+	var in [64]uint64
+	for wi := 0; wi < s.wd; wi++ {
+		lo := wi * 64
+		hi := s.d - lo
+		if hi > 64 {
+			hi = 64
+		}
+		for k := 0; k < 64; k++ {
+			in[k] = s.bufVal[k*s.wd+wi]
+		}
+		transpose64(&in)
+		copy(s.val[base+lo:base+lo+hi], in[:hi])
+		for k := 0; k < 64; k++ {
+			in[k] = s.bufKn[k*s.wd+wi]
+		}
+		transpose64(&in)
+		copy(s.known[base+lo:base+lo+hi], in[:hi])
+	}
+	clear(s.bufVal)
+	clear(s.bufKn)
+	s.nbuf = 0
+}
+
+// extendZero grows b by n zeroed elements, doubling capacity.
+func extendZero(b []uint64, n int) []uint64 {
+	l := len(b)
+	if cap(b) < l+n {
+		c := 2 * cap(b)
+		if c < l+n {
+			c = l + n
+		}
+		nb := make([]uint64, l, c)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:l+n]
+	clear(b[l:])
+	return b
+}
+
+// tailPlane transposes word chunk wi of the staged rows from buf and
+// returns the coordinate words for that chunk in out.
+func tailPlane(buf []uint64, wd, wi int, out *[64]uint64) {
+	for k := 0; k < 64; k++ {
+		out[k] = buf[k*wd+wi]
+	}
+	transpose64(out)
+}
+
+// TallyColumns fills ones[j] with the number of rows whose coordinate j
+// is a known 1, for every j < Dim(), reusing ones when it has capacity.
+// Equivalent to counting Get(j) == 1 over all added rows.
+func (s *PlaneSet) TallyColumns(ones []int) []int {
+	ones = intsFor(ones, s.d)
+	if s.d == 0 {
+		return ones
+	}
+	for b := 0; b < len(s.val)/s.d; b++ {
+		row := s.val[b*s.d : (b+1)*s.d]
+		for j, w := range row {
+			ones[j] += bits.OnesCount64(w)
+		}
+	}
+	if s.nbuf > 0 {
+		var t [64]uint64
+		for wi := 0; wi < s.wd; wi++ {
+			tailPlane(s.bufVal, s.wd, wi, &t)
+			lo := wi * 64
+			hi := s.d - lo
+			if hi > 64 {
+				hi = 64
+			}
+			for j := 0; j < hi; j++ {
+				ones[lo+j] += bits.OnesCount64(t[j])
+			}
+		}
+	}
+	return ones
+}
+
+// TallyKnown fills known[j] with the number of rows whose coordinate j
+// is determined (non-'?'), reusing known when it has capacity. Rows
+// added as total vectors count at every coordinate.
+func (s *PlaneSet) TallyKnown(known []int) []int {
+	known = intsFor(known, s.d)
+	if s.d == 0 {
+		return known
+	}
+	for b := 0; b < len(s.known)/s.d; b++ {
+		row := s.known[b*s.d : (b+1)*s.d]
+		for j, w := range row {
+			known[j] += bits.OnesCount64(w)
+		}
+	}
+	if s.nbuf > 0 {
+		var t [64]uint64
+		for wi := 0; wi < s.wd; wi++ {
+			tailPlane(s.bufKn, s.wd, wi, &t)
+			lo := wi * 64
+			hi := s.d - lo
+			if hi > 64 {
+				hi = 64
+			}
+			for j := 0; j < hi; j++ {
+				known[lo+j] += bits.OnesCount64(t[j])
+			}
+		}
+	}
+	return known
+}
+
+// MajorityVector writes the known-majority row into v: coordinate j
+// becomes 1 iff strictly more than half of the rows with j determined
+// hold a 1 there (ties and all-'?' coordinates become 0). ones and
+// known are optional tally scratch (nil allocates); when provided they
+// are overwritten.
+func (s *PlaneSet) MajorityVector(v Vector, ones, known []int) {
+	if v.n != s.d {
+		panic("bitvec: MajorityVector dimension mismatch")
+	}
+	ones = s.TallyColumns(ones)
+	known = s.TallyKnown(known)
+	clear(v.w)
+	for j, o := range ones {
+		if 2*o > known[j] {
+			v.w[j>>6] |= uint64(1) << (uint(j) & 63)
+		}
+	}
+}
+
+// intsFor returns buf resliced and zeroed to length n, allocating only
+// when buf's capacity is insufficient.
+func intsFor(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

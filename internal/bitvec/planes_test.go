@@ -1,0 +1,294 @@
+package bitvec
+
+import (
+	"testing"
+
+	"tellme/internal/rng"
+)
+
+// TestTranspose64Orientation pins the LSB-first convention: element
+// (r, c) = bit c of a[r], and transpose moves (r, c) to (c, r).
+func TestTranspose64Orientation(t *testing.T) {
+	cases := []struct{ r, c int }{{0, 0}, {0, 63}, {63, 0}, {5, 17}, {62, 1}, {31, 32}}
+	for _, tc := range cases {
+		var a [64]uint64
+		a[tc.r] = 1 << uint(tc.c)
+		transpose64(&a)
+		for r := 0; r < 64; r++ {
+			want := uint64(0)
+			if r == tc.c {
+				want = 1 << uint(tc.r)
+			}
+			if a[r] != want {
+				t.Fatalf("bit (%d,%d): row %d = %#x, want %#x", tc.r, tc.c, r, a[r], want)
+			}
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	r := rng.New(11)
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = r.Uint64()
+	}
+	orig = a
+	transpose64(&a)
+	transpose64(&a)
+	if a != orig {
+		t.Fatal("transpose64 is not an involution")
+	}
+}
+
+// naiveTallies computes the per-coordinate tallies the plane kernels
+// must reproduce, straight from the row-major definition.
+func naiveTallies(d int, rows []Partial) (ones, known []int) {
+	ones = make([]int, d)
+	known = make([]int, d)
+	for _, p := range rows {
+		for j := 0; j < d; j++ {
+			switch p.Get(j) {
+			case 1:
+				ones[j]++
+				known[j]++
+			case 0:
+				known[j]++
+			}
+		}
+	}
+	return ones, known
+}
+
+func randPartial(r *rng.Rand, d int, unknownP float64) Partial {
+	p := NewPartial(d)
+	for j := 0; j < d; j++ {
+		if r.Float64() < unknownP {
+			continue
+		}
+		p.SetBit(j, byte(r.Intn(2)))
+	}
+	return p
+}
+
+func TestPlaneSetMatchesNaive(t *testing.T) {
+	r := rng.New(42)
+	// Dimensions straddle word boundaries; row counts straddle block
+	// boundaries (tails, exactly full blocks, multiple blocks).
+	for _, d := range []int{1, 3, 63, 64, 65, 130} {
+		for _, n := range []int{0, 1, 63, 64, 65, 200} {
+			s := NewPlaneSet(d)
+			rows := make([]Partial, 0, n)
+			for i := 0; i < n; i++ {
+				switch i % 3 {
+				case 0:
+					v := Random(r, d)
+					s.AddVector(v)
+					rows = append(rows, PartialOf(v))
+				case 1:
+					p := randPartial(r, d, 0.4)
+					s.AddPartial(p)
+					rows = append(rows, p)
+				default:
+					p := randPartial(r, d, 0.1)
+					val, known := p.Planes()
+					s.AddBits(val, known)
+					rows = append(rows, p)
+				}
+			}
+			if s.Len() != n || s.Dim() != d {
+				t.Fatalf("d=%d n=%d: Len/Dim = %d/%d", d, n, s.Len(), s.Dim())
+			}
+			wantOnes, wantKnown := naiveTallies(d, rows)
+			gotOnes := s.TallyColumns(nil)
+			gotKnown := s.TallyKnown(nil)
+			for j := 0; j < d; j++ {
+				if gotOnes[j] != wantOnes[j] || gotKnown[j] != wantKnown[j] {
+					t.Fatalf("d=%d n=%d coord %d: ones %d/%d known %d/%d",
+						d, n, j, gotOnes[j], wantOnes[j], gotKnown[j], wantKnown[j])
+				}
+			}
+			maj := New(d)
+			s.MajorityVector(maj, nil, nil)
+			for j := 0; j < d; j++ {
+				want := byte(0)
+				if 2*wantOnes[j] > wantKnown[j] {
+					want = 1
+				}
+				if maj.Get(j) != want {
+					t.Fatalf("d=%d n=%d coord %d: majority %d, want %d", d, n, j, maj.Get(j), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneSetTallyAfterPartialTail interleaves tallies with adds, so
+// the staged-tail path is exercised with live data before and after a
+// flush.
+func TestPlaneSetTallyAfterPartialTail(t *testing.T) {
+	r := rng.New(7)
+	const d = 70
+	s := NewPlaneSet(d)
+	var rows []Partial
+	for i := 0; i < 150; i++ {
+		p := randPartial(r, d, 0.3)
+		s.AddPartial(p)
+		rows = append(rows, p)
+		if i%37 == 0 {
+			wantOnes, wantKnown := naiveTallies(d, rows)
+			gotOnes := s.TallyColumns(nil)
+			gotKnown := s.TallyKnown(nil)
+			for j := 0; j < d; j++ {
+				if gotOnes[j] != wantOnes[j] || gotKnown[j] != wantKnown[j] {
+					t.Fatalf("after %d rows, coord %d: ones %d/%d known %d/%d",
+						i+1, j, gotOnes[j], wantOnes[j], gotKnown[j], wantKnown[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPlaneSetReset(t *testing.T) {
+	r := rng.New(9)
+	s := NewPlaneSet(100)
+	for i := 0; i < 100; i++ {
+		s.AddVector(Random(r, 100))
+	}
+	s.Reset(33)
+	if s.Len() != 0 || s.Dim() != 33 {
+		t.Fatalf("after Reset: Len=%d Dim=%d", s.Len(), s.Dim())
+	}
+	v := New(33)
+	v.Set(5, 1)
+	s.AddVector(v)
+	ones := s.TallyColumns(nil)
+	for j := 0; j < 33; j++ {
+		want := 0
+		if j == 5 {
+			want = 1
+		}
+		if ones[j] != want {
+			t.Fatalf("stale data after Reset at coord %d: %d", j, ones[j])
+		}
+	}
+}
+
+// TestPlaneSetScratchReuse verifies tallies reuse caller buffers with
+// spare capacity and zero them first.
+func TestPlaneSetScratchReuse(t *testing.T) {
+	s := NewPlaneSet(10)
+	v := New(10)
+	v.Set(3, 1)
+	s.AddVector(v)
+	buf := make([]int, 16)
+	for i := range buf {
+		buf[i] = 99
+	}
+	got := s.TallyColumns(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("TallyColumns did not reuse caller buffer")
+	}
+	if len(got) != 10 || got[3] != 1 || got[0] != 0 {
+		t.Fatalf("TallyColumns reuse = %v", got)
+	}
+}
+
+func TestWrapAndWords(t *testing.T) {
+	w := make([]uint64, WordsFor(70))
+	v := Wrap(70, w)
+	v.Set(69, 1)
+	if w[1] != 1<<5 {
+		t.Fatalf("Wrap not aliased: w[1] = %#x", w[1])
+	}
+	if &v.Words()[0] != &w[0] {
+		t.Fatal("Words did not expose backing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wrap with wrong word count did not panic")
+		}
+	}()
+	Wrap(70, make([]uint64, 1))
+}
+
+func TestWrapPartialRoundTrip(t *testing.T) {
+	p, err := PartialFromString("01?1?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, known := p.Planes()
+	q := WrapPartial(5, val, known)
+	if !p.Equal(q) {
+		t.Fatalf("WrapPartial(Planes()) = %v, want %v", q, p)
+	}
+}
+
+// lessNaive is the pre-word-parallel definition of Partial.Less.
+func lessNaive(p, q Partial) bool {
+	rank := func(b byte) int {
+		switch b {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for i := 0; i < p.Len(); i++ {
+		a, b := rank(p.Get(i)), rank(q.Get(i))
+		if a != b {
+			return a < b
+		}
+	}
+	return false
+}
+
+func TestPartialLessMatchesNaive(t *testing.T) {
+	r := rng.New(31)
+	for _, d := range []int{1, 64, 65, 130} {
+		for trial := 0; trial < 200; trial++ {
+			p := randPartial(r, d, 0.3)
+			q := randPartial(r, d, 0.3)
+			if trial%5 == 0 {
+				q = p.Clone() // exercise the all-equal path
+			}
+			if got, want := p.Less(q), lessNaive(p, q); got != want {
+				t.Fatalf("d=%d: Less(%v, %v) = %v, want %v", d, p, q, got, want)
+			}
+			if p.Less(q) && q.Less(p) {
+				t.Fatal("Less not antisymmetric")
+			}
+		}
+	}
+}
+
+func TestVectorLessMatchesNaive(t *testing.T) {
+	r := rng.New(32)
+	naive := func(v, u Vector) bool {
+		for i := 0; i < v.Len(); i++ {
+			a, b := v.Get(i), u.Get(i)
+			if a != b {
+				return a < b
+			}
+		}
+		return false
+	}
+	for _, d := range []int{1, 64, 65, 130} {
+		for trial := 0; trial < 200; trial++ {
+			v := Random(r, d)
+			u := Random(r, d)
+			if trial%7 == 0 {
+				u = v.Clone()
+			}
+			// Bias toward near-equal vectors so late words decide.
+			if trial%2 == 0 {
+				u = v.Clone()
+				u.Flip(r.Intn(d))
+			}
+			if got, want := v.Less(u), naive(v, u); got != want {
+				t.Fatalf("d=%d: Less(%v, %v) = %v, want %v", d, v, u, got, want)
+			}
+		}
+	}
+}

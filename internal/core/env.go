@@ -107,6 +107,11 @@ type Env struct {
 	topicSeq atomic.Int64
 	counters [nCounters]atomic.Int64
 
+	// scratch is the coordinator-side region allocator (see coScratch).
+	// Like the rest of the coordinator state it is single-goroutine:
+	// only the goroutine driving the algorithms may run them on one Env.
+	scratch coScratch
+
 	// Trace, when non-nil, receives structured events from each
 	// sub-algorithm invocation (entry parameters and probe consumption).
 	Trace *trace.Log
@@ -257,6 +262,19 @@ func (env *Env) spanCountersFor(kind string) spanCounters {
 // allocate one closure per sub-algorithm invocation.
 var spanNoop = func() {}
 
+// spanOff reports whether spans are disabled, recording the active kind
+// (for abort reporting) when they are. Hot sub-algorithms call it
+// before span/spanPlayers because the variadic kv boxes its arguments
+// at the call site — a real allocation even when the span itself would
+// be free, and ZeroRadius runs thousands of times per recursion.
+func (env *Env) spanOff(kind string) bool {
+	if env.Trace == nil && env.Telemetry == nil {
+		env.cur = kind
+		return true
+	}
+	return false
+}
+
 // span emits a start event and returns a closure that emits the
 // matching end event with the probes consumed and wall time spent in
 // between. With both Trace and Telemetry nil the span is free.
@@ -374,8 +392,14 @@ func NewEnv(e *probe.Engine, runner sim.PhaseRunner, public rng.Source, cfg Conf
 
 // freshTag returns a unique topic prefix for one algorithm invocation,
 // so nested and repeated invocations never collide on the billboard.
+// Built in one allocation: ZeroRadius mints a tag per call, thousands
+// of times per recursion.
 func (env *Env) freshTag(kind string) string {
-	return kind + "#" + strconv.FormatInt(env.topicSeq.Add(1), 10)
+	var buf [24]byte
+	b := append(buf[:0], kind...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, env.topicSeq.Add(1), 10)
+	return string(b)
 }
 
 // leafThreshold is the ZeroRadius recursion cutoff for the given α.

@@ -48,7 +48,9 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 		panic(fmt.Sprintf("core: LargeRadius alpha %v out of (0,1]", alpha))
 	}
 	env.count(CountLargeRadius)
-	defer env.spanPlayers("largeradius", players, "players", len(players), "objs", len(objs), "alpha", alpha, "d", d)()
+	if !env.spanOff("largeradius") {
+		defer env.spanPlayers("largeradius", players, "players", len(players), "objs", len(objs), "alpha", alpha, "d", d)()
+	}
 	tag := env.freshTag("lr")
 	coin := env.Public.Stream(tag, 0)
 	n := len(players)
@@ -63,14 +65,13 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 	if groupCount > len(objs) {
 		groupCount = len(objs)
 	}
-	local := make([]int, len(objs))
-	for i := range local {
-		local[i] = i
-	}
-	groupLocal := assignParts(coin, local, groupCount)
-	groupObjs := make([][]int, groupCount)
+	sc := &env.scratch
+	defer sc.release(sc.mark())
+	local := sc.iota(len(objs))
+	groupLocal := assignPartsArena(sc, coin, local, groupCount)
+	groupObjs := sc.lists.Make(groupCount)
 	for g, lcs := range groupLocal {
-		groupObjs[g] = make([]int, len(lcs))
+		groupObjs[g] = sc.a.Ints(len(lcs))
 		for j, lc := range lcs {
 			groupObjs[g][j] = objs[lc]
 		}
@@ -121,15 +122,19 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 	// Step 2: Small Radius per group, with frequency parameter α/2 and
 	// confidence parameter K = Θ(log n); players post their outputs.
 	k := env.confidenceK()
+	hinter, _ := env.Board.(postHinter)
 	for g := 0; g < groupCount; g++ {
 		env.checkAborted()
 		if len(groupPlayers[g]) == 0 || len(groupObjs[g]) == 0 {
 			continue
 		}
-		sr := SmallRadius(env, groupPlayers[g], groupObjs[g], alpha/2, lambda, k)
+		sr := smallRadiusPos(env, groupPlayers[g], groupObjs[g], alpha/2, lambda, k)
 		topic := fmt.Sprintf("%s/g%d", tag, g)
-		for _, p := range groupPlayers[g] {
-			env.Board.Post(topic, p, bitvec.PartialOf(sr[p]))
+		if hinter != nil {
+			hinter.HintPosts(topic, len(groupPlayers[g]), 0)
+		}
+		for i, p := range groupPlayers[g] {
+			env.Board.Post(topic, p, bitvec.PartialOf(sr[i]))
 		}
 	}
 
@@ -170,13 +175,23 @@ func LargeRadius(env *Env, players []int, objs []int, alpha float64, d int) []bi
 	// bound is exceeded (it falls back to nearest-on-probed-set).
 	selBound := coalD + lambda
 	space := &VirtualSpace{GroupObjs: groupObjs, Cands: cands, Bound: selBound}
-	choice := ZeroRadius(env, players, space, alpha)
+	choice := zeroRadiusFlat(env, players, space, alpha)
 
 	// Stitch each player's chosen candidates into a full output vector.
+	// posOf was (re)filled for the full player set by the ZeroRadius
+	// call above, so it maps into choice's packed rows. The outputs
+	// escape to the caller, so their planes are heap-allocated — but as
+	// two backing arrays for all players rather than two per player.
+	posOf := sc.posOf
+	wd := bitvec.WordsFor(len(objs))
+	valB := make([]uint64, len(players)*wd)
+	knownB := make([]uint64, len(players)*wd)
 	env.phase(players, func(p int) {
-		w := bitvec.NewPartial(len(objs))
+		i := posOf[p]
+		row := choice[i*groupCount : (i+1)*groupCount]
+		w := bitvec.WrapPartial(len(objs), valB[i*wd:(i+1)*wd:(i+1)*wd], knownB[i*wd:(i+1)*wd:(i+1)*wd])
 		for g := 0; g < groupCount; g++ {
-			ci := int(choice[p][g])
+			ci := int(row[g])
 			if ci >= len(cands[g]) {
 				ci = 0
 			}

@@ -62,14 +62,14 @@ func Main(env *Env, alpha float64, d int) []bitvec.Partial {
 	out := make([]bitvec.Partial, env.N)
 	switch DispatchRegime(env.N, d) {
 	case RegimeZero:
-		zr := ZeroRadiusBits(env, players, objs, alpha)
-		for _, p := range players {
-			out[p] = bitvec.PartialOf(valsToVector(zr[p]))
+		zr := zeroRadiusBitsFlat(env, players, objs, alpha)
+		for i, p := range players {
+			out[p] = bitvec.PartialOf(valsToVector(zr[i*len(objs) : (i+1)*len(objs)]))
 		}
 	case RegimeSmall:
-		sr := SmallRadius(env, players, objs, alpha, d, 0)
-		for _, p := range players {
-			out[p] = bitvec.PartialOf(sr[p])
+		sr := smallRadiusPos(env, players, objs, alpha, d, 0)
+		for i, p := range players {
+			out[p] = bitvec.PartialOf(sr[i])
 		}
 	default:
 		lr := LargeRadius(env, players, objs, alpha, d)

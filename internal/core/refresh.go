@@ -48,7 +48,9 @@ func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha 
 	if maxPatches < 1 {
 		maxPatches = len(objs)
 	}
-	defer env.spanPlayers("refresh", players, "players", len(players), "objs", len(objs), "redundancy", redundancy)()
+	if !env.spanOff("refresh") {
+		defer env.spanPlayers("refresh", players, "players", len(players), "objs", len(objs), "redundancy", redundancy)()
+	}
 	tag := env.freshTag("rf")
 	coin := env.Public.Stream(tag, 0)
 

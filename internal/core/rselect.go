@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"tellme/internal/bitvec"
 	"tellme/internal/probe"
@@ -36,17 +37,22 @@ func RSelect(pl *probe.Player, r *rng.Rand, objs []int, cands []bitvec.Partial, 
 	if cLogN < 1 {
 		cLogN = 1
 	}
-	losses := make([]int, k)
-	diff := make([]int, 0, len(objs))
+	a := pl.Arena()
+	defer a.Release(a.Mark())
+	losses := a.Ints(k)
+	diff := a.Ints(len(objs))[:0]
 
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
-			// X: coordinates with differing non-? values.
+			// X: coordinates with differing non-? values, collected
+			// word-parallel (ascending, same order as a per-coordinate
+			// scan, so the shuffle below consumes coins identically).
 			diff = diff[:0]
-			for t := 0; t < len(objs); t++ {
-				a, b := cands[i].Get(t), cands[j].Get(t)
-				if a != bitvec.Unknown && b != bitvec.Unknown && a != b {
-					diff = append(diff, t)
+			vi, ki := cands[i].Planes()
+			vj, kj := cands[j].Planes()
+			for w := range vi {
+				for x := (vi[w] ^ vj[w]) & ki[w] & kj[w]; x != 0; x &= x - 1 {
+					diff = append(diff, w<<6|bits.TrailingZeros64(x))
 				}
 			}
 			if len(diff) == 0 {

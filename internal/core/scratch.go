@@ -1,0 +1,134 @@
+package core
+
+import (
+	"tellme/internal/arena"
+	"tellme/internal/bitvec"
+	"tellme/internal/rng"
+)
+
+// coScratch is the coordinator's region allocator: per-call working
+// memory of the algorithm bodies (recursion-tree nodes, partition
+// lists, stitched-vector backings) that the next call reuses instead of
+// reallocating. It lives on the Env and is owned by the coordinator
+// goroutine — algorithms allocate from it only between phases; phase
+// bodies at most write into rows handed out before the phase started
+// (the barrier publishes those writes), never allocate.
+//
+// Discipline (DESIGN.md §11): every algorithm takes a mark on entry and
+// releases it on exit via defer, so nested calls (LargeRadius →
+// SmallRadius → ZeroRadius) unwind LIFO even when an Abort panic cuts
+// through the recursion. Values that outlive the call — every returned
+// output — must be heap-allocated or cloned out, never arena-backed.
+type coScratch struct {
+	a        arena.Arena
+	nodes    arena.Slab[zrNode]
+	nodePtrs arena.Slab[*zrNode]
+	lists    arena.Slab[[]int]
+	u32Lists arena.Slab[[]uint32]
+	vecs     arena.Slab[bitvec.Vector]
+	partials arena.Slab[bitvec.Partial]
+
+	// posOf maps a player id to its index in the players slice of the
+	// positional algorithm call currently running phases (see fillPos).
+	// Persistent rather than arena-backed: it is refilled, never
+	// cleared, so entries for players outside the current call are
+	// stale — and never read, because phases only ever run the call's
+	// own participants.
+	posOf []int
+}
+
+// coMark is a position across all of coScratch's slabs.
+type coMark struct {
+	a        arena.Mark
+	nodes    arena.Pos
+	nodePtrs arena.Pos
+	lists    arena.Pos
+	u32Lists arena.Pos
+	vecs     arena.Pos
+	partials arena.Pos
+}
+
+func (s *coScratch) mark() coMark {
+	return coMark{
+		a:        s.a.Mark(),
+		nodes:    s.nodes.Mark(),
+		nodePtrs: s.nodePtrs.Mark(),
+		lists:    s.lists.Mark(),
+		u32Lists: s.u32Lists.Mark(),
+		vecs:     s.vecs.Mark(),
+		partials: s.partials.Mark(),
+	}
+}
+
+func (s *coScratch) release(m coMark) {
+	s.a.Release(m.a)
+	s.nodes.Release(m.nodes)
+	s.nodePtrs.Release(m.nodePtrs)
+	s.lists.Release(m.lists)
+	s.u32Lists.Release(m.u32Lists)
+	s.vecs.Release(m.vecs)
+	s.partials.Release(m.partials)
+}
+
+// fillPos refills posOf for a call over players whose ids are < n and
+// returns it. Refilling is idempotent for nested calls over the same
+// players slice (SmallRadius's phases stay valid across the ZeroRadius
+// calls it makes per partition part), and an outer algorithm that runs
+// phases after a nested call over *different* players (LargeRadius
+// after its per-group SmallRadius runs) must refill before those
+// phases — its Step 4 ZeroRadius over the full player set does exactly
+// that.
+func (s *coScratch) fillPos(n int, players []int) []int {
+	if len(s.posOf) < n {
+		s.posOf = make([]int, n)
+	}
+	for i, p := range players {
+		s.posOf[p] = i
+	}
+	return s.posOf
+}
+
+// iota fills an arena-backed slice with [0, n).
+func (s *coScratch) iota(n int) []int {
+	out := s.a.Ints(n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// splitHalfArena is splitHalf with the shuffled copy taken from the
+// scratch arena — same coin consumption, same halves.
+func splitHalfArena(s *coScratch, r *rng.Rand, ids []int) (a, b []int) {
+	shuffled := s.a.CopyInts(ids)
+	r.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	half := (len(shuffled) + 1) / 2
+	return shuffled[:half:half], shuffled[half:]
+}
+
+// assignPartsArena is assignParts with every slice — the part headers
+// and the shared backing — taken from the scratch arena. Identical coin
+// consumption and part contents.
+func assignPartsArena(s *coScratch, r *rng.Rand, ids []int, parts int) [][]int {
+	assign := s.a.Ints(len(ids))
+	counts := s.a.Ints(parts)
+	for i := range ids {
+		a := r.Intn(parts)
+		assign[i] = a
+		counts[a]++
+	}
+	backing := s.a.Ints(len(ids))
+	out := s.lists.Make(parts)
+	off := 0
+	for a, c := range counts {
+		out[a] = backing[off : off : off+c]
+		off += c
+	}
+	for i, id := range ids {
+		a := assign[i]
+		out[a] = append(out[a], id)
+	}
+	return out
+}

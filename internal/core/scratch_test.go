@@ -1,0 +1,69 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"tellme/internal/ints"
+	"tellme/internal/rng"
+)
+
+// The arena-backed partition helpers must consume the public coin
+// stream exactly like the heap originals and produce identical splits —
+// anything else would silently shift every downstream probe sequence.
+
+func TestSplitHalfArenaMatchesHeap(t *testing.T) {
+	var sc coScratch
+	for _, n := range []int{0, 1, 2, 7, 64, 101} {
+		ids := ints.Iota(n)
+		wantA, wantB := splitHalf(rng.New(99), ids)
+		m := sc.mark()
+		gotA, gotB := splitHalfArena(&sc, rng.New(99), ids)
+		if !slices.Equal(gotA, wantA) || !slices.Equal(gotB, wantB) {
+			t.Fatalf("n=%d: arena split (%v,%v) != heap split (%v,%v)", n, gotA, gotB, wantA, wantB)
+		}
+		// The halves must not alias the input (both are shuffles of a copy).
+		if n > 0 && &ids[0] == &gotA[0] {
+			t.Fatal("arena split aliases the input slice")
+		}
+		sc.release(m)
+	}
+}
+
+func TestAssignPartsArenaMatchesHeap(t *testing.T) {
+	var sc coScratch
+	for _, tc := range []struct{ n, parts int }{{0, 1}, {5, 1}, {9, 3}, {100, 7}, {64, 64}} {
+		ids := ints.Iota(tc.n)
+		want := assignParts(rng.New(5), ids, tc.parts)
+		m := sc.mark()
+		got := assignPartsArena(&sc, rng.New(5), ids, tc.parts)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d parts=%d: got %d parts, want %d", tc.n, tc.parts, len(got), len(want))
+		}
+		for a := range want {
+			if !slices.Equal(got[a], want[a]) {
+				t.Fatalf("n=%d parts=%d part %d: %v != %v", tc.n, tc.parts, a, got[a], want[a])
+			}
+		}
+		sc.release(m)
+	}
+}
+
+// Mark/release must recycle the scratch memory: a second identical call
+// after release reuses the same backing arrays instead of growing.
+func TestScratchRecycledAcrossCalls(t *testing.T) {
+	var sc coScratch
+	ids := ints.Iota(200)
+
+	m := sc.mark()
+	first := assignPartsArena(&sc, rng.New(1), ids, 5)
+	p0 := &first[0]
+	sc.release(m)
+
+	m = sc.mark()
+	second := assignPartsArena(&sc, rng.New(1), ids, 5)
+	if p0 != &second[0] {
+		t.Fatal("part headers not recycled after release")
+	}
+	sc.release(m)
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math/bits"
 	"strconv"
 
+	"tellme/internal/arena"
 	"tellme/internal/bitvec"
 	"tellme/internal/probe"
 )
@@ -24,6 +26,16 @@ import (
 // Per the paper's remark, Select ignores probes done before its
 // execution: it re-probes coordinates it needs (the engine's default
 // ChargeAll policy also charges them, matching the paper's cost model).
+//
+// The working set lives on the player's arena and the disputed-
+// coordinate scan runs word-parallel over the candidates' bit planes:
+// a coordinate is disputed iff some active candidate has a known 1 and
+// some active candidate has a known 0 there, i.e. iff the OR-unions of
+// the val and known&^val planes over active candidates intersect. The
+// probe order (always the lowest disputed unprobed coordinate) is
+// identical to the per-bit formulation, so the probe sequence — and
+// with it every downstream noise-stream and charging interaction — is
+// byte-identical.
 func SelectPartial(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) int {
 	k := len(cands)
 	if k == 0 {
@@ -32,45 +44,96 @@ func SelectPartial(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) 
 	if k == 1 {
 		return 0
 	}
+	width := len(objs)
 	for i, c := range cands {
-		if c.Len() != len(objs) {
+		if c.Len() != width {
 			panic("core: candidate length mismatch at " + strconv.Itoa(i))
 		}
 	}
+	if k == 2 {
+		return selectPartial2(pl, objs, cands, d)
+	}
 
-	active := make([]bool, k)
+	a := pl.Arena()
+	defer a.Release(a.Mark())
+
+	wd := bitvec.WordsFor(width)
+	active := a.Bools(k)
 	for i := range active {
 		active[i] = true
 	}
 	nActive := k
-	disagree := make([]int, k)
-	probed := make([]int8, len(objs)) // -1 unprobed, else observed value
-	for t := range probed {
-		probed[t] = -1
-	}
+	disagree := a.Ints(k)
+	// One carve for all four word planes: SelectPartial runs once per
+	// player per candidate set, so its fixed setup cost is hot.
+	wbuf := a.Words(4 * wd)
+	probedMask := wbuf[0*wd : 1*wd : 1*wd] // coordinates probed so far
+	probedVal := wbuf[1*wd : 2*wd : 2*wd]  // observed values on probedMask
 
-	// Step 1: repeatedly probe the first unprobed coordinate on which two
-	// active candidates have differing non-? values; drop candidates that
-	// exceed d disagreements.
-	for nActive > 1 {
-		t := nextDisputed(cands, active, probed)
-		if t < 0 {
-			break // X(V) fully probed or empty
-		}
-		val := pl.Probe(objs[t])
-		probed[t] = int8(val)
+	// ones/zeros are the active-candidate unions; they are recomputed
+	// only when a candidate is dropped (at most k times), and dropping
+	// only shrinks the disputed set, so the scan cursor below never
+	// moves backwards.
+	ones := wbuf[2*wd : 3*wd : 3*wd]
+	zeros := wbuf[3*wd:]
+	refresh := func() {
+		clear(ones)
+		clear(zeros)
 		for i := range cands {
 			if !active[i] {
 				continue
 			}
-			b := cands[i].Get(t)
-			if b != bitvec.Unknown && b != val {
+			val, known := cands[i].Planes()
+			for w := range ones {
+				ones[w] |= val[w] // val ⊆ known
+				zeros[w] |= known[w] &^ val[w]
+			}
+		}
+	}
+	refresh()
+
+	// Step 1: repeatedly probe the first unprobed coordinate on which two
+	// active candidates have differing non-? values; drop candidates that
+	// exceed d disagreements.
+	cursor := 0
+	for nActive > 1 {
+		t := -1
+		for w := cursor; w < wd; w++ {
+			if x := ones[w] & zeros[w] &^ probedMask[w]; x != 0 {
+				cursor = w
+				t = w<<6 | bits.TrailingZeros64(x)
+				break
+			}
+		}
+		if t < 0 {
+			break // X(V) fully probed or empty
+		}
+		val := pl.Probe(objs[t])
+		mask := uint64(1) << (uint(t) & 63)
+		probedMask[t>>6] |= mask
+		if val != 0 {
+			probedVal[t>>6] |= mask
+		}
+		dropped := false
+		for i := range cands {
+			if !active[i] {
+				continue
+			}
+			cv, ck := cands[i].Planes()
+			if ck[t>>6]&mask == 0 {
+				continue // '?' at t
+			}
+			if byte(cv[t>>6]>>(uint(t)&63)&1) != val {
 				disagree[i]++
 				if disagree[i] > d {
 					active[i] = false
 					nActive--
+					dropped = true
 				}
 			}
+		}
+		if dropped {
+			refresh()
 		}
 	}
 
@@ -79,14 +142,19 @@ func SelectPartial(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) 
 	// lexicographically first vector closest to v(p) on the probed set Y.
 	pool := active
 	if nActive == 0 {
-		pool = make([]bool, k)
+		pool = a.Bools(k)
 		for i := range pool {
 			pool[i] = true
 		}
 		// disagree counts stopped when candidates were deactivated;
-		// recompute exactly over Y.
+		// recompute exactly over Y (word-parallel popcount).
 		for i := range cands {
-			disagree[i] = disagreementsOn(cands[i], probed)
+			cv, ck := cands[i].Planes()
+			n := 0
+			for w := 0; w < wd; w++ {
+				n += bits.OnesCount64((cv[w] ^ probedVal[w]) & ck[w] & probedMask[w])
+			}
+			disagree[i] = n
 		}
 	}
 	// Ties on the probed set prefer fewer '?' entries (a wildcard is a
@@ -111,44 +179,50 @@ func SelectPartial(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) 
 	return best
 }
 
-// nextDisputed returns the first unprobed coordinate where two active
-// candidates hold differing non-? values, or -1 if none exists.
-func nextDisputed(cands []bitvec.Partial, active []bool, probed []int8) int {
-	for t := range probed {
-		if probed[t] >= 0 {
-			continue
-		}
-		seen := byte(bitvec.Unknown)
-		for i := range cands {
-			if !active[i] {
-				continue
-			}
-			b := cands[i].Get(t)
-			if b == bitvec.Unknown {
-				continue
-			}
-			if seen == bitvec.Unknown {
-				seen = b
-			} else if seen != b {
-				return t
+// selectPartial2 is SelectPartial specialized for two candidates — the
+// most frequent case by far (a popular vector plus one variant). It
+// needs no scratch arrays at all: a coordinate is disputed iff both
+// candidates know it and their values differ, each probe charges the
+// disagreement to exactly one candidate, and only one candidate can
+// ever exceed the bound (one increment per probe), at which point the
+// other is the unique survivor. The probe sequence — lowest disputed
+// coordinate first, stop at the first drop — is identical to the
+// generic loop's, so noise streams and charging stay byte-identical.
+func selectPartial2(pl *probe.Player, objs []int, cands []bitvec.Partial, d int) int {
+	v0, k0 := cands[0].Planes()
+	v1, k1 := cands[1].Planes()
+	d0, d1 := 0, 0
+	for w := range v0 {
+		for x := (v0[w] ^ v1[w]) & k0[w] & k1[w]; x != 0; x &= x - 1 {
+			t := w<<6 | bits.TrailingZeros64(x)
+			val := pl.Probe(objs[t])
+			if byte(v0[w]>>(uint(t)&63)&1) != val {
+				d0++
+				if d0 > d {
+					return 1
+				}
+			} else {
+				d1++
+				if d1 > d {
+					return 0
+				}
 			}
 		}
 	}
-	return -1
-}
-
-// disagreementsOn counts candidate disagreements with the probed values.
-func disagreementsOn(c bitvec.Partial, probed []int8) int {
-	d := 0
-	for t, v := range probed {
-		if v < 0 {
-			continue
+	// Both candidates within the bound: fewer disagreements on the
+	// probed set wins, then fewer '?' entries, then the paper's
+	// lexicographic rule — the same tie-break as the generic Step 2.
+	if d0 != d1 {
+		if d0 < d1 {
+			return 0
 		}
-		if b := c.Get(t); b != bitvec.Unknown && b != byte(v) {
-			d++
-		}
+		return 1
 	}
-	return d
+	u0, u1 := cands[0].UnknownCount(), cands[1].UnknownCount()
+	if u1 < u0 || (u1 == u0 && cands[1].Less(cands[0])) {
+		return 1
+	}
+	return 0
 }
 
 // SelectValues is Algorithm Select over generic value vectors: candidate
@@ -161,6 +235,13 @@ func disagreementsOn(c bitvec.Partial, probed []int8) int {
 // Returns the index of the lexicographically first closest candidate,
 // with the same k(d+1) probe bound as SelectPartial.
 func SelectValues(probeVal func(t int) uint32, cands [][]uint32, d int) int {
+	return selectValuesScratch(nil, probeVal, cands, d)
+}
+
+// selectValuesScratch is SelectValues with its working set taken from a
+// (nil falls back to the heap). Safe to nest: probeVal may itself run a
+// Select on the same arena — the Mark/Release pairs unwind LIFO.
+func selectValuesScratch(a *arena.Arena, probeVal func(t int) uint32, cands [][]uint32, d int) int {
 	k := len(cands)
 	if k == 0 {
 		panic("core: SelectValues with no candidates")
@@ -175,15 +256,24 @@ func SelectValues(probeVal func(t int) uint32, cands [][]uint32, d int) int {
 		}
 	}
 
-	active := make([]bool, k)
+	var active []bool
+	var disagree, probed []int
+	if a != nil {
+		defer a.Release(a.Mark())
+		active = a.Bools(k)
+		disagree = a.Ints(k)
+		probed = a.Ints(width)
+	} else {
+		active = make([]bool, k)
+		disagree = make([]int, k)
+		probed = make([]int, width)
+	}
 	for i := range active {
 		active[i] = true
 	}
 	nActive := k
-	disagree := make([]int, k)
-	probed := make([]int64, width)
 	for t := range probed {
-		probed[t] = -1
+		probed[t] = -1 // -1 unprobed, else observed value
 	}
 
 	for nActive > 1 {
@@ -210,7 +300,7 @@ func SelectValues(probeVal func(t int) uint32, cands [][]uint32, d int) int {
 			break
 		}
 		val := probeVal(t)
-		probed[t] = int64(val)
+		probed[t] = int(val)
 		for i := range cands {
 			if active[i] && cands[i][t] != val {
 				disagree[i]++
@@ -224,7 +314,11 @@ func SelectValues(probeVal func(t int) uint32, cands [][]uint32, d int) int {
 
 	pool := active
 	if nActive == 0 {
-		pool = make([]bool, k)
+		if a != nil {
+			pool = a.Bools(k)
+		} else {
+			pool = make([]bool, k)
+		}
 		for i := range pool {
 			pool[i] = true
 			disagree[i] = 0

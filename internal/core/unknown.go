@@ -27,7 +27,9 @@ func CandidateDs(m int) []int {
 // Cost is a log(m) factor over the known-D algorithm; quality is a
 // constant factor worse (Theorem 1.1's statement absorbs both).
 func UnknownD(env *Env, alpha float64) []bitvec.Partial {
-	defer env.span("unknownd", "alpha", alpha)()
+	if !env.spanOff("unknownd") {
+		defer env.span("unknownd", "alpha", alpha)()
+	}
 	ds := CandidateDs(env.M)
 	perD := make([][]bitvec.Partial, len(ds))
 	for i, d := range ds {

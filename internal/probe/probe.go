@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"tellme/internal/arena"
 	"tellme/internal/billboard"
 	"tellme/internal/prefs"
 	"tellme/internal/rng"
@@ -277,6 +278,23 @@ type Player struct {
 	postGrades []byte
 	lookGrades []byte
 	lookKnown  []bool
+
+	// arena is the player's region allocator for per-call scratch inside
+	// phase bodies (Select working sets and the like), lazily created by
+	// Arena. Owned by this player's goroutine like the scratch above.
+	arena *arena.Arena
+}
+
+// Arena returns the player's scratch arena, creating it on first use.
+// Callers must follow arena discipline: take a Mark, allocate, and
+// Release before returning — nested Mark/Release pairs (a Select inside
+// a Select) must unwind LIFO. Like the Player itself, the arena must
+// only be used from the player's goroutine.
+func (pl *Player) Arena() *arena.Arena {
+	if pl.arena == nil {
+		pl.arena = new(arena.Arena)
+	}
+	return pl.arena
 }
 
 // ID returns the player index.
@@ -374,12 +392,14 @@ func (pl *Player) ProbeMany(objs []int, dst []uint32) {
 		if e.noise != nil {
 			v = e.noise(pl.id, o, v, pl.noiseRand)
 		}
-		e.charged[pl.id].Add(1)
 		dst[k] = uint32(v)
 		postObjs = append(postObjs, o)
 		postGrades = append(postGrades, v)
 	}
 	if len(postObjs) > 0 {
+		// One charge update for the batch: totals match the per-object
+		// path exactly, and charges are only read between phases.
+		e.charged[pl.id].Add(int64(len(postObjs)))
 		e.board.PostProbes(pl.id, postObjs, postGrades)
 	}
 }
