@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
+.PHONY: build test race stress-net stress-cluster race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ race:
 stress-net:
 	$(GO) test -race -run 'FaultSchedule|FaultyHTTP|Faultnet|Dedupe|RetryAfterCommit' ./internal/netboard/
 
+# The sharded-cluster gate on its own (also part of `race`): the
+# consistent-hash ring invariants, the cluster-vs-single-board identity
+# oracles, resharding drains, and the multi-shard fault-injection
+# stress — one shard's network degraded while concurrent players post —
+# proving zero lost and zero double-applied posts under -race
+# (internal/netboard/cluster_stress_test.go).
+stress-cluster:
+	$(GO) test -race -run 'Ring|Cluster' ./internal/netboard/
+
 # The telemetry concurrency gate on its own (also part of `race`): a
 # full Run with every instrument shared across the player goroutines,
 # plus the registry hammer test, under the race detector.
@@ -38,7 +47,7 @@ race-telemetry:
 race-cancel:
 	$(GO) test -race -run 'Cancel|PanicBecomes|Deadline|PreCancelled' . ./internal/sim/ ./internal/netboard/
 
-verify: build race stress-net race-telemetry race-cancel
+verify: build race stress-net stress-cluster race-telemetry race-cancel
 
 # Refresh the perf-trajectory snapshots at the repo root.
 # BENCH_1.json: core experiment benchmarks.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/netboard"
 	"tellme/internal/netboard/faultnet"
 	"tellme/internal/sim"
@@ -52,7 +53,7 @@ func TestRunOptionsValidation(t *testing.T) {
 // panicBoard panics on the victim player's first probe post and counts
 // which other players got their posts through.
 type panicBoard struct {
-	billboard.Interface
+	boardclient.Interface
 	victim int
 
 	mu     sync.Mutex
@@ -160,7 +161,7 @@ func TestDeadRemoteBoardHitsDeadline(t *testing.T) {
 
 // cancelBoard cancels the run's context after the k-th topic post.
 type cancelBoard struct {
-	billboard.Interface
+	boardclient.Interface
 	cancel context.CancelFunc
 
 	mu    sync.Mutex

@@ -35,7 +35,7 @@ func main() {
 		verb  = flag.Bool("v", false, "print per-community details")
 		save  = flag.String("save", "", "write the generated instance to this file (binary) and exit")
 		load  = flag.String("load", "", "load the instance from this file instead of generating")
-		board = flag.String("board", "", "run against a remote billboard server at this base URL")
+		board = flag.String("board", "", "run against a remote billboard at this base URL, or a sharded cluster given a comma-separated URL list")
 		tmo   = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		cnts  = flag.Bool("counts", false, "print nested sub-algorithm invocation counts")
 		scen  = flag.String("scenarios", "", "run a JSON scenario file (see tellme.Scenario) and exit")

@@ -3,17 +3,21 @@
 // The paper's players communicate only through a shared public board.
 // This example starts a billboard HTTP server (the same one
 // cmd/billboard runs standalone) and executes Algorithm Zero Radius
-// against it three times:
+// against it four times:
 //
 //  1. over the batched wire protocol (the default),
-//  2. over the legacy one-request-per-operation protocol, and
+//  2. over the legacy one-request-per-operation protocol,
 //  3. over a deliberately hostile transport that drops requests, loses
-//     responses after the server committed, and duplicates deliveries.
+//     responses after the server committed, and duplicates deliveries,
+//  4. over a three-shard cluster: topics and probe columns spread
+//     across three independent billboard servers by consistent
+//     hashing, behind the same boardclient interface.
 //
-// All three runs produce byte-identical outputs: the simulation is
-// deterministic, batching only changes how posts travel, and the
-// client's idempotent retries make the faults invisible — the server's
-// counters prove no post was lost or applied twice.
+// All four runs produce byte-identical outputs: the simulation is
+// deterministic, batching only changes how posts travel, the client's
+// idempotent retries make the faults invisible — the server's counters
+// prove no post was lost or applied twice — and sharding only changes
+// where each key lives, not what any player observes.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"tellme"
 	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/netboard"
 	"tellme/internal/netboard/faultnet"
 )
@@ -46,25 +51,28 @@ func serve() (*billboard.Board, string, func()) {
 	return board, "http://" + ln.Addr().String(), func() { ln.Close() }
 }
 
-// run executes Zero Radius through the given client and returns the
-// report plus how many HTTP requests the run issued.
-func run(inst *tellme.Instance, url string, configure func(*netboard.Client)) (*tellme.Report, int64) {
-	meter := faultnet.New(nil, 1)
-	c := netboard.NewClient(url)
-	c.HTTPClient = &http.Client{Transport: meter}
-	if configure != nil {
-		configure(c)
-	}
+// runOn executes Zero Radius against the given board client.
+func runOn(inst *tellme.Instance, board boardclient.Interface) *tellme.Report {
 	rep, err := tellme.Run(inst, tellme.Options{
 		Algorithm: tellme.AlgoZero,
 		Alpha:     0.6,
 		Seed:      4,
-		Board:     c, // every billboard access goes over this client
+		Board:     board, // every billboard access goes through it
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	return rep, meter.Delivered()
+	return rep
+}
+
+// run executes Zero Radius through one single-server client built from
+// cfg and returns the report plus how many HTTP requests it issued.
+func run(inst *tellme.Instance, url string, cfg netboard.Config) (*tellme.Report, int64) {
+	meter := faultnet.New(nil, 1)
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Transport: meter}
+	}
+	return runOn(inst, netboard.NewClientWithConfig(url, cfg)), meter.Delivered()
 }
 
 func main() {
@@ -75,7 +83,7 @@ func main() {
 	// vote tallies through the epoch-tagged snapshot cache.
 	board, url, stop := serve()
 	fmt.Printf("billboard service listening at %s\n", url)
-	rep, batchedReqs := run(inst, url, nil)
+	rep, batchedReqs := run(inst, url, netboard.Config{})
 	c := rep.Communities[0]
 	fmt.Printf("community of %d recovered its %d grades with worst error %d\n",
 		c.Size, objects, c.Discrepancy)
@@ -87,7 +95,7 @@ func main() {
 
 	// 2. Legacy protocol: same simulation, one request per operation.
 	_, url, stop = serve()
-	legacyRep, legacyReqs := run(inst, url, func(c *netboard.Client) { c.DisableBatch = true })
+	legacyRep, legacyReqs := run(inst, url, netboard.Config{DisableBatch: true})
 	stop()
 	fmt.Printf("\nHTTP requests for the identical simulation:\n")
 	fmt.Printf("  batched protocol: %5d requests\n", batchedReqs)
@@ -104,10 +112,10 @@ func main() {
 	board, url, stop = serve()
 	ft := faultnet.New(nil, 99)
 	ft.DropRequest, ft.DropResponse, ft.Duplicate = 0.1, 0.1, 0.2
-	faultyRep, _ := run(inst, url, func(c *netboard.Client) {
-		c.HTTPClient = &http.Client{Transport: ft}
-		c.Retries = 40
-		c.RetryBackoff = 200 * time.Microsecond
+	faultyRep, _ := run(inst, url, netboard.Config{
+		HTTPClient:   &http.Client{Transport: ft},
+		Retries:      40,
+		RetryBackoff: 200 * time.Microsecond,
 	})
 	stop()
 	fmt.Printf("\nflaky transport: %d requests dropped, %d responses lost after commit, %d duplicated\n",
@@ -122,4 +130,37 @@ func main() {
 	fmt.Printf("outputs identical, server counters exact (%d probes, %d vector posts):\n",
 		wantProbes, wantVectors)
 	fmt.Println("zero posts lost, zero posts double-applied")
+
+	// 4. Sharded cluster: three independent billboard servers, keys
+	// spread across them by consistent hashing. The run sees one board.
+	const shards = 3
+	boards := make([]*billboard.Board, shards)
+	urls := make([]string, shards)
+	for i := range boards {
+		var stopShard func()
+		boards[i], urls[i], stopShard = serve()
+		defer stopShard()
+	}
+	cluster, err := netboard.NewCluster(netboard.ClusterConfig{Shards: urls})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterRep := runOn(inst, cluster)
+	if !reflect.DeepEqual(rep.Outputs, clusterRep.Outputs) {
+		log.Fatal("sharded-cluster run diverged")
+	}
+	var clusterProbes, clusterVectors int64
+	fmt.Printf("\nsharded cluster (%d shards):\n", shards)
+	for i, b := range boards {
+		fmt.Printf("  shard %d (%s): %d probe postings, %d vector postings\n",
+			i, urls[i], b.ProbeCount(), b.VectorPostCount())
+		clusterProbes += b.ProbeCount()
+		clusterVectors += b.VectorPostCount()
+	}
+	if clusterProbes != wantProbes || clusterVectors != wantVectors {
+		log.Fatalf("cluster totals drifted: %d/%d probes, %d/%d vectors",
+			clusterProbes, wantProbes, clusterVectors, wantVectors)
+	}
+	fmt.Printf("outputs identical to the single-server run; shard totals sum to %d probes, %d vector posts\n",
+		clusterProbes, clusterVectors)
 }

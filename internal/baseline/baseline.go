@@ -45,7 +45,7 @@ func Solo(e *probe.Engine, runner *sim.Runner) []bitvec.Partial {
 // probeTallier is the optional fast path for the per-object grade tally
 // the baselines share: the in-memory Board computes it word-parallel
 // over its packed probe planes. Boards reached through a wrapper (e.g.
-// billboard.BindContext) or a network client don't expose it and fall
+// boardclient.BindContext) or a network client don't expose it and fall
 // back to the per-probe walk.
 type probeTallier interface {
 	ProbeTally(ones, total []int) ([]int, []int)

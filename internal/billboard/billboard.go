@@ -34,6 +34,7 @@ package billboard
 
 import (
 	"math/bits"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -749,6 +750,53 @@ func (b *Board) TopicCount() int {
 	defer b.mu.RUnlock()
 	return len(b.topics)
 }
+
+// Topics returns the names of all live topics in sorted order — the
+// enumeration a shard drain needs to move every topic it owns. The
+// result is a fresh slice.
+func (b *Board) Topics() []string {
+	b.mu.RLock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	b.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// ClearProbes removes player p's posted probe results for objs,
+// decrementing ProbeCount for each result actually cleared. This is an
+// administrative operation for resharding (probe results migrating to
+// another shard are cleared from the donor after replay); it must not
+// race with p posting probes — the reshard path runs on a quiescent
+// cluster, which guarantees that. The known bit is cleared before the
+// value bit, so a concurrent reader never observes a half-cleared
+// grade as posted.
+func (b *Board) ClearProbes(p int, objs []int) {
+	s := &b.probeShards[p]
+	var cleared int64
+	for _, o := range objs {
+		mask := uint64(1) << (uint(o) & 63)
+		w := o >> 6
+		if old := s.known[w].And(^mask); old&mask != 0 {
+			cleared++
+		}
+		s.val[w].And(^mask)
+	}
+	if cleared > 0 {
+		b.probePosts.Add(-cleared)
+	}
+}
+
+// Err implements the degraded-mode half of the unified board-client
+// contract (see internal/boardclient): the in-memory board has no
+// transport and can never fail, so Err is always nil.
+func (b *Board) Err() error { return nil }
+
+// Failures implements the degraded-mode contract; always 0 for the
+// in-memory board.
+func (b *Board) Failures() int64 { return 0 }
 
 // ValuePosting is one generic value vector posted by one player. Value
 // vectors arise when ZeroRadius runs over virtual objects whose "grades"

@@ -30,7 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/ints"
 	"tellme/internal/probe"
 	"tellme/internal/rng"
@@ -94,7 +94,7 @@ func DefaultConfig() Config {
 
 // Env bundles the shared state one algorithm run executes against.
 type Env struct {
-	Board  billboard.Interface
+	Board  boardclient.Interface
 	Engine *probe.Engine
 	Run    sim.PhaseRunner
 	// Public is the shared-coin source: all players derive identical

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 )
 
 // TestBackoffSkippedWhenContextCancelled is the regression test for the
@@ -81,7 +82,7 @@ func TestBindContextSharesState(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(srv.URL)
 
-	if got := c.BindContext(context.Background()); got != billboard.Interface(c) {
+	if got := c.BindContext(context.Background()); got != boardclient.Interface(c) {
 		t.Fatal("Background context should bind to the client itself")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -91,7 +92,7 @@ func TestBindContextSharesState(t *testing.T) {
 	if v, ok := c.LookupProbe(1, 2); !ok || v != 1 {
 		t.Fatalf("post through bound view not visible: (%d,%v)", v, ok)
 	}
-	if got := billboard.BindContext(ctx, c); got == billboard.Interface(c) {
+	if got := boardclient.BindContext(ctx, c); got == boardclient.Interface(c) {
 		t.Fatal("BindContext helper did not bind a cancellable context")
 	}
 }

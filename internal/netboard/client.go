@@ -19,10 +19,11 @@ import (
 
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
+	"tellme/internal/boardclient"
 	"tellme/internal/telemetry"
 )
 
-// Client implements billboard.Interface against a remote Server.
+// Client implements boardclient.Interface against a remote Server.
 //
 // billboard.Interface is error-free (the model treats the billboard as
 // reliable shared memory), so transport failures are routed to OnError,
@@ -80,10 +81,15 @@ type Client struct {
 	// snapshot cache, issuing one legacy request per board operation.
 	DisableBatch bool
 	// Telemetry, when non-nil, records per-endpoint request counts
-	// ("netboard.client.requests.<path>", one per HTTP attempt),
-	// request latency histograms ("netboard.client.latency_ns.<path>")
-	// and the "netboard.client.retries" counter. Nil costs nothing.
+	// ("<prefix>.requests.<path>", one per HTTP attempt), request
+	// latency histograms ("<prefix>.latency_ns.<path>") and the
+	// "<prefix>.retries" counter, where <prefix> is TelemetryPrefix.
+	// Nil costs nothing.
 	Telemetry *telemetry.Registry
+	// TelemetryPrefix keys the telemetry instruments (empty =
+	// DefaultTelemetryPrefix). A Cluster sets a per-shard prefix so
+	// every instrument comes out keyed by shard.
+	TelemetryPrefix string
 
 	// sleep stubs the backoff wait for tests. The stub is only invoked
 	// with a live context; a cancelled context skips the wait entirely,
@@ -119,8 +125,8 @@ type topicCacheEntry struct {
 	valVotes   []billboard.ValueVote
 }
 
-var _ billboard.Interface = (*Client)(nil)
-var _ billboard.ContextBinder = (*Client)(nil)
+var _ boardclient.Interface = (*Client)(nil)
+var _ boardclient.ContextBinder = (*Client)(nil)
 
 // TransportError is a terminal transport/protocol failure: retries were
 // exhausted (or cut short by cancellation) for one logical request. It
@@ -139,16 +145,40 @@ func (e *TransportError) Error() string { return fmt.Sprintf("netboard: %v", e.E
 // Unwrap exposes the underlying failure.
 func (e *TransportError) Unwrap() error { return e.Err }
 
-// NewClient returns a Client for the server at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL}
+// ProtoError reports a wire-protocol version mismatch: a 2xx response
+// arrived without the expected "Tellme-Proto: 1" stamp, meaning the
+// peer is not a tellme billboard of this protocol generation (an older
+// server, or something else entirely). It is terminal — retries cannot
+// change what the peer speaks — and reaches the caller wrapped in the
+// *TransportError that fail records/panics with, so
+// errors.As(err, &pe) with a *ProtoError target matches.
+type ProtoError struct {
+	// Path is the endpoint whose response lacked the stamp.
+	Path string
+	// Got is the Tellme-Proto value received ("" when absent).
+	Got string
 }
 
-// BindContext implements billboard.ContextBinder: the returned view
+// Error implements error.
+func (e *ProtoError) Error() string {
+	if e.Got == "" {
+		return fmt.Sprintf("netboard: %s: server did not identify protocol %s (missing %s header; not a tellme billboard?)", e.Path, ProtoVersion, HeaderProto)
+	}
+	return fmt.Sprintf("netboard: %s: protocol version mismatch: server speaks %s=%s, client speaks %s", e.Path, HeaderProto, e.Got, ProtoVersion)
+}
+
+// NewClient returns a Client for the server at baseURL with the
+// zero-value Config; use NewClientWithConfig to tune retries, failure
+// handling, batching and telemetry in one place.
+func NewClient(baseURL string) *Client {
+	return NewClientWithConfig(baseURL, Config{})
+}
+
+// BindContext implements boardclient.ContextBinder: the returned view
 // shares all state with c (request ids, snapshot cache, degraded-mode
 // record) but runs every request under ctx — in-flight HTTP calls are
 // aborted and backoff sleeps return early when ctx is cancelled.
-func (c *Client) BindContext(ctx context.Context) billboard.Interface {
+func (c *Client) BindContext(ctx context.Context) boardclient.Interface {
 	if ctx == nil || ctx.Done() == nil {
 		return c
 	}
@@ -215,7 +245,7 @@ func (c *Client) backoff(ctx context.Context, i int) error {
 	f := 0.5 + c.jitter.Float64()
 	c.jitterMu.Unlock()
 	d := time.Duration(float64(i) * float64(unit) * f)
-	c.Telemetry.Counter("netboard.client.retries").Inc()
+	c.Telemetry.Counter(c.telemetryPrefix() + ".retries").Inc()
 	done := ctx.Done()
 	if done != nil {
 		select {
@@ -257,6 +287,14 @@ func (c *Client) requestID() string {
 	return c.idPrefix + "-" + strconv.FormatUint(c.idSeq.Add(1), 10)
 }
 
+// telemetryPrefix resolves the instrument key prefix.
+func (c *Client) telemetryPrefix() string {
+	if c.TelemetryPrefix != "" {
+		return c.TelemetryPrefix
+	}
+	return DefaultTelemetryPrefix
+}
+
 // instruments resolves the per-endpoint request counter and latency
 // histogram for one logical call (nil instruments when telemetry is
 // off). The registry lookup happens once per call, not per attempt.
@@ -264,8 +302,9 @@ func (c *Client) instruments(path string) (reqs *telemetry.Counter, lat *telemet
 	if c.Telemetry == nil {
 		return nil, nil
 	}
-	return c.Telemetry.Counter("netboard.client.requests." + path),
-		c.Telemetry.Histogram("netboard.client.latency_ns."+path, telemetry.LatencyBuckets())
+	prefix := c.telemetryPrefix()
+	return c.Telemetry.Counter(prefix + ".requests." + path),
+		c.Telemetry.Histogram(prefix+".latency_ns."+path, telemetry.LatencyBuckets())
 }
 
 // post sends a JSON POST and expects 2xx, retrying transient failures.
@@ -295,6 +334,7 @@ func (c *Client) post(ctx context.Context, path string, body any) {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(HeaderRequestID, id)
+		req.Header.Set(HeaderProto, ProtoVersion)
 		reqs.Inc()
 		start := time.Now()
 		resp, err := c.httpc().Do(req)
@@ -305,7 +345,15 @@ func (c *Client) post(ctx context.Context, path string, body any) {
 		}
 		code := resp.StatusCode
 		if code/100 == 2 {
+			got := resp.Header.Get(HeaderProto)
 			resp.Body.Close()
+			if got != ProtoVersion {
+				// Wrong or missing protocol stamp: this is not a tellme
+				// billboard speaking our protocol version. Terminal — a
+				// retry cannot change what the peer speaks.
+				lastErr = &ProtoError{Path: path, Got: got}
+				break
+			}
 			return
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -341,6 +389,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 			c.fail(err)
 			return false
 		}
+		req.Header.Set(HeaderProto, ProtoVersion)
 		reqs.Inc()
 		start := time.Now()
 		resp, err := c.httpc().Do(req)
@@ -358,6 +407,13 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 				break
 			}
 			continue
+		}
+		if got := resp.Header.Get(HeaderProto); got != ProtoVersion {
+			// Refuse to decode a response from a peer that does not
+			// stamp our protocol version — see ProtoError.
+			resp.Body.Close()
+			lastErr = &ProtoError{Path: path, Got: got}
+			break
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
 		resp.Body.Close()
@@ -472,13 +528,21 @@ func (c *Client) lookupProbes(ctx context.Context, p int, objs []int, grades []b
 func (c *Client) ProbedObjects(p int) map[int]byte { return c.probedObjects(bg, p) }
 
 func (c *Client) probedObjects(ctx context.Context, p int) map[int]byte {
-	var reply probedObjectsReply
-	c.get(ctx, PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
-	out := make(map[int]byte, len(reply.Objects))
-	for _, og := range reply.Objects {
+	pairs := c.probedPairs(ctx, p)
+	out := make(map[int]byte, len(pairs))
+	for _, og := range pairs {
 		out[og.Object] = og.Grade
 	}
 	return out
+}
+
+// probedPairs fetches p's probe results as ordered (object, grade)
+// pairs — the server's order, ascending by object for a Board-backed
+// server. The Cluster merges these per-shard lists.
+func (c *Client) probedPairs(ctx context.Context, p int) []objGrade {
+	var reply probedObjectsReply
+	c.get(ctx, PathProbedObjects, url.Values{"player": {strconv.Itoa(p)}}, &reply)
+	return reply.Objects
 }
 
 // ForEachProbe implements billboard.Interface. It fetches the player's
@@ -683,6 +747,68 @@ func (c *Client) stats(ctx context.Context) statsReply {
 	return reply
 }
 
+// TopicSnapshot implements boardclient.Interface: the raw epoch-tagged
+// tally read behind the batched protocol, bypassing the client's own
+// snapshot cache (the caller manages its stamps — this is what a
+// Cluster drain replays from, and what a caller layering its own cache
+// uses). Votes/ValueVotes go through the cache instead.
+func (c *Client) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, epoch uint64, unchanged bool, votes []billboard.Vote, valVotes []billboard.ValueVote) {
+	return c.topicSnapshot(bg, name, sinceGen, sinceEpoch)
+}
+
+func (c *Client) topicSnapshot(ctx context.Context, name string, sinceGen, sinceEpoch uint64) (gen, epoch uint64, unchanged bool, votes []billboard.Vote, valVotes []billboard.ValueVote) {
+	q := url.Values{
+		"topic": {name},
+		"gen":   {strconv.FormatUint(sinceGen, 10)},
+		"epoch": {strconv.FormatUint(sinceEpoch, 10)},
+	}
+	var reply topicSnapshotReply
+	if !c.get(ctx, PathTopicSnapshot, q, &reply) {
+		return 0, 0, false, nil, nil // degraded; c.fail already fired
+	}
+	if reply.Unchanged {
+		return reply.Gen, reply.Epoch, true, nil, nil
+	}
+	votes = make([]billboard.Vote, len(reply.Votes))
+	for i, v := range reply.Votes {
+		vec, err := parsePartial(v.Bits)
+		if err != nil {
+			c.fail(err)
+			return 0, 0, false, nil, nil
+		}
+		votes[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+	}
+	valVotes = make([]billboard.ValueVote, len(reply.ValueVotes))
+	for i, v := range reply.ValueVotes {
+		valVotes[i] = billboard.ValueVote{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
+	}
+	return reply.Gen, reply.Epoch, false, votes, valVotes
+}
+
+// Topics returns the names of all live topics on the server, sorted.
+// It is the drain-path enumeration (mirrors billboard.Board.Topics) and
+// is not part of boardclient.Interface.
+func (c *Client) Topics() []string { return c.topics(bg) }
+
+func (c *Client) topics(ctx context.Context) []string {
+	var reply topicsReply
+	c.get(ctx, PathTopics, nil, &reply)
+	return reply.Topics
+}
+
+// ClearProbes removes player p's probe results for objs on the server
+// (mirrors billboard.Board.ClearProbes; see there for the quiescence
+// requirement). It is the second half of the cluster probe-migration
+// step and is not part of boardclient.Interface.
+func (c *Client) ClearProbes(p int, objs []int) { c.clearProbes(bg, p, objs) }
+
+func (c *Client) clearProbes(ctx context.Context, p int, objs []int) {
+	if len(objs) == 0 {
+		return
+	}
+	c.post(ctx, PathClearProbes, clearProbesPost{Player: p, Objects: objs})
+}
+
 // boundClient is the context-bound view of a Client: every operation
 // forwards to the shared client with the bound context. It cannot embed
 // *Client — the embedded methods would run with the background context —
@@ -692,11 +818,11 @@ type boundClient struct {
 	ctx context.Context
 }
 
-var _ billboard.Interface = (*boundClient)(nil)
-var _ billboard.ContextBinder = (*boundClient)(nil)
+var _ boardclient.Interface = (*boundClient)(nil)
+var _ boardclient.ContextBinder = (*boundClient)(nil)
 
 // BindContext rebinds to a different context, still sharing the client.
-func (b *boundClient) BindContext(ctx context.Context) billboard.Interface {
+func (b *boundClient) BindContext(ctx context.Context) boardclient.Interface {
 	return b.c.BindContext(ctx)
 }
 
@@ -738,6 +864,11 @@ func (b *boundClient) TopicCount() int       { return b.c.stats(b.ctx).TopicCoun
 func (b *boundClient) VectorPostCount() int64 {
 	return b.c.stats(b.ctx).VectorPostCount
 }
+func (b *boundClient) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, epoch uint64, unchanged bool, votes []billboard.Vote, valVotes []billboard.ValueVote) {
+	return b.c.topicSnapshot(b.ctx, name, sinceGen, sinceEpoch)
+}
+func (b *boundClient) Err() error      { return b.c.Err() }
+func (b *boundClient) Failures() int64 { return b.c.Failures() }
 
 // parsePartial decodes the wire form of a partial vector.
 func parsePartial(bits string) (bitvec.Partial, error) {

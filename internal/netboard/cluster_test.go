@@ -1,0 +1,321 @@
+package netboard
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/bitvec"
+	"tellme/internal/boardclient"
+	"tellme/internal/core"
+	"tellme/internal/ints"
+	"tellme/internal/prefs"
+	"tellme/internal/probe"
+	"tellme/internal/rng"
+	"tellme/internal/sim"
+	"tellme/internal/telemetry"
+)
+
+// newShardFleet starts k independent billboard servers and returns
+// their boards, a Cluster over them, and a shutdown func.
+func newShardFleet(t *testing.T, k, n, m int, cfg Config) ([]*billboard.Board, *Cluster) {
+	t.Helper()
+	boards := make([]*billboard.Board, k)
+	urls := make([]string, k)
+	for i := range boards {
+		boards[i] = billboard.New(n, m)
+		srv := httptest.NewServer(NewServer(boards[i]))
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	cluster, err := NewCluster(ClusterConfig{Shards: urls, Client: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return boards, cluster
+}
+
+func runZeroRadius(in *prefs.Instance, b boardclient.Interface) [][]uint32 {
+	e := probe.NewEngine(in, b, rng.NewSource(8))
+	env := core.NewEnv(e, sim.NewRunner(4), rng.NewSource(9), core.DefaultConfig())
+	return core.ZeroRadiusBits(env, ints.Iota(in.N), ints.Iota(in.M), 0.5)
+}
+
+func runUnknownD(in *prefs.Instance, b boardclient.Interface) []bitvec.Partial {
+	e := probe.NewEngine(in, b, rng.NewSource(8))
+	env := core.NewEnv(e, sim.NewRunner(4), rng.NewSource(9), core.DefaultConfig())
+	return core.UnknownD(env, 0.5)
+}
+
+// TestClusterZeroRadiusOracle is the E1-style byte-identity oracle: a
+// full Zero Radius run over a 3-shard cluster must produce exactly the
+// outputs of the same seeded run on one in-memory board, and the
+// shards' counters must sum to the single board's.
+func TestClusterZeroRadiusOracle(t *testing.T) {
+	in := prefs.Identical(64, 64, 0.5, 7)
+	ref := billboard.New(in.N, in.M)
+	want := runZeroRadius(in, ref)
+
+	boards, cluster := newShardFleet(t, 3, in.N, in.M, Config{})
+	got := runZeroRadius(in, cluster)
+	for p := range want {
+		for j := range want[p] {
+			if want[p][j] != got[p][j] {
+				t.Fatalf("player %d bit %d: cluster %d, single board %d", p, j, got[p][j], want[p][j])
+			}
+		}
+	}
+	var probes, vectors int64
+	topics := 0
+	nonEmpty := 0
+	for _, b := range boards {
+		probes += b.ProbeCount()
+		vectors += b.VectorPostCount()
+		topics += b.TopicCount()
+		if b.ProbeCount() > 0 || b.VectorPostCount() > 0 {
+			nonEmpty++
+		}
+	}
+	if probes != ref.ProbeCount() || vectors != ref.VectorPostCount() || topics != ref.TopicCount() {
+		t.Fatalf("shard totals %d/%d/%d, single board %d/%d/%d",
+			probes, vectors, topics, ref.ProbeCount(), ref.VectorPostCount(), ref.TopicCount())
+	}
+	if cluster.ProbeCount() != probes || cluster.VectorPostCount() != vectors || cluster.TopicCount() != topics {
+		t.Fatalf("cluster stats (%d,%d,%d) disagree with shard sums (%d,%d,%d)",
+			cluster.ProbeCount(), cluster.VectorPostCount(), cluster.TopicCount(), probes, vectors, topics)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("only %d shards hold data; the ring routed everything to one shard", nonEmpty)
+	}
+	if err := cluster.Err(); err != nil {
+		t.Fatalf("cluster degraded: %v", err)
+	}
+}
+
+// TestClusterUnknownDOracle is the E8-style oracle: the full unknown-D
+// wrapper (the Fig. 1 dispatcher under the Section 6 doubling loop) on
+// a planted instance, cluster vs in-memory, byte-identical.
+func TestClusterUnknownDOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full UnknownD run over HTTP")
+	}
+	in := prefs.Planted(48, 48, 0.5, 4, 21)
+	want := runUnknownD(in, billboard.New(in.N, in.M))
+	_, cluster := newShardFleet(t, 3, in.N, in.M, Config{})
+	got := runUnknownD(in, cluster)
+	if len(want) != len(got) {
+		t.Fatalf("%d outputs vs %d", len(got), len(want))
+	}
+	for p := range want {
+		if !want[p].Equal(got[p]) {
+			t.Fatalf("player %d output differs between cluster and single board", p)
+		}
+	}
+}
+
+// TestClusterBatchMergeOrder checks the deterministic merge contracts
+// directly: LookupProbes answers land at their original indices and
+// ForEachProbe iterates ascending across shards.
+func TestClusterBatchMergeOrder(t *testing.T) {
+	const n, m = 4, 64
+	_, cluster := newShardFleet(t, 3, n, m, Config{})
+	objs := make([]int, m)
+	grades := make([]byte, m)
+	for o := 0; o < m; o++ {
+		objs[o] = o
+		grades[o] = byte(o % 2)
+	}
+	cluster.PostProbes(1, objs, grades)
+
+	gotGrades := make([]byte, m)
+	known := make([]bool, m)
+	cluster.LookupProbes(1, objs, gotGrades, known)
+	for o := 0; o < m; o++ {
+		if !known[o] || gotGrades[o] != grades[o] {
+			t.Fatalf("object %d: got (%d,%v), want (%d,true)", o, gotGrades[o], known[o], grades[o])
+		}
+	}
+
+	last := -1
+	seen := 0
+	cluster.ForEachProbe(1, func(o int, g byte) {
+		if o <= last {
+			t.Fatalf("ForEachProbe out of order: %d after %d", o, last)
+		}
+		if g != grades[o] {
+			t.Fatalf("object %d grade %d, want %d", o, g, grades[o])
+		}
+		last = o
+		seen++
+	})
+	if seen != m {
+		t.Fatalf("ForEachProbe visited %d objects, want %d", seen, m)
+	}
+	if got := cluster.ProbedObjects(1); len(got) != m {
+		t.Fatalf("ProbedObjects returned %d entries, want %d", len(got), m)
+	}
+}
+
+// TestClusterReshard drives the static-topology drain both ways: grow
+// a loaded 3-shard cluster to 4, shrink it back to 3, and require the
+// cluster view (topic tallies, probe lookups, totals) to be identical
+// before and after each move — zero lost, zero duplicated.
+func TestClusterReshard(t *testing.T) {
+	const n, m = 8, 96
+	boards, cluster := newShardFleet(t, 3, n, m, Config{})
+
+	// Load: every player probes a stripe of objects; several topics get
+	// vector and value postings.
+	for p := 0; p < n; p++ {
+		var objs []int
+		var grades []byte
+		for o := p; o < m; o += n {
+			objs = append(objs, o)
+			grades = append(grades, byte((p+o)%2))
+		}
+		cluster.PostProbes(p, objs, grades)
+	}
+	topics := []string{"zr/a", "zr/b", "sr/c", "sr/d", "lr/e"}
+	for ti, name := range topics {
+		for p := 0; p < n; p++ {
+			v := bitvec.New(8)
+			if (p+ti)%2 == 0 {
+				v.Set(ti%8, 1)
+			}
+			cluster.PostVector(name, p, v)
+			cluster.PostValues(name, p, []uint32{uint32(p), uint32(ti)})
+		}
+	}
+
+	snapshot := func() (probes int64, view map[string]string) {
+		view = make(map[string]string)
+		for _, name := range topics {
+			s := ""
+			for _, v := range cluster.Votes(name) {
+				s += v.Vec.String() + "|"
+				for _, p := range v.Voters {
+					s += string(rune('a' + p))
+				}
+				s += ";"
+			}
+			for _, v := range cluster.ValueVotes(name) {
+				for _, x := range v.Vals {
+					s += string(rune('0' + x%10))
+				}
+				s += ";"
+			}
+			view[name] = s
+		}
+		return cluster.ProbeCount(), view
+	}
+	wantProbes, wantView := snapshot()
+
+	// Grow: add a fourth shard and drain moved keys onto it.
+	extra := billboard.New(n, m)
+	srv := httptest.NewServer(NewServer(extra))
+	t.Cleanup(srv.Close)
+	if err := cluster.AddShard(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cluster.Shards()); got != 4 {
+		t.Fatalf("cluster has %d shards after AddShard, want 4", got)
+	}
+	if extra.ProbeCount() == 0 && extra.VectorPostCount() == 0 {
+		t.Fatal("added shard received nothing from the drain")
+	}
+	gotProbes, gotView := snapshot()
+	if gotProbes != wantProbes {
+		t.Fatalf("probe count after AddShard: %d, want %d", gotProbes, wantProbes)
+	}
+	for name, want := range wantView {
+		if gotView[name] != want {
+			t.Fatalf("topic %q changed across AddShard:\n got %q\nwant %q", name, gotView[name], want)
+		}
+	}
+	// The donors cleared what moved: totals across all four boards
+	// still sum to the originals (nothing duplicated).
+	var sum int64
+	for _, b := range append(append([]*billboard.Board(nil), boards...), extra) {
+		sum += b.ProbeCount()
+	}
+	if sum != wantProbes {
+		t.Fatalf("probe results across boards sum to %d after AddShard, want %d", sum, wantProbes)
+	}
+
+	// Shrink: remove the shard we just added; everything drains back.
+	if err := cluster.RemoveShard(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cluster.Shards()); got != 3 {
+		t.Fatalf("cluster has %d shards after RemoveShard, want 3", got)
+	}
+	// The removed shard holds no live state. (VectorPostCount is
+	// cumulative by design — dropped topics fold into it — so it is not
+	// expected to return to zero.)
+	if pc, tc := extra.ProbeCount(), extra.TopicCount(); pc != 0 || tc != 0 {
+		t.Fatalf("removed shard still holds %d probes, %d topics", pc, tc)
+	}
+	gotProbes, gotView = snapshot()
+	if gotProbes != wantProbes {
+		t.Fatalf("probe count after RemoveShard: %d, want %d", gotProbes, wantProbes)
+	}
+	for name, want := range wantView {
+		if gotView[name] != want {
+			t.Fatalf("topic %q changed across RemoveShard:\n got %q\nwant %q", name, gotView[name], want)
+		}
+	}
+}
+
+// TestClusterConfigValidation covers NewCluster's input checks and
+// RemoveShard's guardrails.
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{}); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Shards: []string{"http://a", ""}}); err == nil {
+		t.Fatal("empty shard URL accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Shards: []string{"http://a", "http://a"}}); err == nil {
+		t.Fatal("duplicate shard URL accepted")
+	}
+	cl, err := NewCluster(ClusterConfig{Shards: []string{"http://a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveShard(context.Background(), "http://b"); err == nil {
+		t.Fatal("removing an unknown shard succeeded")
+	}
+	if err := cl.RemoveShard(context.Background(), "http://a"); err == nil {
+		t.Fatal("removing the last shard succeeded")
+	}
+	if err := cl.AddShard(context.Background(), "http://a"); err == nil {
+		t.Fatal("adding a duplicate shard succeeded")
+	}
+}
+
+// TestClusterPerShardTelemetry: every shard's requests come out under
+// its own instrument prefix.
+func TestClusterPerShardTelemetry(t *testing.T) {
+	// Telemetry shared across the per-shard clients via the config.
+	reg := telemetry.New()
+	const n, m = 4, 64
+	_, cluster := newShardFleet(t, 3, n, m, Config{Telemetry: reg})
+	objs := make([]int, m)
+	grades := make([]byte, m)
+	for o := range objs {
+		objs[o] = o
+	}
+	cluster.PostProbes(0, objs, grades)
+	snap := reg.Snapshot()
+	perShard := 0
+	for i := 0; i < 3; i++ {
+		key := "netboard.cluster.shard" + string(rune('0'+i)) + ".requests." + PathBatchProbes
+		if c, ok := snap.Counters[key]; ok && c > 0 {
+			perShard++
+		}
+	}
+	if perShard < 2 {
+		t.Fatalf("per-shard request counters present for %d shards, want >=2 (snapshot: %v)", perShard, snap.Counters)
+	}
+}

@@ -1,0 +1,84 @@
+package netboard
+
+import (
+	"net/http"
+	"time"
+
+	"tellme/internal/telemetry"
+)
+
+// Default client tuning; see Config.
+const (
+	// DefaultRetryBackoff is the per-attempt backoff unit when
+	// Config.RetryBackoff is unset.
+	DefaultRetryBackoff = 50 * time.Millisecond
+	// DefaultTelemetryPrefix keys the client's request/latency/retry
+	// instruments when Config.TelemetryPrefix is unset. A Cluster
+	// overrides it per shard ("netboard.cluster.shard<i>") so the same
+	// instruments come out keyed by shard.
+	DefaultTelemetryPrefix = "netboard.client"
+)
+
+// Config consolidates every Client knob — transport, failure handling,
+// retry schedule, batching, telemetry — in one validated struct,
+// replacing the historical pattern of constructing a bare Client and
+// poking exported fields. The zero value is a working configuration
+// (no retries, default transport, batched protocol, panic on terminal
+// failure), matching what NewClient has always produced.
+type Config struct {
+	// HTTPClient performs the requests; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// OnError handles terminal transport/protocol failures; nil means
+	// panic with the *TransportError (see Client.OnError for the
+	// degraded-mode contract a non-panicking handler opts into).
+	OnError func(error)
+	// Retries is how many times a failed request is retried with
+	// jittered linear backoff (negative values are clamped to 0).
+	Retries int
+	// RetryBackoff is the per-attempt backoff unit; zero or negative
+	// means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// JitterSeed seeds the backoff jitter stream (0 = a random seed).
+	JitterSeed uint64
+	// DisableBatch switches off request batching and the topic
+	// snapshot cache (the legacy one-request-per-operation protocol).
+	DisableBatch bool
+	// Telemetry, when non-nil, receives per-endpoint request counts,
+	// latency histograms and the retry counter, keyed under
+	// TelemetryPrefix.
+	Telemetry *telemetry.Registry
+	// TelemetryPrefix keys the client's instruments; empty means
+	// DefaultTelemetryPrefix.
+	TelemetryPrefix string
+}
+
+// normalized returns cfg with invalid values clamped to the documented
+// defaults. Defaults that the Client already resolves lazily (nil
+// HTTPClient, zero JitterSeed, empty TelemetryPrefix) are left as-is.
+func (cfg Config) normalized() Config {
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	return cfg
+}
+
+// NewClientWithConfig returns a Client for the server at baseURL,
+// configured from cfg (validated defaults applied). This is the
+// primary constructor; NewClient is the zero-config shorthand.
+func NewClientWithConfig(baseURL string, cfg Config) *Client {
+	cfg = cfg.normalized()
+	return &Client{
+		BaseURL:         baseURL,
+		HTTPClient:      cfg.HTTPClient,
+		OnError:         cfg.OnError,
+		Retries:         cfg.Retries,
+		RetryBackoff:    cfg.RetryBackoff,
+		JitterSeed:      cfg.JitterSeed,
+		DisableBatch:    cfg.DisableBatch,
+		Telemetry:       cfg.Telemetry,
+		TelemetryPrefix: cfg.TelemetryPrefix,
+	}
+}

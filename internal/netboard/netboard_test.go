@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/bitvec"
 	"tellme/internal/core"
 	"tellme/internal/ints"
@@ -159,7 +160,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestZeroRadiusOverHTTP(t *testing.T) {
 	in := prefs.Identical(64, 64, 0.5, 7)
 
-	run := func(b billboard.Interface) [][]uint32 {
+	run := func(b boardclient.Interface) [][]uint32 {
 		e := probe.NewEngine(in, b, rng.NewSource(8))
 		env := core.NewEnv(e, sim.NewRunner(4), rng.NewSource(9), core.DefaultConfig())
 		players := ints.Iota(in.N)

@@ -40,6 +40,12 @@ const (
 	PathBatchProbes   = "/v1/batch/probes"   // POST: post many probe results at once
 	PathBatchLookups  = "/v1/batch/lookups"  // GET: look up many probe results at once
 	PathTopicSnapshot = "/v1/topic-snapshot" // GET: epoch-tagged vote tallies of a topic
+	PathTopics        = "/v1/topics"         // GET: names of all live topics (drain enumeration)
+
+	// Admin endpoint used by the cluster reshard/drain path: clears a
+	// player's probe results for a set of objects after they have been
+	// replayed onto the objects' new owner shard.
+	PathClearProbes = "/v1/admin/clear-probes" // POST: clear probe results
 
 	// Telemetry endpoints, registered only when the server was built
 	// with WithTelemetry.
@@ -53,6 +59,18 @@ const (
 // without being re-applied. Requests without the header are applied
 // unconditionally (curl-friendly, at the caller's own retry risk).
 const HeaderRequestID = "Tellme-Request-Id"
+
+// HeaderProto makes the wire protocol version explicit. The client
+// stamps every request with it and the server rejects a mismatched
+// version with 400 before touching any handler; the server stamps every
+// response and the client refuses to decode a 2xx response without the
+// right stamp (a typed *ProtoError instead of garbage), so a Cluster
+// pointed at something that is not a tellme billboard of this protocol
+// generation fails fast and loud.
+const (
+	HeaderProto  = "Tellme-Proto"
+	ProtoVersion = "1"
+)
 
 // probePost is the POST body for PathProbe.
 type probePost struct {
@@ -149,6 +167,17 @@ type topicSnapshotReply struct {
 	Unchanged  bool            `json:"unchanged,omitempty"`
 	Votes      []voteJSON      `json:"votes,omitempty"`
 	ValueVotes []valueVoteJSON `json:"valueVotes,omitempty"`
+}
+
+// topicsReply answers PathTopics: all live topic names, sorted.
+type topicsReply struct {
+	Topics []string `json:"topics"`
+}
+
+// clearProbesPost is the POST body for PathClearProbes.
+type clearProbesPost struct {
+	Player  int   `json:"player"`
+	Objects []int `json:"objects"`
 }
 
 // statsReply answers PathStats.

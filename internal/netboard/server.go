@@ -76,6 +76,8 @@ func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
 	s.handle(PathBatchProbes, s.handleBatchProbes)
 	s.handle(PathBatchLookups, s.readOnly(s.handleBatchLookups))
 	s.handle(PathTopicSnapshot, s.readOnly(s.handleTopicSnapshot))
+	s.handle(PathTopics, s.readOnly(s.handleTopics))
+	s.handle(PathClearProbes, s.handleClearProbes)
 	return s
 }
 
@@ -111,8 +113,18 @@ func (s *Server) handleTelemetryProm(w http.ResponseWriter, r *http.Request) {
 	_ = s.tel.WritePrometheus(w)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the protocol-version seam:
+// every response is stamped with "Tellme-Proto: 1" (the client refuses
+// to decode 2xx responses without it), and a request carrying a
+// *different* version is rejected with 400 before any handler runs. A
+// request without the header is served — curl and older clients keep
+// working; only an explicit mismatch is an error.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(HeaderProto, ProtoVersion)
+	if got := r.Header.Get(HeaderProto); got != "" && got != ProtoVersion {
+		http.Error(w, fmt.Sprintf("protocol version mismatch: client speaks %s=%s, server speaks %s", HeaderProto, got, ProtoVersion), http.StatusBadRequest)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -420,6 +432,33 @@ func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.apply(w, r, func() { s.board.DropTopic(req.Topic) })
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, topicsReply{Topics: s.board.Topics()})
+}
+
+// handleClearProbes is the reshard/drain admin mutation: it clears the
+// given probe results after they were replayed onto their new owner
+// shard. Idempotent like every mutation (a retry with the same request
+// id is acknowledged without re-applying), and clearing an object the
+// player never probed is a no-op, so a retried clear that partially
+// applied converges.
+func (s *Server) handleClearProbes(w http.ResponseWriter, r *http.Request) {
+	var req clearProbesPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !s.validPlayer(w, req.Player) {
+		return
+	}
+	for _, o := range req.Objects {
+		if o < 0 || o >= s.board.M() {
+			http.Error(w, "invalid object", http.StatusBadRequest)
+			return
+		}
+	}
+	s.apply(w, r, func() { s.board.ClearProbes(req.Player, req.Objects) })
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/bitvec"
 	"tellme/internal/core"
 	"tellme/internal/ints"
@@ -121,7 +122,7 @@ func TestZeroRadiusOverFaultyHTTP(t *testing.T) {
 	// exact same output as the in-memory run. Faults change timing, not
 	// results.
 	in := prefs.Identical(32, 64, 0.5, 5)
-	run := func(b billboard.Interface) [][]uint32 {
+	run := func(b boardclient.Interface) [][]uint32 {
 		e := probe.NewEngine(in, b, rng.NewSource(8))
 		env := core.NewEnv(e, sim.NewRunner(4), rng.NewSource(9), core.DefaultConfig())
 		return core.ZeroRadiusBits(env, ints.Iota(in.N), ints.Iota(in.M), 0.5)

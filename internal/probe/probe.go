@@ -24,7 +24,7 @@ import (
 	"sync/atomic"
 
 	"tellme/internal/arena"
-	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
 	"tellme/internal/prefs"
 	"tellme/internal/rng"
 	"tellme/internal/telemetry"
@@ -80,7 +80,7 @@ type NoiseFunc func(player, object int, truth byte, r *rng.Rand) byte
 // Engine mediates all probes against one instance.
 type Engine struct {
 	inst   *prefs.Instance
-	board  billboard.Interface
+	board  boardclient.Interface
 	policy Policy
 	noise  NoiseFunc
 	hook   func(player int)
@@ -118,7 +118,7 @@ func WithNoise(f NoiseFunc) Option { return func(e *Engine) { e.noise = f } }
 func WithProbeHook(h func(player int)) Option { return func(e *Engine) { e.hook = h } }
 
 // WithContext makes the engine's probes observe ctx: the billboard is
-// bound to it via billboard.BindContext (a networked board's requests
+// bound to it via boardclient.BindContext (a networked board's requests
 // and retry sleeps then abort on cancellation), and Probe itself checks
 // ctx every 64th invocation per player, panicking *Canceled so an
 // in-memory run also stops promptly instead of only at the next phase
@@ -144,7 +144,7 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 }
 
 // NewEngine builds a probe engine over inst that posts results to board.
-func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, opts ...Option) *Engine {
+func NewEngine(inst *prefs.Instance, board boardclient.Interface, src rng.Source, opts ...Option) *Engine {
 	e := &Engine{
 		inst:    inst,
 		board:   board,
@@ -155,7 +155,7 @@ func NewEngine(inst *prefs.Instance, board billboard.Interface, src rng.Source, 
 		o(e)
 	}
 	if e.ctx != nil {
-		e.board = billboard.BindContext(e.ctx, e.board)
+		e.board = boardclient.BindContext(e.ctx, e.board)
 	}
 	if e.telemetry != nil {
 		// Registered after all options so the policy label is final.
@@ -243,7 +243,7 @@ func (e *Engine) MaxDelta(prev []int64) int64 {
 
 // Board returns the billboard the engine posts to. When the engine was
 // built with WithContext this is the context-bound view.
-func (e *Engine) Board() billboard.Interface { return e.board }
+func (e *Engine) Board() boardclient.Interface { return e.board }
 
 // Context returns the context the engine was built with, or nil for an
 // uncancellable engine. core.NewEnv reads it so the coordinator loops

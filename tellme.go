@@ -33,10 +33,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"tellme/internal/billboard"
 	"tellme/internal/bitvec"
+	"tellme/internal/boardclient"
 	"tellme/internal/core"
 	"tellme/internal/ints"
 	"tellme/internal/metrics"
@@ -135,17 +137,20 @@ type Options struct {
 	// OnPhase, if set with AlgoAnytime, is invoked after each phase;
 	// returning false stops early.
 	OnPhase func(PhaseInfo) bool
-	// BoardURL, if non-empty, runs against a remote billboard server
-	// (cmd/billboard) at that base URL instead of an in-memory board.
-	// The simulation is deterministic either way; probe posts and vote
-	// reads travel over the batched wire protocol (see DESIGN.md §8).
+	// BoardURL, if non-empty, runs against a remote billboard instead
+	// of an in-memory board: one base URL addresses a single server
+	// (cmd/billboard), and a comma-separated list of base URLs
+	// addresses a sharded cluster (cmd/billboard -shards), routed by
+	// consistent hashing (see DESIGN.md §12). The simulation is
+	// deterministic either way; probe posts and vote reads travel over
+	// the batched wire protocol (see DESIGN.md §8).
 	BoardURL string
 	// Board, if non-nil, is used as the billboard directly and takes
 	// precedence over BoardURL. This is how a pre-configured
-	// netboard.Client (custom retries, backoff, fault-injecting
-	// transport) or any other billboard.Interface implementation is
-	// injected into a run.
-	Board billboard.Interface
+	// netboard.Client or netboard.Cluster (custom retries, backoff,
+	// fault-injecting transport) or any other boardclient.Interface
+	// implementation is injected into a run.
+	Board boardclient.Interface
 	// TraceCapacity, if positive, enables structured tracing: the run
 	// retains up to this many sub-algorithm span events, returned in
 	// Report.TraceEvents. Tracing never changes algorithm behavior.
@@ -298,14 +303,21 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 	}
 
 	src := rng.NewSource(opt.Seed)
-	var board billboard.Interface
+	var board boardclient.Interface
 	switch {
 	case opt.Board != nil:
 		board = opt.Board
+	case strings.Contains(opt.BoardURL, ","):
+		cluster, err := netboard.NewCluster(netboard.ClusterConfig{
+			Shards: strings.Split(opt.BoardURL, ","),
+			Client: netboard.Config{Telemetry: opt.Telemetry},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tellme: board url %q: %w", opt.BoardURL, err)
+		}
+		board = cluster
 	case opt.BoardURL != "":
-		client := netboard.NewClient(opt.BoardURL)
-		client.Telemetry = opt.Telemetry
-		board = client
+		board = netboard.NewClientWithConfig(opt.BoardURL, netboard.Config{Telemetry: opt.Telemetry})
 	default:
 		mem := billboard.New(in.N, in.M)
 		mem.SetTelemetry(opt.Telemetry)
