@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net stress-cluster race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
+.PHONY: build test race stress-net stress-cluster stress-churn race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ stress-net:
 stress-cluster:
 	$(GO) test -race -run 'Ring|Cluster' ./internal/netboard/
 
+# The serving-churn gate on its own (also part of `race`): players
+# joining and leaving at every epoch boundary against a 4-shard cluster
+# behind a fault-injecting transport, compared snapshot-for-snapshot
+# against an in-process engine with the same seed — zero lost and zero
+# duplicated posts, and every recommendation served from the epoch it
+# claims (internal/serve/churn_stress_test.go).
+stress-churn:
+	$(GO) test -race -run 'StressChurn' ./internal/serve/
+
 # The telemetry concurrency gate on its own (also part of `race`): a
 # full Run with every instrument shared across the player goroutines,
 # plus the registry hammer test, under the race detector.
@@ -47,7 +56,7 @@ race-telemetry:
 race-cancel:
 	$(GO) test -race -run 'Cancel|PanicBecomes|Deadline|PreCancelled' . ./internal/sim/ ./internal/netboard/
 
-verify: build race stress-net stress-cluster race-telemetry race-cancel
+verify: build race stress-net stress-cluster stress-churn race-telemetry race-cancel
 
 # Refresh the perf-trajectory snapshots at the repo root.
 # BENCH_1.json: core experiment benchmarks.

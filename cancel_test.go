@@ -227,6 +227,72 @@ func TestCancelMidZeroRadiusLeavesBoardConsistent(t *testing.T) {
 	}
 }
 
+// TestCancelBetweenEpochsReportsLastCompleted pins the anytime
+// checkpoint contract: a run cancelled between epochs J and J+1 returns
+// a partial Report whose Outputs are byte-identical to a clean run
+// stopped at epoch J (OnPhase returning false), and whose
+// CompletedEpochs says J — never the aborted epoch's half-written
+// outputs, and never one epoch stale.
+func TestCancelBetweenEpochsReportsLastCompleted(t *testing.T) {
+	in := IdenticalInstance(32, 64, 0.25, 17)
+	const stopAt = 2
+
+	// Reference: stop cleanly right after epoch stopAt completes.
+	clean, err := Run(in, Options{
+		Algorithm: AlgoAnytime,
+		Alpha:     0.5,
+		Seed:      18,
+		OnPhase:   func(ph PhaseInfo) bool { return ph.Phase < stopAt },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.CompletedEpochs != stopAt {
+		t.Fatalf("clean run completed %d epochs, want %d", clean.CompletedEpochs, stopAt)
+	}
+	if clean.Outputs == nil {
+		t.Fatal("clean run has no outputs")
+	}
+
+	// Cancelled run: same seed, but the context dies between epochs —
+	// OnPhase keeps going and epoch stopAt+1 aborts on entry.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := RunContext(ctx, in, Options{
+		Algorithm: AlgoAnytime,
+		Alpha:     0.5,
+		Seed:      18,
+		OnPhase: func(ph PhaseInfo) bool {
+			if ph.Phase == stopAt {
+				cancel()
+			}
+			return true
+		},
+	})
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %T %v, want *RunError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err chain hides the cancellation: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report")
+	}
+	if rep.CompletedEpochs != stopAt {
+		t.Fatalf("partial report says %d completed epochs, want %d", rep.CompletedEpochs, stopAt)
+	}
+	if rep.Outputs == nil {
+		t.Fatal("partial report lost the completed epoch's checkpoint")
+	}
+	for p := 0; p < in.N; p++ {
+		if !clean.Outputs[p].Equal(rep.Outputs[p]) {
+			t.Fatalf("player %d: cancelled-run output %s differs from clean epoch-%d output %s",
+				p, rep.Outputs[p].String(), stopAt, clean.Outputs[p].String())
+		}
+	}
+}
+
 func TestRunContextPreCancelled(t *testing.T) {
 	in := IdenticalInstance(16, 16, 0.5, 15)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -355,6 +355,14 @@ type topic struct {
 	valSlab arena.Slab[uint32]
 	stats   topicStats // guarded by mu
 
+	// retired marks a handle whose topic was dropped from the registry.
+	// Name-based posting re-resolves when it finds the flag set, so a
+	// post that lost the race with DropTopic/DropTopicIf lands in the
+	// live registry instead of orphaned storage — the visibility
+	// guarantee shard drains rely on. TopicRef-based posting ignores the
+	// flag (refs must not outlive their phase; see TopicRef).
+	retired bool
+
 	epoch      uint64
 	votesAt    uint64
 	votes      []Vote
@@ -647,18 +655,27 @@ func (b *Board) HintPosts(name string, vectors, values int) {
 
 // Post publishes a partial vector by player under the named topic.
 func (b *Board) Post(name string, player int, v bitvec.Partial) {
-	t := b.topicFor(name)
-	t.mu.Lock()
-	if len(t.postings) == cap(t.postings) {
-		t.postings = growPostings(t.postings)
+	for {
+		t := b.topicFor(name)
+		t.mu.Lock()
+		if t.retired {
+			// The handle resolved before a concurrent drop committed;
+			// re-resolve so the post is visible to later readers.
+			t.mu.Unlock()
+			continue
+		}
+		if len(t.postings) == cap(t.postings) {
+			t.postings = growPostings(t.postings)
+		}
+		t.postings = append(t.postings, Posting{Player: player, Vec: v})
+		t.epoch++
+		t.stats.posts++
+		// Under the topic lock so VectorPostCount never under-reports a
+		// posting already visible via Postings.
+		b.vectorPosts.Add(1)
+		t.mu.Unlock()
+		return
 	}
-	t.postings = append(t.postings, Posting{Player: player, Vec: v})
-	t.epoch++
-	t.stats.posts++
-	// Under the topic lock so VectorPostCount never under-reports a
-	// posting already visible via Postings.
-	b.vectorPosts.Add(1)
-	t.mu.Unlock()
 }
 
 // PostVector publishes a total vector (lifted to a fully-known Partial).
@@ -666,10 +683,25 @@ func (b *Board) PostVector(name string, player int, v bitvec.Vector) {
 	b.Post(name, player, bitvec.PartialOf(v))
 }
 
+// peekTopic looks a topic up without creating it: the read-only
+// counterpart of topicFor. Reads of a topic nobody ever posted to (or
+// that was dropped) must not resurrect an empty shell — the cluster
+// drain verifies a conditional drop by re-reading the topic, and a read
+// that recreated it would leave a phantom topic on the donor forever.
+func (b *Board) peekTopic(name string) (*topic, bool) {
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	b.mu.RUnlock()
+	return t, ok
+}
+
 // Postings returns a snapshot of everything posted under the topic, in
 // posting order. The result is a copy; callers may not mutate vectors.
 func (b *Board) Postings(name string) []Posting {
-	t := b.topicFor(name)
+	t, ok := b.peekTopic(name)
+	if !ok {
+		return nil
+	}
 	t.mu.Lock()
 	out := append([]Posting(nil), t.postings...)
 	t.mu.Unlock()
@@ -686,7 +718,10 @@ func (b *Board) Postings(name string) []Posting {
 // every call returns the same immutable slice, computed once. Callers
 // must not modify it.
 func (b *Board) Votes(name string) []Vote {
-	t := b.topicFor(name)
+	t, ok := b.peekTopic(name)
+	if !ok {
+		return []Vote{} // non-nil, like a created-but-unposted topic
+	}
 	t.mu.Lock()
 	if t.votesAt != t.epoch {
 		t.rebuildVotes()
@@ -716,32 +751,64 @@ func (b *Board) DropTopic(name string) {
 	b.mu.Lock()
 	t, existed := b.topics[name]
 	if existed {
-		// Fold the topic's stats into the board totals so the sampled
-		// telemetry counters stay monotone across drops.
 		t.mu.Lock()
-		b.dropped.fold(t.stats)
-		if t.stats.posts > 0 {
-			if b.droppedPosts == nil {
-				b.droppedPosts = make(map[string]int64)
-			}
-			b.droppedPosts[topicKind(name)] += t.stats.posts
-		}
-		// Retire the topic's value storage into the pool. Value-side
-		// snapshots must not be read after the drop (see valPool); the
-		// vector side is deliberately left alone. A straggler posting
-		// through a stale handle after this lands in fresh orphaned
-		// storage, as before.
-		blocks := t.valSlab.TakeBlocks()
-		arr := t.values
-		t.values, t.valVotes, t.valVotesAt = nil, nil, neverTallied
-		t.mu.Unlock()
-		b.valPool.put(blocks, arr)
-		delete(b.topics, name)
+		b.dropTopicLocked(name, t)
 	}
 	b.mu.Unlock()
 	if existed {
 		b.tel.topics.Add(-1)
 	}
+}
+
+// DropTopicIf drops the topic only if it currently holds exactly nVec
+// vector postings and nVal value postings, reporting whether it did.
+// The check and the drop are atomic under the topic lock, so a posting
+// that commits concurrently either makes the drop fail (it arrived
+// before the check) or recreates the topic afterwards (visible to the
+// next enumeration) — never vanishes with the drop. This is the
+// primitive a shard drain needs: "drop what I replayed, and only if
+// nothing arrived since I read it". Dropping an absent topic succeeds
+// iff both expected counts are zero.
+func (b *Board) DropTopicIf(name string, nVec, nVal int) bool {
+	b.mu.Lock()
+	t, existed := b.topics[name]
+	if !existed {
+		b.mu.Unlock()
+		return nVec == 0 && nVal == 0
+	}
+	t.mu.Lock()
+	if len(t.postings) != nVec || len(t.values) != nVal {
+		t.mu.Unlock()
+		b.mu.Unlock()
+		return false
+	}
+	b.dropTopicLocked(name, t)
+	b.mu.Unlock()
+	b.tel.topics.Add(-1)
+	return true
+}
+
+// dropTopicLocked completes a drop with b.mu and t.mu held; it releases
+// t.mu. Folds the topic's stats into the board totals so the sampled
+// telemetry counters stay monotone across drops, then retires the
+// topic's value storage into the pool. Value-side snapshots must not be
+// read after the drop (see valPool); the vector side is deliberately
+// left alone.
+func (b *Board) dropTopicLocked(name string, t *topic) {
+	b.dropped.fold(t.stats)
+	if t.stats.posts > 0 {
+		if b.droppedPosts == nil {
+			b.droppedPosts = make(map[string]int64)
+		}
+		b.droppedPosts[topicKind(name)] += t.stats.posts
+	}
+	blocks := t.valSlab.TakeBlocks()
+	arr := t.values
+	t.values, t.valVotes, t.valVotesAt = nil, nil, neverTallied
+	t.retired = true
+	t.mu.Unlock()
+	b.valPool.put(blocks, arr)
+	delete(b.topics, name)
 }
 
 // TopicCount returns the number of live topics (for tests and stats).
@@ -817,7 +884,9 @@ type ValueVote struct {
 // The slice is copied (into the topic's slab; one heap allocation per
 // slab block, not per posting); callers may reuse it.
 func (b *Board) PostValues(name string, player int, vals []uint32) {
-	b.postValuesTo(b.topicFor(name), player, vals)
+	for !b.postValuesTo(b.topicFor(name), player, vals) {
+		// Re-resolve: the handle lost a race with a drop (see Post).
+	}
 }
 
 // TopicRef is a resolved handle to a live topic, letting a phase that
@@ -879,8 +948,16 @@ func (b *Board) PostValuesBatchRef(r TopicRef, players []int, rows [][]uint32) {
 	t.mu.Unlock()
 }
 
-func (b *Board) postValuesTo(t *topic, player int, vals []uint32) {
+// postValuesTo appends one value posting under t. It reports false
+// without posting when t is a retired handle: the name-based caller
+// re-resolves, while ref-based callers treat the post as expired with
+// the ref (it would have been invisible to readers either way).
+func (b *Board) postValuesTo(t *topic, player int, vals []uint32) bool {
 	t.mu.Lock()
+	if t.retired {
+		t.mu.Unlock()
+		return false
+	}
 	if len(t.values) == cap(t.values) {
 		t.values = growPostings(t.values)
 	}
@@ -889,12 +966,16 @@ func (b *Board) postValuesTo(t *topic, player int, vals []uint32) {
 	t.stats.posts++
 	b.vectorPosts.Add(1) // under the lock; see Post
 	t.mu.Unlock()
+	return true
 }
 
 // ValuePostings returns a snapshot of the value vectors posted under the
 // topic, in posting order.
 func (b *Board) ValuePostings(name string) []ValuePosting {
-	t := b.topicFor(name)
+	t, ok := b.peekTopic(name)
+	if !ok {
+		return nil
+	}
 	t.mu.Lock()
 	out := append([]ValuePosting(nil), t.values...)
 	t.mu.Unlock()
@@ -906,7 +987,10 @@ func (b *Board) ValuePostings(name string) []ValuePosting {
 // for every reader, like Votes). Cached per topic epoch like Votes; the
 // result is immutable and must not be modified.
 func (b *Board) ValueVotes(name string) []ValueVote {
-	t := b.topicFor(name)
+	t, ok := b.peekTopic(name)
+	if !ok {
+		return []ValueVote{} // non-nil, like a created-but-unposted topic
+	}
 	t.mu.Lock()
 	if t.valVotesAt != t.epoch {
 		t.rebuildValVotes()
@@ -929,7 +1013,13 @@ func (b *Board) ValueVotes(name string) []ValueVote {
 // returned tallies are the shared immutable epoch caches of Votes and
 // ValueVotes.
 func (b *Board) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (gen, epoch uint64, unchanged bool, votes []Vote, valVotes []ValueVote) {
-	t := b.topicFor(name)
+	t, ok := b.peekTopic(name)
+	if !ok {
+		// An absent topic reads as the zero stamp; real topics always
+		// carry gen >= 1, so a caller holding the zero stamp sees it
+		// unchanged and anything else refetches (empty) content.
+		return 0, 0, sinceGen == 0 && sinceEpoch == 0, nil, nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	gen, epoch = t.gen, t.epoch

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tellme/internal/bitvec"
 	"tellme/internal/boardclient"
 	"tellme/internal/ints"
 	"tellme/internal/probe"
@@ -135,6 +136,16 @@ type Env struct {
 	// which phase it interrupted. Written only by the coordinator
 	// goroutine (spans start and end between phases, never inside one).
 	cur string
+
+	// ckOuts/ckEpochs are the last completed-epoch checkpoint: the
+	// epoch-structured algorithms (Anytime after each completed phase,
+	// Refresh at entry with the stale inputs) save a consistent output
+	// set here so an abort mid-epoch can report the last *completed*
+	// epoch instead of nothing — never a mix of a half-written epoch
+	// with the prior one. Coordinator-goroutine only, written between
+	// phases; the facade reads it after the run unwinds.
+	ckOuts   []bitvec.Partial
+	ckEpochs int
 }
 
 // Abort is the panic payload the Env helpers use to unwind a cancelled
@@ -190,6 +201,24 @@ func (env *Env) ActiveKind() string { return env.cur }
 
 // Context returns the run's context (nil for an uncancellable run).
 func (env *Env) Context() context.Context { return env.ctx }
+
+// saveCheckpoint records outs as the outputs of the last completed
+// epoch (epochs completed so far). The slice header is copied so later
+// element reassignments by the caller cannot tear the checkpoint; the
+// elements themselves must be immutable once stored (the callers only
+// ever *replace* entries, never mutate them in place).
+func (env *Env) saveCheckpoint(outs []bitvec.Partial, epochs int) {
+	env.ckOuts = append(env.ckOuts[:0], outs...)
+	env.ckEpochs = epochs
+}
+
+// Checkpoint returns the last completed-epoch outputs and the number of
+// completed epochs (nil, 0 when the run's algorithm keeps no epoch
+// checkpoints or none completed). Valid only after the run has unwound;
+// the caller may keep the slice.
+func (env *Env) Checkpoint() ([]bitvec.Partial, int) {
+	return env.ckOuts, env.ckEpochs
+}
 
 // dropQuietly removes a topic, swallowing any failure: it runs on the
 // abort path, where the transport may be the very thing that died, and

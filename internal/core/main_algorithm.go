@@ -56,10 +56,23 @@ func DispatchRegime(n, d int) Regime {
 // out[p] is nil only for n == 0 inputs; outputs may contain '?' entries
 // in the Large Radius regime.
 func Main(env *Env, alpha float64, d int) []bitvec.Partial {
+	return MainFor(env, alpha, d, allPlayers(env.N), allObjects(env.M))
+}
+
+// MainFor is Main restricted to a player subset over an object subset —
+// the epoch re-entry form the serving daemon uses when only the
+// currently-admitted slots participate. alpha is interpreted relative
+// to len(players), matching the sub-algorithms' conventions. The
+// returned slice is indexed by player id (length env.N); entries for
+// players outside the subset are zero-valued. Pass objs covering all of
+// [0, m) for full-length output vectors (the Zero/Small regimes return
+// vectors positional in objs).
+func MainFor(env *Env, alpha float64, d int, players, objs []int) []bitvec.Partial {
 	env.checkAborted()
-	players := allPlayers(env.N)
-	objs := allObjects(env.M)
 	out := make([]bitvec.Partial, env.N)
+	if len(players) == 0 || len(objs) == 0 {
+		return out
+	}
 	switch DispatchRegime(env.N, d) {
 	case RegimeZero:
 		zr := zeroRadiusBitsFlat(env, players, objs, alpha)

@@ -34,6 +34,16 @@ import (
 // Players not in any consensus group keep their stale output unchanged
 // (they went it alone before; they can re-probe alone too).
 //
+// Epoch re-entry (the serving daemon's churn path): a player whose
+// stale entry is the zero-value Partial (Len() == 0 — distinct from
+// NewPartial(m), the all-'?' vector of full length) is a *joiner*: it
+// has no previous output to post, is excluded from the consensus
+// threshold, and after the groups repair it adopts the repaired
+// consensus vector that looks closest to its own taste via RSelect —
+// the same Choose-Closest guarantee every returning member relies on.
+// A joiner facing no consensus group keeps the zero-value output; the
+// caller is expected to fall back to a full run for that epoch.
+//
 // maxPatches caps per-player verification in case the world drifted
 // beyond expectation; patches past the cap (most-voted first) are
 // dropped, leaving at most that many stale coordinates.
@@ -54,13 +64,23 @@ func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha 
 	tag := env.freshTag("rf")
 	coin := env.Public.Stream(tag, 0)
 
+	// The stale inputs are the last completed epoch: checkpoint them so
+	// an abort mid-repair reports them instead of a half-patched mix.
+	env.saveCheckpoint(stale, 0)
+
 	// Step 1: identify consensus groups from the (public) stale outputs.
+	// Joiners have nothing to post and do not dilute the threshold.
 	staleTopic := tag + "/stale"
+	posters := 0
 	for _, p := range players {
 		out[p] = stale[p].Clone() // default: keep stale
+		if stale[p].Len() == 0 {
+			continue // joiner
+		}
+		posters++
 		env.Board.Post(staleTopic, p, stale[p])
 	}
-	need := int(alpha * float64(len(players)))
+	need := int(alpha * float64(posters))
 	if need < 2 {
 		need = 2
 	}
@@ -80,22 +100,57 @@ func Refresh(env *Env, players []int, objs []int, stale []bitvec.Partial, alpha 
 			panic(rec)
 		}
 	}()
+	var repaired []bitvec.Partial
 	for _, v := range votes {
 		if v.Count < need {
 			continue
 		}
 		env.checkAborted()
-		refreshGroup(env, coin, objs, v.Voters, v.Vec, out, redundancy, maxPatches,
-			tag, groupID)
+		repaired = append(repaired, refreshGroup(env, coin, objs, v.Voters, v.Vec, out,
+			redundancy, maxPatches, tag, groupID))
 		groupID++
 	}
+	adoptJoiners(env, players, objs, stale, repaired, out, tag)
 	return out
 }
 
-// refreshGroup repairs one consensus group's shared output.
+// adoptJoiners has every joiner (zero-length stale entry) RSelect among
+// the repaired consensus vectors and adopt the closest-looking one,
+// Fill(0)-normalized like every cross-candidate comparison (see
+// pickBest). Joiners probe only here: len(repaired)·RSelC·log n probes
+// each, the same budget a returning member spends picking between two
+// anytime phases. With no repaired groups the joiners keep their
+// zero-value outputs and the caller decides whether to run fully.
+func adoptJoiners(env *Env, players, objs []int, stale, repaired, out []bitvec.Partial, tag string) {
+	var joiners []int
+	for _, p := range players {
+		if stale[p].Len() == 0 {
+			joiners = append(joiners, p)
+		}
+	}
+	if len(joiners) == 0 || len(repaired) == 0 {
+		return
+	}
+	cands := make([]bitvec.Partial, len(repaired))
+	for i, r := range repaired {
+		cands[i] = bitvec.PartialOf(r.Fill(0))
+	}
+	cLogN := RSelSamples(env.Cfg, env.N)
+	env.phase(joiners, func(p int) {
+		pl := env.Engine.Player(p)
+		r := env.Public.Stream(tag+"/adopt", p)
+		out[p] = cands[RSelect(pl, r, objs, cands, cLogN)]
+	})
+}
+
+// refreshGroup repairs one consensus group's shared output and returns
+// the repaired consensus vector: the old consensus with each selected
+// patch coordinate rewritten to its majority-voted value. Individual
+// members self-verify every patch with their own probes; the returned
+// vector is the group-level view joiners adopt from.
 func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
 	consensus bitvec.Partial, out []bitvec.Partial,
-	redundancy, maxPatches int, tag string, groupID int) {
+	redundancy, maxPatches int, tag string, groupID int) bitvec.Partial {
 
 	topic := tag + "/patches/" + strconv.Itoa(groupID)
 
@@ -121,17 +176,21 @@ func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
 		}
 	})
 
-	// Collect patch coordinates, most-voted first, capped.
-	byCoord := map[int]int{}
+	// Collect patch coordinates, most-voted first, capped. Votes are
+	// tallied per (coordinate, value) so the repaired consensus can take
+	// the majority value at each patched coordinate.
+	byCoord := map[int][2]int{}
 	for _, v := range env.Board.ValueVotes(topic) {
-		if len(v.Vals) == 2 {
-			byCoord[int(v.Vals[0])] += v.Count
+		if len(v.Vals) == 2 && v.Vals[1] <= 1 {
+			t := byCoord[int(v.Vals[0])]
+			t[v.Vals[1]] += v.Count
+			byCoord[int(v.Vals[0])] = t
 		}
 	}
 	type patch struct{ lc, count int }
 	patches := make([]patch, 0, len(byCoord))
-	for lc, c := range byCoord {
-		patches = append(patches, patch{lc, c})
+	for lc, t := range byCoord {
+		patches = append(patches, patch{lc, t[0] + t[1]})
 	}
 	sort.Slice(patches, func(i, j int) bool {
 		if patches[i].count != patches[j].count {
@@ -151,6 +210,17 @@ func refreshGroup(env *Env, coin *rng.Rand, objs []int, holders []int,
 		}
 	})
 	env.Board.DropTopic(topic)
+
+	repaired := consensus.Clone()
+	for _, pa := range patches {
+		t := byCoord[pa.lc]
+		var v byte
+		if t[1] >= t[0] {
+			v = 1
+		}
+		repaired.SetBit(pa.lc, v)
+	}
+	return repaired
 }
 
 // RefreshBudget returns the default re-verification redundancy and

@@ -27,30 +27,36 @@ func CandidateDs(m int) []int {
 // Cost is a log(m) factor over the known-D algorithm; quality is a
 // constant factor worse (Theorem 1.1's statement absorbs both).
 func UnknownD(env *Env, alpha float64) []bitvec.Partial {
+	return UnknownDFor(env, alpha, allPlayers(env.N), allObjects(env.M))
+}
+
+// UnknownDFor is UnknownD restricted to a player subset over an object
+// subset — the epoch re-entry form the serving daemon runs over the
+// currently-admitted slots. The returned slice is indexed by player id
+// (length env.N); entries outside the subset are zero-valued.
+func UnknownDFor(env *Env, alpha float64, players, objs []int) []bitvec.Partial {
 	if !env.spanOff("unknownd") {
-		defer env.span("unknownd", "alpha", alpha)()
+		defer env.spanPlayers("unknownd", players, "alpha", alpha)()
 	}
-	ds := CandidateDs(env.M)
+	ds := CandidateDs(len(objs))
 	perD := make([][]bitvec.Partial, len(ds))
 	for i, d := range ds {
 		env.checkAborted()
-		perD[i] = Main(env, alpha, d)
+		perD[i] = MainFor(env, alpha, d, players, objs)
 	}
-	return pickBest(env, perD)
+	return pickBest(env, perD, players, objs)
 }
 
-// pickBest has every player RSelect among the per-run output vectors
-// assigned to it.
+// pickBest has every player in the subset RSelect among the per-run
+// output vectors assigned to it.
 //
 // Candidates are compared after applying the paper's output convention
 // ("'?' entries may be set to 0"): comparing raw partial vectors with
 // the ?-ignoring metric would let a mostly-undetermined vector beat a
 // fully-specified one by being unfalsifiable on the few coordinates it
 // commits to, even though its filled form is far from the truth.
-func pickBest(env *Env, runs [][]bitvec.Partial) []bitvec.Partial {
+func pickBest(env *Env, runs [][]bitvec.Partial, players, objs []int) []bitvec.Partial {
 	out := make([]bitvec.Partial, env.N)
-	players := allPlayers(env.N)
-	objs := allObjects(env.M)
 	cLogN := RSelSamples(env.Cfg, env.N)
 	tag := env.freshTag("rsel")
 	env.phase(players, func(p int) {
@@ -129,6 +135,12 @@ func Anytime(env *Env, budget int64, observe func(AnytimePhase) bool) []bitvec.P
 			r := env.Public.Stream("anytime-rsel", p*1024+j)
 			best[p] = cands[RSelect(pl, r, objs, cands, cLogN)]
 		})
+		// Phase j is complete: its keep-best barrier has drained, so
+		// best is a consistent output set. Checkpoint it — an abort in
+		// phase j+1 then reports exactly phase j's outputs (entries are
+		// only ever replaced, never mutated, so the copied slice stays
+		// intact while the next phase reassigns best).
+		env.saveCheckpoint(best, j)
 		mp := maxProbes()
 		if observe != nil && !observe(AnytimePhase{Phase: j, Alpha: alpha, Outputs: best, MaxProbes: mp}) {
 			break

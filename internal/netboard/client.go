@@ -809,6 +809,27 @@ func (c *Client) clearProbes(ctx context.Context, p int, objs []int) {
 	c.post(ctx, PathClearProbes, clearProbesPost{Player: p, Objects: objs})
 }
 
+// Quiesce blocks until every mutation the server has started applying
+// has finished — the drain-path barrier before snapshotting a donor.
+// Not part of boardclient.Interface.
+func (c *Client) Quiesce() { c.quiesce(bg) }
+
+func (c *Client) quiesce(ctx context.Context) {
+	var reply quiesceReply
+	c.get(ctx, PathQuiesce, nil, &reply)
+}
+
+// dropTopicIf asks the server to drop the topic only if its posting
+// counts still match (nVec vector postings, nVal value postings). The
+// outcome is not reported — a deduplicated retry could not reproduce it
+// — so callers verify by re-reading the topic.
+func (c *Client) dropTopicIf(ctx context.Context, name string, nVec, nVal int) {
+	c.post(ctx, PathDropTopicIf, dropIfPost{Topic: name, Vectors: nVec, Values: nVal})
+	c.cacheMu.Lock()
+	delete(c.cache, name)
+	c.cacheMu.Unlock()
+}
+
 // boundClient is the context-bound view of a Client: every operation
 // forwards to the shared client with the bound context. It cannot embed
 // *Client — the embedded methods would run with the background context —

@@ -112,11 +112,28 @@ func (cl *Cluster) shardClient(baseURL string, i int) *Client {
 	return NewClientWithConfig(baseURL, shardCfg)
 }
 
-// decorrelate derives a distinct nonzero per-shard seed.
+// decorrelate derives a distinct nonzero per-shard seed that also
+// differs from the base seed itself. A bare golden-ratio shift is
+// affine: shard i of seed s equals shard i+k of seed s−k·φ, so nearby
+// seeds run their shard fleets on shifted copies of the same backoff
+// schedule, and wraparound can hand a shard the base seed back — which
+// a standalone client with the same configured seed is already using.
+// Running the shifted value through the splitmix64 finalizer makes
+// every (seed, shard) pair land pseudo-independently; the guards keep
+// the result nonzero (zero means "seed randomly" downstream) and never
+// the base seed (the standalone client's stream).
 func decorrelate(seed, i uint64) uint64 {
-	s := seed + (i+1)*0x9e3779b97f4a7c15 // golden-ratio increment
-	if s == 0 {
-		s = 1
+	s := seed + (i+1)*0x9e3779b97f4a7c15 // golden-ratio stream separation
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	if s == 0 || s == seed {
+		s = seed ^ 0x74656c6c6d65 // "tellme"
+		if s == 0 {
+			s = 1
+		}
 	}
 	return s
 }
@@ -311,6 +328,28 @@ func (cl *Cluster) forEachProbe(ctx context.Context, p int, fn func(o int, grade
 
 // ProbeCount implements billboard.Interface: the sum over shards.
 func (cl *Cluster) ProbeCount() int64 { return cl.sumStats(bg, func(s statsReply) int64 { return s.ProbeCount }) }
+
+// ClearProbes removes player p's probe results for objs, each object
+// routed to its owner shard (mirrors billboard.Board.ClearProbes and
+// Client.ClearProbes, including the quiescence requirement). The
+// serving daemon uses it to release a departed player's probe storage
+// at an epoch boundary. Not part of boardclient.Interface.
+func (cl *Cluster) ClearProbes(p int, objs []int) {
+	if len(objs) == 0 {
+		return
+	}
+	ring, clients := cl.topo()
+	byShard := shardSplit(ring, objs)
+	shards := shardList(byShard)
+	scatter(len(shards), func(k int) {
+		idx := byShard[shards[k]]
+		sub := make([]int, len(idx))
+		for j, i := range idx {
+			sub[j] = objs[i]
+		}
+		clients[shards[k]].clearProbes(bg, p, sub)
+	})
+}
 
 // ── Topic operations (routed by topic name) ──────────────────────────
 
@@ -557,9 +596,13 @@ func (cl *Cluster) AddShard(ctx context.Context, baseURL string) error {
 	// iff its new owner differs from its old one — and then the new
 	// owner is the added shard.
 	err := captureTransport(func() {
-		for donorIdx, donor := range oldClients {
-			cl.drainMoved(ctx, donor, donorIdx, oldRing, newRing, newClients)
-		}
+		converge(ctx, oldClients, func() int {
+			moved := 0
+			for donorIdx, donor := range oldClients {
+				moved += cl.drainMoved(ctx, donor, donorIdx, oldRing, newRing, newClients)
+			}
+			return moved
+		})
 	})
 	if err != nil {
 		return fmt.Errorf("netboard: add shard %s: %w", baseURL, err)
@@ -606,7 +649,9 @@ func (cl *Cluster) RemoveShard(ctx context.Context, baseURL string) error {
 	// (removing a shard's points leaves all other points in place).
 	donor := oldClients[donorIdx]
 	err := captureTransport(func() {
-		cl.drainAll(ctx, donor, newRing, newClients)
+		converge(ctx, []*Client{donor}, func() int {
+			return cl.drainAll(ctx, donor, newRing, newClients)
+		})
 	})
 	if err != nil {
 		return fmt.Errorf("netboard: remove shard %s: %w", baseURL, err)
@@ -617,9 +662,37 @@ func (cl *Cluster) RemoveShard(ctx context.Context, baseURL string) error {
 	return nil
 }
 
+// maxDrainPasses bounds the drain's converge loop. A pass beyond the
+// first only happens when a straggler committed on a donor between the
+// previous pass's snapshot and its conditional drop; stragglers are
+// bounded by the mutations in flight when the drain started, so two
+// passes (move everything, verify nothing is left) is the norm.
+const maxDrainPasses = 16
+
+// converge closes the copy-then-drop window: before each pass it
+// quiesces the donors — a post the network delivered but whose response
+// was lost is applied and visible before the pass snapshots anything —
+// and it repeats the pass until one moves nothing, so a retry or
+// network duplicate that commits on a donor *after* a snapshot (the
+// conditional drop refuses to erase it) is picked up by the next pass
+// instead of being silently lost.
+func converge(ctx context.Context, donors []*Client, pass func() int) {
+	for i := 0; ; i++ {
+		if i == maxDrainPasses {
+			panic(&TransportError{Err: fmt.Errorf("drain did not converge after %d passes: new postings keep arriving on the donor (cluster is not quiescent)", maxDrainPasses)})
+		}
+		scatter(len(donors), func(k int) { donors[k].quiesce(ctx) })
+		if pass() == 0 {
+			return
+		}
+	}
+}
+
 // drainMoved moves the donor's keys whose owner changed between
-// oldRing and newRing (shard indices aligned) to their new owners.
-func (cl *Cluster) drainMoved(ctx context.Context, donor *Client, donorIdx int, oldRing, newRing *Ring, newClients []*Client) {
+// oldRing and newRing (shard indices aligned) to their new owners,
+// returning how many postings and probe results it moved.
+func (cl *Cluster) drainMoved(ctx context.Context, donor *Client, donorIdx int, oldRing, newRing *Ring, newClients []*Client) int {
+	moved := 0
 	for _, topic := range donor.topics(ctx) {
 		if oldRing.Owner(topic) != donorIdx {
 			// Not this donor's key (possible only if the cluster was fed
@@ -627,47 +700,82 @@ func (cl *Cluster) drainMoved(ctx context.Context, donor *Client, donorIdx int, 
 			continue
 		}
 		if dest := newRing.Owner(topic); dest != donorIdx {
-			moveTopic(ctx, donor, newClients[dest], topic)
+			moved += moveTopic(ctx, donor, newClients[dest], topic)
 		}
 	}
 	n := donor.stats(ctx).N
 	for p := 0; p < n; p++ {
-		cl.moveProbes(ctx, donor, donorIdx, newRing, newClients, p, func(o int) bool {
+		moved += cl.moveProbes(ctx, donor, donorIdx, newRing, newClients, p, func(o int) bool {
 			return oldRing.Owner(objKey(o)) == donorIdx
 		})
 	}
+	return moved
 }
 
 // drainAll moves everything the donor holds to its owner in newRing
-// (the donor is not in newRing).
-func (cl *Cluster) drainAll(ctx context.Context, donor *Client, newRing *Ring, newClients []*Client) {
+// (the donor is not in newRing), returning how much it moved.
+func (cl *Cluster) drainAll(ctx context.Context, donor *Client, newRing *Ring, newClients []*Client) int {
+	moved := 0
 	for _, topic := range donor.topics(ctx) {
-		moveTopic(ctx, donor, newClients[newRing.Owner(topic)], topic)
+		moved += moveTopic(ctx, donor, newClients[newRing.Owner(topic)], topic)
 	}
 	n := donor.stats(ctx).N
 	for p := 0; p < n; p++ {
-		cl.moveProbes(ctx, donor, -1, newRing, newClients, p, func(int) bool { return true })
+		moved += cl.moveProbes(ctx, donor, -1, newRing, newClients, p, func(int) bool { return true })
 	}
+	return moved
 }
 
 // moveTopic replays one topic's postings — vector then value, each in
 // the donor's posting order, so the destination's tallies come out
-// byte-identical — onto dest, then drops the topic from the donor.
-func moveTopic(ctx context.Context, donor, dest *Client, topic string) {
-	for _, p := range donor.postings(ctx, topic) {
-		dest.postTopic(ctx, topic, p.Player, p.Vec)
+// byte-identical — onto dest, then drops the topic from the donor with
+// a conditional drop that only erases exactly what was replayed. If a
+// straggler commits on the donor between the snapshot and the drop, the
+// drop refuses, and the loop replays just the delta (donor postings are
+// append-ordered) and tries again. Returns the number of postings
+// replayed.
+func moveTopic(ctx context.Context, donor, dest *Client, topic string) int {
+	replayedVec, replayedVal, moved := 0, 0, 0
+	for attempt := 0; ; attempt++ {
+		if attempt == maxDrainPasses {
+			panic(&TransportError{Err: fmt.Errorf("drain of topic %q did not converge after %d attempts", topic, maxDrainPasses)})
+		}
+		posts := donor.postings(ctx, topic)
+		vals := donor.valuePostings(ctx, topic)
+		if len(posts) == 0 && len(vals) == 0 {
+			// Dropped (this loop's previous attempt succeeded) or the
+			// topic never existed.
+			return moved
+		}
+		if len(posts) < replayedVec || len(vals) < replayedVal {
+			// The previous conditional drop succeeded and a straggler
+			// recreated the topic: everything now on the donor is new.
+			replayedVec, replayedVal = 0, 0
+		}
+		for _, p := range posts[replayedVec:] {
+			dest.postTopic(ctx, topic, p.Player, p.Vec)
+		}
+		for _, vp := range vals[replayedVal:] {
+			dest.postValues(ctx, topic, vp.Player, vp.Vals)
+		}
+		moved += len(posts) - replayedVec + len(vals) - replayedVal
+		replayedVec, replayedVal = len(posts), len(vals)
+		// The acknowledgement carries no outcome (a deduplicated retry
+		// could not reproduce it); the re-read at the top of the loop
+		// verifies the drop took.
+		donor.dropTopicIf(ctx, topic, replayedVec, replayedVal)
 	}
-	for _, vp := range donor.valuePostings(ctx, topic) {
-		dest.postValues(ctx, topic, vp.Player, vp.Vals)
-	}
-	donor.dropTopic(ctx, topic)
 }
 
 // moveProbes migrates player p's probe results held by donor whose
 // object is owned (per owned) by the donor and whose new owner is a
 // different shard (donorIdx; -1 means every object moves). Results are
-// posted to their new owners first, then cleared from the donor.
-func (cl *Cluster) moveProbes(ctx context.Context, donor *Client, donorIdx int, newRing *Ring, newClients []*Client, p int, owned func(o int) bool) {
+// posted to their new owners first, then cleared from the donor —
+// clearing exactly the snapshot that was replayed, so a probe result a
+// straggler lands after the snapshot survives on the donor for the next
+// converge pass instead of being erased unmoved. Returns the number of
+// results moved.
+func (cl *Cluster) moveProbes(ctx context.Context, donor *Client, donorIdx int, newRing *Ring, newClients []*Client, p int, owned func(o int) bool) int {
 	pairs := donor.probedPairs(ctx, p)
 	byDest := make(map[int][]objGrade)
 	for _, og := range pairs {
@@ -693,6 +801,7 @@ func (cl *Cluster) moveProbes(ctx context.Context, donor *Client, donorIdx int, 
 		moved = append(moved, objs...)
 	}
 	donor.clearProbes(ctx, p, moved)
+	return len(moved)
 }
 
 // captureTransport runs fn, converting a shard client's terminal-panic

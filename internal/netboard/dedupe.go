@@ -19,6 +19,14 @@ type dedupe struct {
 	order []string
 	head  int
 	cap   int
+
+	// inflight counts applications currently executing (with or without
+	// an id); idle is closed when inflight returns to zero, waking
+	// Quiesce waiters. Registration happens in the same critical section
+	// that claims the id, so a mutation is either not yet acknowledged
+	// to its client or visible to Quiesce — never in between.
+	inflight int
+	idle     chan struct{}
 }
 
 type dedupeEntry struct {
@@ -34,7 +42,11 @@ func newDedupe(capacity int) *dedupe {
 // performed the application (false = deduplicated).
 func (d *dedupe) Do(id string, apply func()) bool {
 	if id == "" || d.cap <= 0 {
+		d.mu.Lock()
+		d.inflight++
+		d.mu.Unlock()
 		apply()
+		d.done()
 		return true
 	}
 	d.mu.Lock()
@@ -45,6 +57,7 @@ func (d *dedupe) Do(id string, apply func()) bool {
 	}
 	e := &dedupeEntry{done: make(chan struct{})}
 	d.seen[id] = e
+	d.inflight++
 	d.mu.Unlock()
 
 	apply()
@@ -61,6 +74,45 @@ func (d *dedupe) Do(id string, apply func()) bool {
 		d.order = append(d.order[:0], d.order[d.head:]...)
 		d.head = 0
 	}
+	d.finishLocked()
 	d.mu.Unlock()
 	return true
+}
+
+// done retires one in-flight application.
+func (d *dedupe) done() {
+	d.mu.Lock()
+	d.finishLocked()
+	d.mu.Unlock()
+}
+
+func (d *dedupe) finishLocked() {
+	d.inflight--
+	if d.inflight == 0 && d.idle != nil {
+		close(d.idle)
+		d.idle = nil
+	}
+}
+
+// Quiesce blocks until no application is executing: every mutation the
+// server has started applying — including a retry's original whose
+// response was lost — has finished and is visible to subsequent reads.
+// It does not wait for duplicates parked on an in-flight entry (they
+// never re-apply) and cannot see a request the HTTP layer has accepted
+// but whose handler has not reached Do yet; the drain's converge loop
+// covers that residue.
+func (d *dedupe) Quiesce() {
+	for {
+		d.mu.Lock()
+		if d.inflight == 0 {
+			d.mu.Unlock()
+			return
+		}
+		if d.idle == nil {
+			d.idle = make(chan struct{})
+		}
+		ch := d.idle
+		d.mu.Unlock()
+		<-ch
+	}
 }

@@ -78,6 +78,8 @@ func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
 	s.handle(PathTopicSnapshot, s.readOnly(s.handleTopicSnapshot))
 	s.handle(PathTopics, s.readOnly(s.handleTopics))
 	s.handle(PathClearProbes, s.handleClearProbes)
+	s.handle(PathQuiesce, s.readOnly(s.handleQuiesce))
+	s.handle(PathDropTopicIf, s.handleDropTopicIf)
 	return s
 }
 
@@ -459,6 +461,34 @@ func (s *Server) handleClearProbes(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.apply(w, r, func() { s.board.ClearProbes(req.Player, req.Objects) })
+}
+
+// handleQuiesce blocks until every mutation the server has started
+// applying has finished, then acknowledges. A drain calls this before
+// snapshotting the donor so a post whose response was lost in the
+// network — applied here, client still retrying — is visible to the
+// snapshot instead of committing into the copy-then-drop gap.
+func (s *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
+	s.dedupe.Quiesce()
+	writeJSON(w, quiesceReply{Idle: true})
+}
+
+// handleDropTopicIf is the drain's conditional drop: remove the topic
+// only if its posting counts still match what the caller replayed. The
+// outcome is not reported (see dropIfPost); callers re-read the topic.
+func (s *Server) handleDropTopicIf(w http.ResponseWriter, r *http.Request) {
+	var req dropIfPost
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !topicParam(w, req.Topic) {
+		return
+	}
+	if req.Vectors < 0 || req.Values < 0 {
+		http.Error(w, "negative posting count", http.StatusBadRequest)
+		return
+	}
+	s.apply(w, r, func() { s.board.DropTopicIf(req.Topic, req.Vectors, req.Values) })
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

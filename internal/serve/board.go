@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/boardclient"
+)
+
+// probeClearer is the admin surface for releasing a player's probe
+// storage, implemented by billboard.Board, netboard.Client and
+// netboard.Cluster (it is deliberately not part of the algorithm-facing
+// boardclient.Interface).
+type probeClearer interface {
+	ClearProbes(p int, objs []int)
+}
+
+// trackingBoard wraps the serving board for the duration of one epoch
+// and records every topic name the algorithms post under, so cleanup
+// can drop the epoch's scratch topics afterwards — on success (where
+// the algorithms already dropped their own; re-dropping is a no-op) and
+// on abort (where a leaked topic would otherwise collide with a later
+// epoch reusing the same deterministic tag).
+//
+// It intentionally does not forward the in-memory board's optional
+// fast-path interfaces (TopicRef posting, HintPosts): the algorithms
+// fall back to name-based posting, which is the path every remote
+// transport uses anyway.
+type trackingBoard struct {
+	boardclient.Interface
+
+	mu    sync.Mutex
+	names map[string]struct{}
+}
+
+func (t *trackingBoard) record(name string) {
+	t.mu.Lock()
+	if t.names == nil {
+		t.names = make(map[string]struct{})
+	}
+	t.names[name] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Post records the topic before delegating.
+func (t *trackingBoard) Post(name string, player int, v bitvec.Partial) {
+	t.record(name)
+	t.Interface.Post(name, player, v)
+}
+
+// PostVector records the topic before delegating.
+func (t *trackingBoard) PostVector(name string, player int, v bitvec.Vector) {
+	t.record(name)
+	t.Interface.PostVector(name, player, v)
+}
+
+// PostValues records the topic before delegating.
+func (t *trackingBoard) PostValues(name string, player int, vals []uint32) {
+	t.record(name)
+	t.Interface.PostValues(name, player, vals)
+}
+
+// cleanup drops every recorded topic on base — the unbound board, so
+// cleanup still runs after the epoch's context died. Failures are
+// swallowed: on the abort path the transport may be the very thing that
+// failed, and a cleanup panic must not mask the epoch's real error.
+func (t *trackingBoard) cleanup(base boardclient.Interface) {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.names))
+	for name := range t.names {
+		names = append(names, name)
+	}
+	t.names = nil
+	t.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		dropQuietly(base, name)
+	}
+}
+
+func dropQuietly(b boardclient.Interface, name string) {
+	defer func() { _ = recover() }()
+	b.DropTopic(name)
+}

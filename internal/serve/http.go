@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/telemetry"
+)
+
+// HandlerConfig configures the HTTP front of an Engine.
+type HandlerConfig struct {
+	// RecommendDeadline is the default per-request deadline of
+	// GET /v1/recommend/{id} (how long a request may wait for the next
+	// epoch to cover its player). 0 means DefaultRecommendDeadline. A
+	// request may shorten it with ?wait=<duration> but never exceed it.
+	RecommendDeadline time.Duration
+	// Telemetry, if non-nil, is exposed at GET /debug/telemetry.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultRecommendDeadline bounds recommendation requests that must
+// wait for an epoch when the handler config does not say otherwise.
+const DefaultRecommendDeadline = 10 * time.Second
+
+// Handler exposes the engine's serving API over HTTP:
+//
+//	POST   /v1/players          {"bits":"0101..."} → {"id":N}
+//	DELETE /v1/players/{id}     retire at the next epoch boundary
+//	GET    /v1/recommend/{id}   → {"id":N,"epoch":E,"bits":"01?..."}
+//	GET    /v1/status           → {"epoch":E,"members":K,...}
+//	GET    /debug/telemetry     registry snapshot as JSON
+//
+// Recommendations are answered from the latest completed epoch; a
+// request whose player is not covered yet waits up to the per-request
+// deadline (504 on expiry). All bodies are JSON.
+func Handler(e *Engine, hc HandlerConfig) http.Handler {
+	if hc.RecommendDeadline <= 0 {
+		hc.RecommendDeadline = DefaultRecommendDeadline
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/players", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+			return
+		}
+		truth, err := vectorFromBits(req.Bits, e.cfg.M)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := e.Join(truth)
+		if errors.Is(err, ErrFull) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(joinReply{ID: id, Epoch: e.CompletedEpochs()})
+	})
+	mux.HandleFunc("DELETE /v1/players/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad player id: %w", err))
+			return
+		}
+		if err := e.Leave(id); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/recommend/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad player id: %w", err))
+			return
+		}
+		deadline := hc.RecommendDeadline
+		if s := r.URL.Query().Get("wait"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", s))
+				return
+			}
+			if d < deadline {
+				deadline = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		defer cancel()
+		out, epoch, err := e.Recommend(ctx, id)
+		switch {
+		case errors.Is(err, ErrUnknownPlayer):
+			httpError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrNotReady):
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(recommendReply{ID: id, Epoch: epoch, Bits: out.String()})
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		st := statusReply{
+			Epoch:    e.CompletedEpochs(),
+			Players:  e.Players(),
+			Capacity: e.cfg.Capacity,
+			M:        e.cfg.M,
+			Pending:  e.sched.Pending(),
+		}
+		if s := e.Snapshot(); s != nil {
+			st.Members = s.Stats.Members
+			st.MaxErr = s.Stats.MaxErr
+			st.MeanErr = s.Stats.MeanErr
+			st.Refresh = s.Refresh
+			st.EpochMillis = s.Duration.Milliseconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	if hc.Telemetry != nil {
+		mux.HandleFunc("GET /debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			hc.Telemetry.WriteJSON(w)
+		})
+		mux.HandleFunc("GET /debug/telemetry/prometheus", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			hc.Telemetry.WritePrometheus(w)
+		})
+	}
+	return mux
+}
+
+type joinRequest struct {
+	// Bits is the player's preference vector as a '0'/'1' string of
+	// length M — the ground truth its probes answer from.
+	Bits string `json:"bits"`
+}
+
+type joinReply struct {
+	ID uint64 `json:"id"`
+	// Epoch is the number of epochs completed at join time; the player
+	// is covered from some later epoch on.
+	Epoch int64 `json:"epoch"`
+}
+
+type recommendReply struct {
+	ID uint64 `json:"id"`
+	// Epoch is the completed epoch the recommendation was computed in.
+	Epoch int64 `json:"epoch"`
+	// Bits is the reconstructed preference vector over '0'/'1'/'?'.
+	Bits string `json:"bits"`
+}
+
+type statusReply struct {
+	Epoch       int64   `json:"epoch"`
+	Players     int     `json:"players"`
+	Members     int     `json:"members"`
+	Capacity    int     `json:"capacity"`
+	M           int     `json:"m"`
+	Pending     int     `json:"pendingChurn"`
+	Refresh     bool    `json:"refresh"`
+	MaxErr      int     `json:"maxErr"`
+	MeanErr     float64 `json:"meanErr"`
+	EpochMillis int64   `json:"epochMillis"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorReply{Error: err.Error()})
+}
+
+// vectorFromBits parses a '0'/'1' string of length m into a Vector.
+func vectorFromBits(bits string, m int) (bitvec.Vector, error) {
+	if len(bits) != m {
+		return bitvec.Vector{}, fmt.Errorf("serve: preference bits length %d, want %d", len(bits), m)
+	}
+	v := bitvec.New(m)
+	for i := 0; i < m; i++ {
+		switch bits[i] {
+		case '0':
+		case '1':
+			v.Set(i, 1)
+		default:
+			return bitvec.Vector{}, fmt.Errorf("serve: preference bits must be '0'/'1', got %q at %d", bits[i], i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tellme/internal/telemetry"
+)
+
+// daemon spins up an Engine with its HTTP front and a background epoch
+// loop, the way cmd/tellmed wires them.
+func daemon(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	reg := telemetry.New()
+	e, err := New(Config{M: 32, Capacity: 8, Alpha: 0.4, Seed: 42, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(e, HandlerConfig{RecommendDeadline: 5 * time.Second, Telemetry: reg}))
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Run(ctx, 50*time.Millisecond)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return srv, e
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPJoinRecommendLeave(t *testing.T) {
+	srv, _ := daemon(t)
+	bits := strings.Repeat("10", 16)
+	var joined joinReply
+	// Join two players with identical tastes so the community is large
+	// enough for alpha = 0.4.
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: bits}, &joined); code != http.StatusCreated {
+		t.Fatalf("join status %d", code)
+	}
+	var other joinReply
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: bits}, &other); code != http.StatusCreated {
+		t.Fatalf("join status %d", code)
+	}
+	var rec recommendReply
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/recommend/%d", srv.URL, joined.ID), nil, &rec); code != http.StatusOK {
+		t.Fatalf("recommend status %d", code)
+	}
+	if rec.Epoch < 1 || rec.Bits != bits {
+		t.Fatalf("recommend = %+v, want epoch >= 1 and bits %q", rec, bits)
+	}
+	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/players/%d", srv.URL, joined.ID), nil, nil); code != http.StatusNoContent {
+		t.Fatalf("leave status %d", code)
+	}
+	// After a boundary passes, the id stops resolving.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code := doJSON(t, "GET", fmt.Sprintf("%s/v1/recommend/%d?wait=10ms", srv.URL, joined.ID), nil, nil)
+		if code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("departed player still resolving (last status %d)", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHTTPValidationAndDeadline(t *testing.T) {
+	srv, _ := daemon(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: "101"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("short bits: status %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: strings.Repeat("2", 32)}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad alphabet: status %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/recommend/notanumber", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/recommend/424242", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", code)
+	}
+	// A joined player with ?wait too short to reach the next epoch gets
+	// 504 — the per-request deadline contract.
+	var joined joinReply
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: strings.Repeat("1", 32)}, &joined); code != http.StatusCreated {
+		t.Fatalf("join status %d", code)
+	}
+	code := doJSON(t, "GET", fmt.Sprintf("%s/v1/recommend/%d?wait=1ns", srv.URL, joined.ID), nil, nil)
+	if code != http.StatusGatewayTimeout && code != http.StatusOK {
+		t.Fatalf("deadline status %d, want 504 (or 200 if an epoch already covered the player)", code)
+	}
+}
+
+func TestHTTPStatusAndTelemetry(t *testing.T) {
+	srv, e := daemon(t)
+	bits := strings.Repeat("01", 16)
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: bits}, nil); code != http.StatusCreated {
+			t.Fatalf("join status %d", code)
+		}
+	}
+	// Wait for a covering epoch so status reports members.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.CompletedEpochs() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no epochs completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var st statusReply
+	if code := doJSON(t, "GET", srv.URL+"/v1/status", nil, &st); code != http.StatusOK {
+		t.Fatalf("status status %d", code)
+	}
+	if st.Epoch < 2 || st.Capacity != 8 || st.M != 32 || st.Players != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	resp, err := http.Get(srv.URL + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("telemetry not JSON: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestEpochChurnAppliesOnlyAtBoundary(t *testing.T) {
+	s := NewEpochScheduler()
+	s.Join(3)
+	s.Join(1)
+	plan := s.BeginEpoch()
+	if want := []int{1, 3}; !reflect.DeepEqual(plan.Members, want) {
+		t.Fatalf("members %v, want %v", plan.Members, want)
+	}
+	if !reflect.DeepEqual(plan.Joined, []int{1, 3}) {
+		t.Fatalf("joined %v, want [1 3]", plan.Joined)
+	}
+	// Churn arriving mid-epoch must not affect the running epoch.
+	s.Join(7)
+	s.Leave(1)
+	if got := s.Members(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("mid-epoch members %v, want [1 3]", got)
+	}
+	s.Complete()
+	if s.CompletedEpochs() != 1 {
+		t.Fatalf("completed %d, want 1", s.CompletedEpochs())
+	}
+	plan = s.BeginEpoch()
+	if want := []int{3, 7}; !reflect.DeepEqual(plan.Members, want) {
+		t.Fatalf("epoch 2 members %v, want %v", plan.Members, want)
+	}
+	if !reflect.DeepEqual(plan.Joined, []int{7}) || !reflect.DeepEqual(plan.Left, []int{1}) {
+		t.Fatalf("epoch 2 joined %v left %v, want [7] [1]", plan.Joined, plan.Left)
+	}
+	if plan.Epoch != 2 {
+		t.Fatalf("epoch number %d, want 2", plan.Epoch)
+	}
+	s.Complete()
+}
+
+func TestEpochJoinLeaveCancelOut(t *testing.T) {
+	s := NewEpochScheduler()
+	s.Join(5)
+	s.Leave(5)
+	plan := s.BeginEpoch()
+	if len(plan.Members) != 0 || len(plan.Joined) != 0 || len(plan.Left) != 0 {
+		t.Fatalf("join+leave should cancel: %+v", plan)
+	}
+	s.Complete()
+	// Leave then re-join of an active slot: stays a member, neither
+	// joined nor left.
+	s.Join(5)
+	s.BeginEpoch()
+	s.Complete()
+	s.Leave(5)
+	s.Join(5)
+	plan = s.BeginEpoch()
+	if !reflect.DeepEqual(plan.Members, []int{5}) || len(plan.Joined) != 0 || len(plan.Left) != 0 {
+		// Net effect at the boundary: the slot stayed a member, so it
+		// is neither joined nor left.
+		t.Fatalf("leave+join plan %+v, want member [5] with no net churn", plan)
+	}
+	s.Complete()
+}
+
+func TestEpochAbortKeepsMembershipWithoutCompleting(t *testing.T) {
+	s := NewEpochScheduler()
+	s.Join(0)
+	s.Join(1)
+	plan, err := s.Epoch(context.Background(), func(EpochPlan) error {
+		return errors.New("boom")
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if s.CompletedEpochs() != 0 {
+		t.Fatalf("aborted epoch must not complete: %d", s.CompletedEpochs())
+	}
+	if !reflect.DeepEqual(plan.Members, []int{0, 1}) {
+		t.Fatalf("plan members %v", plan.Members)
+	}
+	// Admissions stand after the abort; the next epoch reuses them and
+	// the epoch number is re-issued (no snapshot was published for it).
+	plan2, err := s.Epoch(context.Background(), func(EpochPlan) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Epoch != 1 || !reflect.DeepEqual(plan2.Members, []int{0, 1}) || len(plan2.Joined) != 0 {
+		t.Fatalf("post-abort plan %+v, want epoch 1 members [0 1] no churn", plan2)
+	}
+	if s.CompletedEpochs() != 1 {
+		t.Fatalf("completed %d, want 1", s.CompletedEpochs())
+	}
+}
+
+func TestEpochPreCancelledContextSkipsBoundary(t *testing.T) {
+	s := NewEpochScheduler()
+	s.Join(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Epoch(ctx, func(EpochPlan) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending churn consumed by a skipped boundary: %d", s.Pending())
+	}
+	if s.CompletedEpochs() != 0 {
+		t.Fatalf("completed %d, want 0", s.CompletedEpochs())
+	}
+}
+
+func TestEpochBeginWhileInFlightPanics(t *testing.T) {
+	s := NewEpochScheduler()
+	s.BeginEpoch()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginEpoch must panic")
+		}
+	}()
+	s.BeginEpoch()
+}
+
+// TestEpochConcurrentChurnCannotTearAnEpoch hammers Join/Leave from
+// many goroutines while epochs run, asserting (under -race) that the
+// member set observed by each epoch body never changes mid-epoch and
+// every churned slot is eventually admitted.
+func TestEpochConcurrentChurnCannotTearAnEpoch(t *testing.T) {
+	s := NewEpochScheduler()
+	const churners = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%3 == 0 {
+					s.Leave(c)
+				} else {
+					s.Join(c)
+				}
+			}
+		}(c)
+	}
+	runner := NewRunner(2)
+	for e := 0; e < 50; e++ {
+		_, err := s.Epoch(context.Background(), func(plan EpochPlan) error {
+			before := append([]int{}, plan.Members...)
+			// Run a real phase over the plan's members: the barrier
+			// drains before Epoch completes, and membership is fixed.
+			if err := runner.Phase(context.Background(), plan.Members, func(p int) {}); err != nil {
+				return err
+			}
+			if got := s.Members(); !reflect.DeepEqual(got, before) {
+				t.Errorf("members changed mid-epoch: %v -> %v", before, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.CompletedEpochs() != 50 {
+		t.Fatalf("completed %d, want 50", s.CompletedEpochs())
+	}
+}

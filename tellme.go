@@ -223,6 +223,12 @@ type Report struct {
 	Duration time.Duration
 	// Algorithm echoes what ran.
 	Algorithm Algorithm
+	// CompletedEpochs is the number of completed anytime phases whose
+	// results Outputs reflects (0 for the single-shot algorithms and for
+	// refresh runs). On a partial report it identifies exactly which
+	// epoch's outputs survived the abort: Outputs is byte-identical to a
+	// run stopped cleanly after that phase.
+	CompletedEpochs int
 	// Communities reports reconstruction quality for each planted
 	// community of the instance (empty if the instance has none).
 	Communities []CommunityReport
@@ -263,9 +269,13 @@ func Run(in *Instance, opt Options) (*Report, error) {
 //
 // A cancelled or crashed run returns a non-nil *RunError together with
 // a partial Report: probe costs, duration and sub-algorithm counts
-// reflect the work actually done, while Outputs and Communities are
-// absent (no phase completed its barrier after the abort, so there is
-// no consistent output set to report). An uncancellable ctx (nil,
+// reflect the work actually done. For algorithms with epoch structure
+// (AlgoAnytime, and Refresh's stale inputs) Outputs is the last
+// *completed* epoch's checkpoint — a consistent output set, never a mix
+// of a half-written epoch with the previous one — with CompletedEpochs
+// naming the epoch, and Communities grading those same outputs. For
+// single-shot algorithms no epoch ever completes, so Outputs and
+// Communities are absent. An uncancellable ctx (nil,
 // context.Background, ...) with zero Timeout takes the same fast path
 // as Run.
 func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error) {
@@ -358,17 +368,43 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 		Algorithm:        opt.Algorithm,
 		SubAlgorithmRuns: env.RunCounts(),
 	}
+	_, rep.CompletedEpochs = env.Checkpoint()
 	if env.Trace != nil {
 		rep.TraceEvents = env.Trace.Events()
 	}
+	if fullOutputs(outputs, in.M) {
+		rep.Communities = gradeCommunities(in, outputs)
+	}
 	if runErr != nil {
 		// Partial report: cost accounting is valid (probes charged are
-		// real), outputs are not.
+		// real); Outputs is the last completed epoch's checkpoint, or nil
+		// when no epoch completed.
 		return rep, runErr
 	}
+	return rep, nil
+}
+
+// fullOutputs reports whether every player has a full-length output —
+// the precondition for grading communities. A partial report whose
+// checkpoint predates some players' first output fails this.
+func fullOutputs(outputs []Partial, m int) bool {
+	if outputs == nil {
+		return false
+	}
+	for _, o := range outputs {
+		if o.Len() != m {
+			return false
+		}
+	}
+	return true
+}
+
+// gradeCommunities measures output quality over each planted community.
+func gradeCommunities(in *Instance, outputs []Partial) []CommunityReport {
+	var reps []CommunityReport
 	for _, c := range in.Communities {
 		diam := in.Diameter(c.Members)
-		rep.Communities = append(rep.Communities, CommunityReport{
+		reps = append(reps, CommunityReport{
 			Size:        len(c.Members),
 			Diameter:    diam,
 			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
@@ -376,7 +412,7 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
 		})
 	}
-	return rep, nil
+	return reps
 }
 
 // execute dispatches to the selected algorithm and converts an abort —
@@ -386,7 +422,10 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 func execute(env *core.Env, in *Instance, opt Options, cfg Config) (outputs []Partial, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			outputs = nil
+			// Report the last completed epoch's checkpoint (nil when the
+			// algorithm has no epoch structure or none completed) instead
+			// of the aborted epoch's half-written outputs.
+			outputs, _ = env.Checkpoint()
 			err = asRunError(rec, env, opt)
 		}
 	}()
@@ -537,18 +576,13 @@ func RunRefreshContext(ctx context.Context, in *Instance, stale []Partial, opt R
 		MeanProbes:  st.Mean,
 		Duration:    elapsed,
 	}
-	if runErr != nil {
-		return rep, runErr
+	if fullOutputs(outputs, in.M) {
+		rep.Communities = gradeCommunities(in, outputs)
 	}
-	for _, c := range in.Communities {
-		diam := in.Diameter(c.Members)
-		rep.Communities = append(rep.Communities, CommunityReport{
-			Size:        len(c.Members),
-			Diameter:    diam,
-			Discrepancy: metrics.Discrepancy(in, c.Members, outputs),
-			Stretch:     metrics.Stretch(in, c.Members, outputs),
-			MeanErr:     metrics.MeanErr(in, c.Members, outputs),
-		})
+	if runErr != nil {
+		// Partial report: an aborted repair reports the stale inputs
+		// unchanged — the last completed epoch — never a half-patched mix.
+		return rep, runErr
 	}
 	return rep, nil
 }
@@ -558,7 +592,7 @@ func RunRefreshContext(ctx context.Context, in *Instance, stale []Partial, opt R
 func executeRefresh(env *core.Env, players, objs []int, stale []Partial, opt RefreshOptions, red, maxP int) (outputs []Partial, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			outputs = nil
+			outputs, _ = env.Checkpoint()
 			err = asRunError(rec, env, Options{})
 		}
 	}()
