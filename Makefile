@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net stress-cluster stress-churn race-telemetry race-cancel verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab
+.PHONY: build test race stress-net stress-cluster stress-churn race-telemetry race-cancel loadgen-smoke verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab bench-loadgen
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,18 @@ race-telemetry:
 race-cancel:
 	$(GO) test -race -run 'Cancel|PanicBecomes|Deadline|PreCancelled' . ./internal/sim/ ./internal/netboard/
 
-verify: build race stress-net stress-cluster stress-churn race-telemetry race-cancel
+# The load-generator smoke (also part of `race` via the package tests):
+# a 10k-player in-process fleet plus a 2-shard loopback cluster run,
+# each audited against the board's exact probe counter — zero lost,
+# zero duplicated posts — then a real loadgen binary run that emits a
+# capacity artifact (to a scratch path, so the committed BENCH_NET.json
+# from the full `bench-loadgen` run is never clobbered by a smoke).
+loadgen-smoke:
+	$(GO) test -run 'Smoke|ResolveTarget|ExpectedProbes' ./cmd/loadgen/
+	$(GO) run ./cmd/loadgen -players 10000 -m 64 -post-batch 16 -workers 40 \
+		-rates 20000 -duration 1s -out BENCH_NET.smoke.json
+
+verify: build race stress-net stress-cluster stress-churn race-telemetry race-cancel loadgen-smoke
 
 # Refresh the perf-trajectory snapshots at the repo root.
 # BENCH_1.json: core experiment benchmarks.
@@ -102,3 +113,12 @@ bench-core:
 REF ?= HEAD
 bench-core-ab:
 	$(GO) run ./cmd/benchdiff -suite core -count 5 -ref "$(REF)" -fail-regress 10
+
+# BENCH_NET.json: the serving-capacity table from a full local loadgen
+# run — a million-player fleet auto-ramping its round rate against a
+# 4-shard loopback cluster until the p99 SLO breaks, with the exact
+# probe-counter audit on. Heavier knobs than loadgen-smoke; see
+# EXPERIMENTS.md for reading the table.
+bench-loadgen:
+	$(GO) run ./cmd/loadgen -players 1000000 -m 512 -post-batch 64 \
+		-workers 128 -local-shards 4 -duration 5s -out BENCH_NET.json

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"tellme/internal/billboard"
+	"tellme/internal/boardclient"
+	"tellme/internal/netboard"
+	"tellme/internal/telemetry"
+)
+
+// boardTarget is the resolved billboard the board plane drives, plus
+// everything the run needs to describe and tear it down.
+type boardTarget struct {
+	board boardclient.Interface
+	// kind is the target label for the artifact: "inproc", "server",
+	// "cluster(n)", or "local-shards(n)".
+	kind string
+	// shards is the shard count reported in the capacity table (1 for
+	// an unsharded target).
+	shards int
+	// close tears down any servers this process spawned (nil-safe).
+	close func()
+}
+
+// resolveTarget builds the board plane's target from the spec
+// progression shared with tellmed and the batch facade — nothing (the
+// in-process board), one URL (a single netboard server), a
+// comma-separated list (a consistent-hashed cluster) — plus the
+// loadgen-only localShards mode, which spawns that many loopback
+// netboard servers in-process and drives them as a cluster over real
+// HTTP: the full wire protocol and connection pool under load, no
+// external processes to babysit.
+func resolveTarget(spec string, localShards, players, m int, reg *telemetry.Registry) (*boardTarget, error) {
+	spec = strings.TrimSpace(spec)
+	if localShards > 0 {
+		if spec != "" {
+			return nil, fmt.Errorf("loadgen: -board and -local-shards are mutually exclusive")
+		}
+		return spawnLocalShards(localShards, players, m, reg)
+	}
+	switch {
+	case spec == "":
+		mem := billboard.New(players, m)
+		mem.SetTelemetry(reg)
+		return &boardTarget{board: mem, kind: "inproc", shards: 1}, nil
+	case strings.Contains(spec, ","):
+		shards := strings.Split(spec, ",")
+		cluster, err := netboard.NewCluster(netboard.ClusterConfig{
+			Shards: shards,
+			Client: netboard.Config{Telemetry: reg, Retries: 2},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: board %q: %w", spec, err)
+		}
+		return &boardTarget{board: cluster, kind: fmt.Sprintf("cluster(%d)", len(shards)), shards: len(shards)}, nil
+	default:
+		c := netboard.NewClientWithConfig(spec, netboard.Config{Telemetry: reg, Retries: 2})
+		return &boardTarget{board: c, kind: "server", shards: 1}, nil
+	}
+}
+
+// spawnLocalShards starts n loopback netboard servers and returns a
+// cluster client over them. Each shard serves its own board dimensioned
+// for the full fleet (objects are partitioned across shards by the
+// ring, players are not).
+func spawnLocalShards(n, players, m int, reg *telemetry.Registry) (*boardTarget, error) {
+	urls := make([]string, n)
+	servers := make([]*http.Server, n)
+	closeAll := func() {
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("loadgen: shard %d listen: %w", i, err)
+		}
+		srv := &http.Server{
+			Handler:           netboard.NewServer(billboard.New(players, m)),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		servers[i] = srv
+		urls[i] = "http://" + ln.Addr().String()
+		go srv.Serve(ln)
+	}
+	cluster, err := netboard.NewCluster(netboard.ClusterConfig{
+		Shards: urls,
+		Client: netboard.Config{Telemetry: reg, Retries: 2},
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &boardTarget{
+		board:  cluster,
+		kind:   fmt.Sprintf("local-shards(%d)", n),
+		shards: n,
+		close:  closeAll,
+	}, nil
+}

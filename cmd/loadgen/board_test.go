@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tellme/internal/billboard"
+	"tellme/internal/netboard"
+	"tellme/internal/telemetry"
+)
+
+// TestResolveTargetSpecProgression pins the board-spec progression the
+// serving stack shares: nothing → in-process, one URL → server,
+// comma-separated URLs → cluster, plus loadgen's -local-shards mode.
+func TestResolveTargetSpecProgression(t *testing.T) {
+	reg := telemetry.New()
+
+	inproc, err := resolveTarget("", 0, 8, 16, reg)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	if inproc.kind != "inproc" || inproc.shards != 1 {
+		t.Fatalf("empty spec resolved to %q/%d, want inproc/1", inproc.kind, inproc.shards)
+	}
+	if _, ok := inproc.board.(*billboard.Board); !ok {
+		t.Fatalf("empty spec board is %T, want *billboard.Board", inproc.board)
+	}
+
+	srv1 := httptest.NewServer(netboard.NewServer(billboard.New(8, 16)))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(netboard.NewServer(billboard.New(8, 16)))
+	defer srv2.Close()
+
+	single, err := resolveTarget(srv1.URL, 0, 8, 16, reg)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if single.kind != "server" || single.shards != 1 {
+		t.Fatalf("URL spec resolved to %q/%d, want server/1", single.kind, single.shards)
+	}
+	single.board.PostProbes(1, []int{3}, []byte{1})
+	if q, ok := single.board.(quiescer); ok {
+		q.Quiesce()
+	}
+	if got := single.board.(probeCounter).ProbeCount(); got != 1 {
+		t.Fatalf("server probe count = %d, want 1", got)
+	}
+
+	cluster, err := resolveTarget(srv1.URL+","+srv2.URL, 0, 8, 16, reg)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if cluster.kind != "cluster(2)" || cluster.shards != 2 {
+		t.Fatalf("cluster spec resolved to %q/%d, want cluster(2)/2", cluster.kind, cluster.shards)
+	}
+
+	if _, err := resolveTarget(srv1.URL, 2, 8, 16, reg); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("spec + local-shards accepted, err=%v", err)
+	}
+
+	local, err := resolveTarget("", 3, 8, 16, reg)
+	if err != nil {
+		t.Fatalf("local shards: %v", err)
+	}
+	defer local.close()
+	if local.kind != "local-shards(3)" || local.shards != 3 || local.close == nil {
+		t.Fatalf("local-shards resolved to %q/%d", local.kind, local.shards)
+	}
+	// The spawned shards answer the real wire protocol.
+	local.board.PostProbes(2, []int{0, 1, 2, 3}, []byte{0, 1, 0, 1})
+	local.board.(quiescer).Quiesce()
+	if got := local.board.(probeCounter).ProbeCount(); got != 4 {
+		t.Fatalf("local shard probe count = %d, want 4", got)
+	}
+}

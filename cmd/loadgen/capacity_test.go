@@ -1,0 +1,122 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tellme/internal/telemetry"
+)
+
+func snapshotOf(t *testing.T, samples []int64) telemetry.HistogramSnapshot {
+	t.Helper()
+	reg := telemetry.New()
+	h := reg.Histogram("test.ns", telemetry.LatencyBucketsFine())
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	return h.Snapshot()
+}
+
+func TestBuildRowCapacityMath(t *testing.T) {
+	fast := snapshotOf(t, []int64{int64(time.Millisecond), int64(2 * time.Millisecond)})
+
+	// 1000 rounds over 1s at a 1000/s target, low latency: sustained.
+	row := buildRow(500, 2, 1000, 1000, time.Second, fast, 50*time.Millisecond)
+	if row.Players != 500 || row.Shards != 2 || row.Rounds != 1000 {
+		t.Fatalf("row identity fields wrong: %+v", row)
+	}
+	if row.AchievedRate < 999 || row.AchievedRate > 1001 {
+		t.Fatalf("achieved rate %v, want ~1000", row.AchievedRate)
+	}
+	if !row.Sustained {
+		t.Fatalf("fast full-rate row not sustained: %+v", row)
+	}
+
+	// Same step but only 900 rounds completed: achieved < 95% of target.
+	row = buildRow(500, 2, 1000, 900, time.Second, fast, 50*time.Millisecond)
+	if row.Sustained {
+		t.Fatalf("90%% throughput row marked sustained: %+v", row)
+	}
+
+	// Full throughput but p99 past the SLO: not sustained.
+	slow := snapshotOf(t, []int64{int64(200 * time.Millisecond)})
+	row = buildRow(500, 2, 1000, 1000, time.Second, slow, 50*time.Millisecond)
+	if row.Sustained {
+		t.Fatalf("slow row marked sustained: p99=%v", time.Duration(row.P99Ns))
+	}
+}
+
+func TestMaxSustained(t *testing.T) {
+	rows := []CapacityRow{
+		{TargetRate: 1000, Sustained: true},
+		{TargetRate: 2000, Sustained: true},
+		{TargetRate: 4000, Sustained: false},
+	}
+	if got := maxSustained(rows); got != 2000 {
+		t.Fatalf("maxSustained = %v, want 2000", got)
+	}
+	if got := maxSustained(nil); got != 0 {
+		t.Fatalf("maxSustained(nil) = %v, want 0", got)
+	}
+	if got := maxSustained([]CapacityRow{{TargetRate: 100, Sustained: false}}); got != 0 {
+		t.Fatalf("maxSustained all-failed = %v, want 0", got)
+	}
+}
+
+func TestVerifyCounts(t *testing.T) {
+	if v := verifyCounts(100, 100); !v.OK || v.Lost != 0 || v.Duplicated != 0 {
+		t.Fatalf("exact match: %+v", v)
+	}
+	if v := verifyCounts(100, 97); v.OK || v.Lost != 3 || v.Duplicated != 0 {
+		t.Fatalf("lost posts: %+v", v)
+	}
+	if v := verifyCounts(100, 104); v.OK || v.Lost != 0 || v.Duplicated != 4 {
+		t.Fatalf("duplicated posts: %+v", v)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 1000, 2000,4000 ")
+	if err != nil || !reflect.DeepEqual(got, []float64{1000, 2000, 4000}) {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	if got, err := parseRates(""); err != nil || got != nil {
+		t.Fatalf("empty spec = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"x", "1000,-5", "1000,,2000", "0"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := func() *config {
+		return &config{Players: 100, M: 64, PostBatch: 16}
+	}
+	if err := good().validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+
+	c := good()
+	c.Players = 0
+	if err := c.validate(); err == nil {
+		t.Error("players=0 accepted")
+	}
+	c = good()
+	c.PostBatch = 10 // does not divide 64: breaks exact probe accounting
+	if err := c.validate(); err == nil {
+		t.Error("non-dividing post-batch accepted")
+	}
+	c = good()
+	c.PostBatch = 128 // larger than the universe
+	if err := c.validate(); err == nil {
+		t.Error("post-batch > m accepted")
+	}
+	c = good()
+	c.Rates = []float64{1000, -1}
+	if err := c.validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

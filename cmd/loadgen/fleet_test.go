@@ -1,0 +1,110 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDueOffsetPacing(t *testing.T) {
+	cases := []struct {
+		i    int64
+		rate float64
+		want time.Duration
+	}{
+		{0, 100, 0},
+		{50, 100, 500 * time.Millisecond},
+		{100, 100, time.Second},
+		{1, 1, time.Second},
+		{10_000, 10_000, time.Second},
+	}
+	for _, c := range cases {
+		if got := dueOffset(c.i, c.rate); got != c.want {
+			t.Errorf("dueOffset(%d, %v) = %v, want %v", c.i, c.rate, got, c.want)
+		}
+	}
+	// Monotone: arrival i+1 never due before arrival i.
+	prev := time.Duration(-1)
+	for i := int64(0); i < 1000; i++ {
+		d := dueOffset(i, 333)
+		if d < prev {
+			t.Fatalf("dueOffset not monotone at i=%d: %v < %v", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+// bruteProbes replays the deterministic schedule into a set and counts
+// distinct (player, object) pairs — the reference expectedProbes must
+// match exactly.
+func bruteProbes(t *testing.T, n int64, players, batch, m int) int64 {
+	t.Helper()
+	seen := make(map[[2]int]byte)
+	objs := make([]int, batch)
+	grades := make([]byte, batch)
+	for i := int64(0); i < n; i++ {
+		p := roundObjects(i, players, batch, m, objs, grades)
+		for j, o := range objs {
+			if o < 0 || o >= m {
+				t.Fatalf("arrival %d: object %d out of [0,%d)", i, o, m)
+			}
+			key := [2]int{p, o}
+			if prev, ok := seen[key]; ok && prev != grades[j] {
+				t.Fatalf("arrival %d: grade for (%d,%d) changed %d -> %d", i, p, o, prev, grades[j])
+			}
+			seen[key] = grades[j]
+		}
+	}
+	return int64(len(seen))
+}
+
+func TestExpectedProbesMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		players, batch, m int
+	}{
+		{3, 2, 8},
+		{5, 4, 4},
+		{1, 8, 8},
+		{7, 2, 6},
+		{16, 16, 64},
+	}
+	for _, c := range cases {
+		maxN := int64(c.players*(c.m/c.batch)*2 + 3) // well past full coverage
+		for n := int64(0); n <= maxN; n++ {
+			want := bruteProbes(t, n, c.players, c.batch, c.m)
+			if got := expectedProbes(n, c.players, c.batch, c.m); got != want {
+				t.Fatalf("expectedProbes(n=%d, p=%d, b=%d, m=%d) = %d, want %d",
+					n, c.players, c.batch, c.m, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundObjectsWrapsAndSaturates(t *testing.T) {
+	const players, batch, m = 2, 4, 8
+	objs := make([]int, batch)
+	grades := make([]byte, batch)
+
+	// Player 0's rounds are arrivals 0, 2, 4, ... — the first m/batch
+	// rounds tile the universe, then windows repeat.
+	covered := make(map[int]bool)
+	for k := 0; k < m/batch; k++ {
+		if p := roundObjects(int64(k*players), players, batch, m, objs, grades); p != 0 {
+			t.Fatalf("arrival %d: player %d, want 0", k*players, p)
+		}
+		for _, o := range objs {
+			covered[o] = true
+		}
+	}
+	if len(covered) != m {
+		t.Fatalf("first %d rounds covered %d objects, want %d", m/batch, len(covered), m)
+	}
+	// Round m/batch wraps back to the same window as round 0.
+	roundObjects(0, players, batch, m, objs, grades)
+	first := append([]int(nil), objs...)
+	roundObjects(int64(m/batch*players), players, batch, m, objs, grades)
+	for j := range objs {
+		if objs[j] != first[j] {
+			t.Fatalf("wrapped round window %v, want %v", objs, first)
+		}
+	}
+}

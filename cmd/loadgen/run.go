@@ -1,0 +1,225 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tellme/internal/telemetry"
+)
+
+// config is one loadgen run, fully specified — run() is deterministic
+// in it up to wall-clock jitter (the probe/post schedule and all truth
+// vectors derive from Seed and the arrival indices alone).
+type config struct {
+	// Board plane.
+	Players   int
+	M         int
+	PostBatch int
+	Lookups   bool
+	Workers   int
+	// Rates are the target rounds/sec steps to sweep; empty means
+	// auto-ramp (RampStart, doubling until a step fails to sustain).
+	Rates     []float64
+	RampStart float64
+	RampMax   float64
+	// Duration sizes each step: arrivals = rate × Duration, unless
+	// RoundsPerStep pins the arrival count exactly (tests do).
+	Duration      time.Duration
+	RoundsPerStep int64
+
+	// Board target: mutually exclusive spec / LocalShards.
+	Board       string
+	LocalShards int
+
+	// Serve plane (off when ServePlayers == 0).
+	ServePlayers  int
+	ServeM        int
+	ServeAlpha    float64
+	ServeURL      string
+	ChurnPerSec   float64
+	RecommendRate float64
+	EpochEvery    time.Duration
+
+	Seed   uint64
+	SLO    time.Duration
+	Verify bool
+	Out    string
+	Logf   func(string, ...any)
+}
+
+func (cfg *config) validate() error {
+	if cfg.Players <= 0 {
+		return fmt.Errorf("loadgen: players must be positive, got %d", cfg.Players)
+	}
+	if cfg.M <= 0 || cfg.PostBatch <= 0 || cfg.PostBatch > cfg.M {
+		return fmt.Errorf("loadgen: need 0 < post-batch <= m, got batch %d m %d", cfg.PostBatch, cfg.M)
+	}
+	if cfg.M%cfg.PostBatch != 0 {
+		// The exact-counter audit needs the per-round windows to tile
+		// the universe: min(k·B, M) counts distinct probes only when the
+		// wrapped windows land exactly on earlier ones.
+		return fmt.Errorf("loadgen: post-batch %d must divide m %d (exact probe accounting)", cfg.PostBatch, cfg.M)
+	}
+	for _, r := range cfg.Rates {
+		if r <= 0 {
+			return fmt.Errorf("loadgen: non-positive rate %v", r)
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 50 * time.Millisecond
+	}
+	if cfg.RampStart <= 0 {
+		cfg.RampStart = 1000
+	}
+	if cfg.RampMax <= 0 {
+		cfg.RampMax = 1 << 22 // ~4.2M rounds/sec: past any plausible single host
+	}
+	if cfg.ServePlayers > 0 {
+		if cfg.ServeM <= 0 {
+			cfg.ServeM = 64
+		}
+		if cfg.ServeAlpha <= 0 || cfg.ServeAlpha > 1 {
+			cfg.ServeAlpha = 0.5
+		}
+		if cfg.EpochEvery <= 0 {
+			cfg.EpochEvery = time.Second
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// parseRates parses the -rates CSV ("1000,2000,4000").
+func parseRates(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("loadgen: bad rate %q", p)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// quiescer is the optional drain barrier of remote boards (Client and
+// Cluster implement it; the in-process board needs none).
+type quiescer interface{ Quiesce() }
+
+// probeCounter reads the authoritative distinct-probe counter.
+type probeCounter interface{ ProbeCount() int64 }
+
+// run executes the configured sweep and returns the capacity artifact.
+func run(ctx context.Context, cfg *config) (*BenchNetFile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	reg := telemetry.New()
+	target, err := resolveTarget(cfg.Board, cfg.LocalShards, cfg.Players, cfg.M, reg)
+	if err != nil {
+		return nil, err
+	}
+	if target.close != nil {
+		defer target.close()
+	}
+	cfg.Logf("board plane: %d players, m=%d, batch=%d, target %s, %d workers",
+		cfg.Players, cfg.M, cfg.PostBatch, target.kind, cfg.Workers)
+
+	var plane *servePlane
+	if cfg.ServePlayers > 0 {
+		plane, err = startServePlane(cfg, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	file := &BenchNetFile{
+		Command:   fmt.Sprintf("loadgen -players %d -m %d -post-batch %d", cfg.Players, cfg.M, cfg.PostBatch),
+		Go:        goVersion(),
+		Commit:    gitCommit(),
+		Players:   cfg.Players,
+		Shards:    target.shards,
+		M:         cfg.M,
+		PostBatch: cfg.PostBatch,
+		Target:    target.kind,
+		SLONs:     cfg.SLO.Nanoseconds(),
+	}
+
+	next := int64(0) // global arrival index, continuous across steps
+	step := func(rate float64) (CapacityRow, error) {
+		n := cfg.RoundsPerStep
+		if n <= 0 {
+			n = int64(rate * cfg.Duration.Seconds())
+		}
+		if n < int64(cfg.Workers) {
+			n = int64(cfg.Workers)
+		}
+		res, err := runStep(ctx, target.board, cfg, next, n, rate)
+		if err != nil {
+			return CapacityRow{}, err
+		}
+		next += n
+		row := buildRow(cfg.Players, target.shards, rate, res.rounds, res.elapsed, res.hist, cfg.SLO)
+		cfg.Logf("rate %8.0f: achieved %8.0f r/s, p50 %v, p99 %v, sustained=%v",
+			rate, row.AchievedRate,
+			time.Duration(row.P50Ns).Round(time.Microsecond),
+			time.Duration(row.P99Ns).Round(time.Microsecond), row.Sustained)
+		return row, nil
+	}
+
+	if len(cfg.Rates) > 0 {
+		for _, rate := range cfg.Rates {
+			row, err := step(rate)
+			if err != nil {
+				return nil, err
+			}
+			file.Rows = append(file.Rows, row)
+		}
+	} else {
+		for rate := cfg.RampStart; rate <= cfg.RampMax; rate *= 2 {
+			row, err := step(rate)
+			if err != nil {
+				return nil, err
+			}
+			file.Rows = append(file.Rows, row)
+			if !row.Sustained {
+				break // past the knee; the previous row is the capacity
+			}
+		}
+	}
+	file.MaxSustainedRate = maxSustained(file.Rows)
+
+	if plane != nil {
+		s := plane.stop()
+		file.Serve = &s
+	}
+
+	if cfg.Verify {
+		if q, ok := target.board.(quiescer); ok {
+			q.Quiesce()
+		}
+		pc, ok := target.board.(probeCounter)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: board target %s cannot report ProbeCount", target.kind)
+		}
+		v := verifyCounts(expectedProbes(next, cfg.Players, cfg.PostBatch, cfg.M), pc.ProbeCount())
+		file.Verify = &v
+	}
+	return file, nil
+}

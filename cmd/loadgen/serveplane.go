@@ -1,0 +1,373 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/netboard"
+	"tellme/internal/rng"
+	"tellme/internal/serve"
+	"tellme/internal/telemetry"
+)
+
+// The serve plane exercises the recommendation side of the system —
+// joins, churn, and recommend reads against a serve.Engine — while the
+// board plane hammers the billboard. The two planes use disjoint
+// boards: epoch compute cost is superlinear in members, so the serve
+// fleet is sized to epoch throughput while the board fleet scales to
+// millions, and keeping their boards separate preserves the board
+// plane's exact probe accounting.
+//
+// The backend is either an in-process engine (the default) or a live
+// tellmed daemon (-serve URL), reached through the same bulk-join and
+// recommend API either way.
+type serveBackend interface {
+	joinBatch(bits []string) ([]uint64, error)
+	leave(id uint64) error
+	// recommend blocks up to wait for an epoch covering id.
+	recommend(id uint64, wait time.Duration) error
+	epochs() int64
+	stop()
+}
+
+// servePlane drives churn and open-loop recommends against a backend.
+type servePlane struct {
+	backend serveBackend
+	cfg     *config
+	reg     *telemetry.Registry
+	recHist *telemetry.Histogram
+	recErrs *telemetry.Counter
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	ids   []uint64
+	churn int64
+
+	start time.Time
+}
+
+// startServePlane joins the serve fleet (bulk batches), then launches
+// the churn and recommend loops. The caller must stopServePlane.
+func startServePlane(cfg *config, logf func(string, ...any)) (*servePlane, error) {
+	reg := telemetry.New()
+	var backend serveBackend
+	var err error
+	if cfg.ServeURL != "" {
+		backend, err = newTellmedClient(cfg.ServeURL, reg)
+	} else {
+		backend, err = newInprocServe(cfg, reg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// One shared truth vector: the whole serve fleet is one community,
+	// which any alpha ≤ 1 admits. Deterministic in the seed.
+	r := rng.NewSource(cfg.Seed).Stream("serve-truth", 0)
+	truth := bitvec.New(cfg.ServeM)
+	for i := 0; i < cfg.ServeM; i++ {
+		if r.Bool() {
+			truth.Set(i, 1)
+		}
+	}
+	bits := truth.String()
+
+	p := &servePlane{
+		backend: backend,
+		cfg:     cfg,
+		reg:     reg,
+		recHist: reg.Histogram("loadgen.recommend.ns", telemetry.LatencyBucketsFine()),
+		recErrs: reg.Counter("loadgen.recommend.errors"),
+	}
+
+	const joinChunk = 1024
+	for off := 0; off < cfg.ServePlayers; off += joinChunk {
+		n := min(joinChunk, cfg.ServePlayers-off)
+		chunk := make([]string, n)
+		for i := range chunk {
+			chunk[i] = bits
+		}
+		ids, err := backend.joinBatch(chunk)
+		if err != nil {
+			backend.stop()
+			return nil, fmt.Errorf("loadgen: serve join batch at %d: %w", off, err)
+		}
+		p.ids = append(p.ids, ids...)
+	}
+	logf("serve plane: joined %d players (%d bulk batches)", len(p.ids), (cfg.ServePlayers+joinChunk-1)/joinChunk)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.start = time.Now()
+	if cfg.ChurnPerSec > 0 {
+		p.wg.Add(1)
+		go p.churnLoop(ctx, bits)
+	}
+	if cfg.RecommendRate > 0 {
+		workers := min(cfg.Workers, 16)
+		for w := 0; w < workers; w++ {
+			p.wg.Add(1)
+			go p.recommendLoop(ctx, w, workers)
+		}
+	}
+	return p, nil
+}
+
+// churnLoop retires the oldest player and admits a replacement at the
+// configured rate — every replacement lands at an epoch boundary per
+// the scheduler's churn contract.
+func (p *servePlane) churnLoop(ctx context.Context, bits string) {
+	defer p.wg.Done()
+	for i := int64(0); ; i++ {
+		due := p.start.Add(dueOffset(i, p.cfg.ChurnPerSec))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Until(due)):
+		}
+		p.mu.Lock()
+		var oldest uint64
+		if len(p.ids) > 0 {
+			oldest = p.ids[0]
+		}
+		p.mu.Unlock()
+		if oldest == 0 {
+			continue
+		}
+		if err := p.backend.leave(oldest); err != nil {
+			continue
+		}
+		ids, err := p.backend.joinBatch([]string{bits})
+		if err != nil || len(ids) != 1 {
+			continue
+		}
+		p.mu.Lock()
+		p.ids = append(p.ids[1:], ids[0])
+		p.churn++
+		p.mu.Unlock()
+	}
+}
+
+// recommendLoop issues open-loop recommend reads, striding arrivals
+// across workers like the board plane.
+func (p *servePlane) recommendLoop(ctx context.Context, w, workers int) {
+	defer p.wg.Done()
+	for i := int64(w); ; i += int64(workers) {
+		due := p.start.Add(dueOffset(i, p.cfg.RecommendRate))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Until(due)):
+		}
+		p.mu.Lock()
+		var id uint64
+		if len(p.ids) > 0 {
+			id = p.ids[int(i)%len(p.ids)]
+		}
+		p.mu.Unlock()
+		if id == 0 {
+			continue
+		}
+		if err := p.backend.recommend(id, p.cfg.SLO); err != nil {
+			p.recErrs.Inc()
+		}
+		p.recHist.Observe(time.Since(due).Nanoseconds())
+	}
+}
+
+// stop halts the loops and returns the plane's stats.
+func (p *servePlane) stop() ServeStats {
+	elapsed := time.Since(p.start)
+	p.cancel()
+	p.wg.Wait()
+	p.backend.stop()
+	snap := p.reg.Snapshot()
+	h := snap.Histograms["loadgen.recommend.ns"]
+	p.mu.Lock()
+	churn := p.churn
+	players := len(p.ids)
+	p.mu.Unlock()
+	s := ServeStats{
+		Players:         players,
+		Epochs:          p.backend.epochs(),
+		Recommends:      h.Count,
+		RecommendP50Ns:  h.Quantile(0.50),
+		RecommendP99Ns:  h.Quantile(0.99),
+		ChurnApplied:    churn,
+		RecommendErrors: snap.Counters["loadgen.recommend.errors"],
+	}
+	if elapsed > 0 {
+		s.RecommendRate = float64(h.Count) / elapsed.Seconds()
+	}
+	return s
+}
+
+// inprocServe runs a serve.Engine with its own in-process board.
+type inprocServe struct {
+	engine *serve.Engine
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newInprocServe(cfg *config, reg *telemetry.Registry) (*inprocServe, error) {
+	engine, err := serve.New(serve.Config{
+		M:         cfg.ServeM,
+		Capacity:  cfg.ServePlayers + 1, // one spare slot for churn replacement overlap
+		Alpha:     cfg.ServeAlpha,
+		Seed:      cfg.Seed,
+		Telemetry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &inprocServe{engine: engine, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		engine.Run(ctx, cfg.EpochEvery)
+	}()
+	return s, nil
+}
+
+func (s *inprocServe) joinBatch(bits []string) ([]uint64, error) {
+	truths := make([]bitvec.Vector, len(bits))
+	for i, b := range bits {
+		v, err := vectorFromBits(b)
+		if err != nil {
+			return nil, err
+		}
+		truths[i] = v
+	}
+	return s.engine.JoinBatch(truths)
+}
+
+func (s *inprocServe) leave(id uint64) error { return s.engine.Leave(id) }
+
+func (s *inprocServe) recommend(id uint64, wait time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	_, _, err := s.engine.Recommend(ctx, id)
+	return err
+}
+
+func (s *inprocServe) epochs() int64 { return s.engine.CompletedEpochs() }
+
+func (s *inprocServe) stop() {
+	s.cancel()
+	<-s.done
+}
+
+// vectorFromBits parses a '0'/'1' string (the serve wire format).
+func vectorFromBits(bits string) (bitvec.Vector, error) {
+	v := bitvec.New(len(bits))
+	for i := 0; i < len(bits); i++ {
+		switch bits[i] {
+		case '0':
+		case '1':
+			v.Set(i, 1)
+		default:
+			return bitvec.Vector{}, fmt.Errorf("loadgen: bad bit %q at %d", bits[i], i)
+		}
+	}
+	return v, nil
+}
+
+// tellmedClient drives a live tellmed daemon over its HTTP API, using
+// the netboard pool defaults for the transport.
+type tellmedClient struct {
+	base  string
+	httpc *http.Client
+}
+
+func newTellmedClient(base string, _ *telemetry.Registry) (*tellmedClient, error) {
+	return &tellmedClient{
+		base:  strings.TrimRight(base, "/"),
+		httpc: netboard.Config{}.PooledHTTPClient(),
+	}, nil
+}
+
+func (c *tellmedClient) joinBatch(bits []string) ([]uint64, error) {
+	type player struct {
+		Bits string `json:"bits"`
+	}
+	req := struct {
+		Players []player `json:"players"`
+	}{Players: make([]player, len(bits))}
+	for i, b := range bits {
+		req.Players[i] = player{Bits: b}
+	}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Post(c.base+"/v1/players/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("loadgen: batch join: %s: %s", resp.Status, msg)
+	}
+	var rep struct {
+		IDs []uint64 `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return rep.IDs, nil
+}
+
+func (c *tellmedClient) leave(id uint64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/players/%d", c.base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("loadgen: leave %d: %s", id, resp.Status)
+	}
+	return nil
+}
+
+func (c *tellmedClient) recommend(id uint64, wait time.Duration) error {
+	resp, err := c.httpc.Get(fmt.Sprintf("%s/v1/recommend/%d?wait=%s", c.base, id, wait))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: recommend %d: %s", id, resp.Status)
+	}
+	return nil
+}
+
+func (c *tellmedClient) epochs() int64 {
+	resp, err := c.httpc.Get(c.base + "/v1/status")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Epoch int64 `json:"epoch"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st.Epoch
+}
+
+func (c *tellmedClient) stop() { c.httpc.CloseIdleConnections() }

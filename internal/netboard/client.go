@@ -10,6 +10,7 @@ import (
 	"io"
 	mrand "math/rand/v2"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strconv"
 	"strings"
@@ -112,6 +113,11 @@ type Client struct {
 	errMu    sync.Mutex
 	firstErr error
 	failures atomic.Int64
+
+	// Connection-accounting instruments (lazily resolved once; nil when
+	// telemetry is off). See traceContext.
+	connOnce                            sync.Once
+	connDialed, connReused, connStalled *telemetry.Counter
 
 	// Per-topic snapshot cache keyed by the server's (gen, epoch) stamp.
 	cacheMu sync.Mutex
@@ -307,6 +313,44 @@ func (c *Client) instruments(path string) (reqs *telemetry.Counter, lat *telemet
 		c.Telemetry.Histogram(prefix+".latency_ns."+path, telemetry.LatencyBuckets())
 }
 
+// connStallThreshold separates "the pool handed over a connection" from
+// "the request waited for one": a GetConn→GotConn gap above it counts as
+// a stall — the pool was saturated (MaxConnsPerHost reached, or every
+// idle connection taken) and the request queued or dialed.
+const connStallThreshold = time.Millisecond
+
+// traceContext attaches connection accounting to a request context:
+// "<prefix>.conns.dialed" counts fresh dials (pool misses),
+// "<prefix>.conns.reused" counts pooled handoffs, and
+// "<prefix>.conns.stalled" counts requests that waited longer than
+// connStallThreshold for a connection — the pool-saturation signal a
+// load run watches to size MaxIdleConnsPerHost. No telemetry, no trace.
+func (c *Client) traceContext(ctx context.Context) context.Context {
+	if c.Telemetry == nil {
+		return ctx
+	}
+	c.connOnce.Do(func() {
+		prefix := c.telemetryPrefix()
+		c.connDialed = c.Telemetry.Counter(prefix + ".conns.dialed")
+		c.connReused = c.Telemetry.Counter(prefix + ".conns.reused")
+		c.connStalled = c.Telemetry.Counter(prefix + ".conns.stalled")
+	})
+	var wait time.Time
+	return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+		GetConn: func(string) { wait = time.Now() },
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.connReused.Inc()
+			} else {
+				c.connDialed.Inc()
+			}
+			if !wait.IsZero() && time.Since(wait) > connStallThreshold {
+				c.connStalled.Inc()
+			}
+		},
+	})
+}
+
 // post sends a JSON POST and expects 2xx, retrying transient failures.
 // All attempts carry the same request id, so a retry of a post the
 // server already applied is acknowledged, not re-applied. Cancelling
@@ -327,7 +371,7 @@ func (c *Client) post(ctx context.Context, path string, body any) {
 				break
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+		req, err := http.NewRequestWithContext(c.traceContext(ctx), http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
 		if err != nil {
 			c.fail(err)
 			return
@@ -384,7 +428,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 				break
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(c.traceContext(ctx), http.MethodGet, u, nil)
 		if err != nil {
 			c.fail(err)
 			return false

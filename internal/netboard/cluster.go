@@ -86,6 +86,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		seen[u] = true
 	}
 	cl := &Cluster{cfg: cfg}
+	if cl.cfg.Client.HTTPClient == nil {
+		// Resolve the pooled client ONCE and share it across shards (and
+		// any shards added later): per-host pool limits apply per shard
+		// server either way, but a shared transport keeps the process at
+		// one coherent connection pool instead of len(Shards) of them.
+		cl.cfg.Client.HTTPClient = cl.cfg.Client.PooledHTTPClient()
+	}
 	cl.ring = newRing(cfg.Shards, cfg.VirtualNodes)
 	cl.clients = make([]*Client, len(cfg.Shards))
 	for i, u := range cfg.Shards {
@@ -454,6 +461,17 @@ func (cl *Cluster) sumStats(ctx context.Context, field func(statsReply) int64) i
 		total += v
 	}
 	return total
+}
+
+// Quiesce drains every shard client's posting pipeline (concurrently)
+// and returns once all previously issued posts are acknowledged — the
+// cluster-wide analogue of Client.Quiesce, needed before reading
+// cluster-wide counters like ProbeCount for exact accounting.
+func (cl *Cluster) Quiesce() {
+	_, clients := cl.topo()
+	scatter(len(clients), func(k int) {
+		clients[k].Quiesce()
+	})
 }
 
 // ── Degraded-mode aggregation ────────────────────────────────────────

@@ -17,6 +17,16 @@ const (
 	// overrides it per shard ("netboard.cluster.shard<i>") so the same
 	// instruments come out keyed by shard.
 	DefaultTelemetryPrefix = "netboard.client"
+	// DefaultMaxIdleConnsPerHost sizes the per-host idle connection pool
+	// when Config.MaxIdleConnsPerHost is unset. http.DefaultTransport
+	// keeps only 2 — under fleet-scale fan-in every burst past 2
+	// in-flight requests dials (and then discards) fresh connections,
+	// churning through ephemeral ports. 64 holds a realistic worker
+	// pool's connections open between rounds.
+	DefaultMaxIdleConnsPerHost = 64
+	// DefaultIdleConnTimeout is how long a pooled idle connection is
+	// kept before being closed when Config.IdleConnTimeout is unset.
+	DefaultIdleConnTimeout = 90 * time.Second
 )
 
 // Config consolidates every Client knob — transport, failure handling,
@@ -26,8 +36,23 @@ const (
 // (no retries, default transport, batched protocol, panic on terminal
 // failure), matching what NewClient has always produced.
 type Config struct {
-	// HTTPClient performs the requests; nil means http.DefaultClient.
+	// HTTPClient performs the requests; nil builds a pooled client from
+	// the three pool knobs below (PooledHTTPClient). Setting HTTPClient
+	// explicitly bypasses the knobs entirely — the caller owns the
+	// transport.
 	HTTPClient *http.Client
+	// MaxIdleConnsPerHost caps the idle connections kept per server.
+	// Zero or negative means DefaultMaxIdleConnsPerHost. (The Go
+	// default of 2 collapses under fleet fan-in: every burst re-dials.)
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost caps total connections (idle + in-flight + dialing)
+	// per server; requests beyond the cap block waiting for a free
+	// connection — visible as "<prefix>.conns.stalled" telemetry. Zero
+	// or negative means unlimited.
+	MaxConnsPerHost int
+	// IdleConnTimeout closes pooled connections idle this long. Zero or
+	// negative means DefaultIdleConnTimeout.
+	IdleConnTimeout time.Duration
 	// OnError handles terminal transport/protocol failures; nil means
 	// panic with the *TransportError (see Client.OnError for the
 	// degraded-mode contract a non-panicking handler opts into).
@@ -62,7 +87,35 @@ func (cfg Config) normalized() Config {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
 	}
+	if cfg.MaxIdleConnsPerHost <= 0 {
+		cfg.MaxIdleConnsPerHost = DefaultMaxIdleConnsPerHost
+	}
+	if cfg.MaxConnsPerHost < 0 {
+		cfg.MaxConnsPerHost = 0 // unlimited
+	}
+	if cfg.IdleConnTimeout <= 0 {
+		cfg.IdleConnTimeout = DefaultIdleConnTimeout
+	}
 	return cfg
+}
+
+// PooledHTTPClient builds the http.Client a nil Config.HTTPClient
+// resolves to: http.DefaultTransport's dialer and timeouts with the
+// connection pool opened up per cfg's (normalized) knobs. Exposed so a
+// Cluster can build ONE pooled client and share it across its shard
+// clients — per-host limits then apply per shard server, and the
+// process keeps a single coherent pool instead of one per shard.
+func (cfg Config) PooledHTTPClient() *http.Client {
+	cfg = cfg.normalized()
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	// MaxIdleConns is a global cap across hosts; zero it so the per-host
+	// knob is the only limit (a 16-shard cluster at 64 idle conns each
+	// would otherwise thrash against the global default of 100).
+	tr.MaxIdleConns = 0
+	tr.MaxIdleConnsPerHost = cfg.MaxIdleConnsPerHost
+	tr.MaxConnsPerHost = cfg.MaxConnsPerHost
+	tr.IdleConnTimeout = cfg.IdleConnTimeout
+	return &http.Client{Transport: tr}
 }
 
 // NewClientWithConfig returns a Client for the server at baseURL,
@@ -70,9 +123,13 @@ func (cfg Config) normalized() Config {
 // primary constructor; NewClient is the zero-config shorthand.
 func NewClientWithConfig(baseURL string, cfg Config) *Client {
 	cfg = cfg.normalized()
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = cfg.PooledHTTPClient()
+	}
 	return &Client{
 		BaseURL:         baseURL,
-		HTTPClient:      cfg.HTTPClient,
+		HTTPClient:      httpc,
 		OnError:         cfg.OnError,
 		Retries:         cfg.Retries,
 		RetryBackoff:    cfg.RetryBackoff,

@@ -16,6 +16,14 @@ import (
 // server remembers for idempotent retries (see HeaderRequestID).
 const DefaultDedupeWindow = 4096
 
+// DefaultDedupeMaxAge is how long an applied request id stays in the
+// idempotency window when the count cap alone would retain it longer.
+// Client retries arrive within seconds (the jittered linear backoff
+// schedule), so minutes of retention is generous — and it means a
+// server that saw one traffic burst does not pin the burst's ids in
+// memory for the rest of its life.
+const DefaultDedupeMaxAge = 5 * time.Minute
+
 // Server serves a billboard.Board over HTTP.
 type Server struct {
 	board  *billboard.Board
@@ -36,7 +44,20 @@ type ServerOption func(*Server)
 // size the window to cover at least the mutations in flight during one
 // client retry storm, or a very delayed retry could be re-applied.
 func WithDedupeWindow(n int) ServerOption {
-	return func(s *Server) { s.dedupe = newDedupe(n) }
+	return func(s *Server) {
+		maxAge := s.dedupe.maxAge
+		s.dedupe = newDedupe(n)
+		s.dedupe.maxAge = maxAge // order-independent with WithDedupeMaxAge
+	}
+}
+
+// WithDedupeMaxAge sets how long an applied request id is retained for
+// deduplication (default DefaultDedupeMaxAge). Zero or negative
+// disables age eviction, leaving only the count cap. Size it to cover
+// the slowest retry the client schedule can produce; an id evicted by
+// age re-applies on a later retry.
+func WithDedupeMaxAge(age time.Duration) ServerOption {
+	return func(s *Server) { s.dedupe.maxAge = age }
 }
 
 // WithTelemetry attaches a telemetry registry: per-endpoint request

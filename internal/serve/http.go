@@ -31,6 +31,7 @@ const DefaultRecommendDeadline = 10 * time.Second
 // Handler exposes the engine's serving API over HTTP:
 //
 //	POST   /v1/players          {"bits":"0101..."} → {"id":N}
+//	POST   /v1/players/batch    {"players":[{"bits":...},...]} → {"ids":[...]}
 //	DELETE /v1/players/{id}     retire at the next epoch boundary
 //	GET    /v1/recommend/{id}   → {"id":N,"epoch":E,"bits":"01?..."}
 //	GET    /v1/status           → {"epoch":E,"members":K,...}
@@ -68,6 +69,34 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 		w.WriteHeader(http.StatusCreated)
 		json.NewEncoder(w).Encode(joinReply{ID: id, Epoch: e.CompletedEpochs()})
 	})
+	mux.HandleFunc("POST /v1/players/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchJoinRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch join body: %w", err))
+			return
+		}
+		truths := make([]bitvec.Vector, len(req.Players))
+		for i, p := range req.Players {
+			v, err := vectorFromBits(p.Bits, e.cfg.M)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("player %d: %w", i, err))
+				return
+			}
+			truths[i] = v
+		}
+		ids, err := e.JoinBatch(truths)
+		if errors.Is(err, ErrFull) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(batchJoinReply{IDs: ids, Epoch: e.CompletedEpochs()})
+	})
 	mux.HandleFunc("DELETE /v1/players/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 		if err != nil {
@@ -88,9 +117,13 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 		}
 		deadline := hc.RecommendDeadline
 		if s := r.URL.Query().Get("wait"); s != "" {
+			// Non-positive waits are rejected, not honored: wait=0 would
+			// install an already-expired timeout and turn every request
+			// into an instant 504 instead of the 400 the caller needs to
+			// see to fix its query string.
 			d, err := time.ParseDuration(s)
-			if err != nil || d < 0 {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", s))
+			if err != nil || d <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q (want a positive duration)", s))
 				return
 			}
 			if d < deadline {
@@ -149,6 +182,18 @@ type joinRequest struct {
 	// Bits is the player's preference vector as a '0'/'1' string of
 	// length M — the ground truth its probes answer from.
 	Bits string `json:"bits"`
+}
+
+// batchJoinRequest admits a whole fleet in one request — the bulk path
+// of Engine.JoinBatch: all-or-nothing, ids in input order.
+type batchJoinRequest struct {
+	Players []joinRequest `json:"players"`
+}
+
+type batchJoinReply struct {
+	IDs []uint64 `json:"ids"`
+	// Epoch is the number of epochs completed at join time.
+	Epoch int64 `json:"epoch"`
 }
 
 type joinReply struct {

@@ -160,3 +160,88 @@ func TestHTTPStatusAndTelemetry(t *testing.T) {
 		t.Fatalf("telemetry not JSON: %v", err)
 	}
 }
+
+// TestHTTPWaitValidation pins the wait= parsing table. The regression
+// case is wait=0: ParseDuration accepts it, and before the d <= 0 guard
+// the handler installed an already-expired timeout — every request
+// instantly 504ed instead of 400ing on the malformed query.
+func TestHTTPWaitValidation(t *testing.T) {
+	srv, _ := daemon(t)
+	var joined joinReply
+	if code := doJSON(t, "POST", srv.URL+"/v1/players", joinRequest{Bits: strings.Repeat("1", 32)}, &joined); code != http.StatusCreated {
+		t.Fatalf("join status %d", code)
+	}
+	cases := []struct {
+		wait string
+		want []int
+	}{
+		{"0", []int{http.StatusBadRequest}},
+		{"0s", []int{http.StatusBadRequest}},
+		{"-5ms", []int{http.StatusBadRequest}},
+		{"bogus", []int{http.StatusBadRequest}},
+		{"12", []int{http.StatusBadRequest}}, // ParseDuration wants a unit
+		{"1ns", []int{http.StatusGatewayTimeout, http.StatusOK}},
+		{"2s", []int{http.StatusOK}},
+	}
+	for _, tc := range cases {
+		code := doJSON(t, "GET", fmt.Sprintf("%s/v1/recommend/%d?wait=%s", srv.URL, joined.ID, tc.wait), nil, nil)
+		ok := false
+		for _, w := range tc.want {
+			ok = ok || code == w
+		}
+		if !ok {
+			t.Fatalf("wait=%q: status %d, want one of %v", tc.wait, code, tc.want)
+		}
+	}
+}
+
+func TestHTTPBatchJoin(t *testing.T) {
+	srv, e := daemon(t)
+	bits := strings.Repeat("10", 16)
+	req := batchJoinRequest{Players: []joinRequest{{Bits: bits}, {Bits: bits}, {Bits: bits}}}
+	var rep batchJoinReply
+	if code := doJSON(t, "POST", srv.URL+"/v1/players/batch", req, &rep); code != http.StatusCreated {
+		t.Fatalf("batch join status %d", code)
+	}
+	if len(rep.IDs) != 3 {
+		t.Fatalf("batch ids = %v, want 3", rep.IDs)
+	}
+	for i := 1; i < len(rep.IDs); i++ {
+		if rep.IDs[i] <= rep.IDs[i-1] {
+			t.Fatalf("batch ids not ascending: %v", rep.IDs)
+		}
+	}
+	if e.Players() != 3 {
+		t.Fatalf("players = %d, want 3", e.Players())
+	}
+	// Every admitted player is eventually served.
+	var rec recommendReply
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/recommend/%d?wait=5s", srv.URL, rep.IDs[2]), nil, &rec); code != http.StatusOK {
+		t.Fatalf("recommend status %d", code)
+	}
+	if rec.Bits != bits {
+		t.Fatalf("recommend bits = %q, want %q", rec.Bits, bits)
+	}
+
+	// One bad vector rejects the whole batch: all-or-nothing.
+	bad := batchJoinRequest{Players: []joinRequest{{Bits: bits}, {Bits: "101"}}}
+	if code := doJSON(t, "POST", srv.URL+"/v1/players/batch", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad batch status %d", code)
+	}
+	if e.Players() != 3 {
+		t.Fatalf("players after rejected batch = %d, want 3", e.Players())
+	}
+
+	// A batch larger than the free capacity is refused whole (503), and
+	// admits nobody.
+	over := batchJoinRequest{Players: make([]joinRequest, 6)} // 5 slots free of 8
+	for i := range over.Players {
+		over.Players[i] = joinRequest{Bits: bits}
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/players/batch", over, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("overfull batch status %d", code)
+	}
+	if e.Players() != 3 {
+		t.Fatalf("players after overfull batch = %d, want 3", e.Players())
+	}
+}

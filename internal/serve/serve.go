@@ -153,7 +153,7 @@ type Engine struct {
 	tel struct {
 		joins, leaves, epochs, aborts, recommends, waited *telemetry.Counter
 		epoch, members                                    *telemetry.Gauge
-		epochNs                                           *telemetry.Histogram
+		epochNs, recommendNs                              *telemetry.Histogram
 	}
 }
 
@@ -202,6 +202,7 @@ func New(cfg Config) (*Engine, error) {
 		e.tel.epoch = reg.Gauge("serve.epoch")
 		e.tel.members = reg.Gauge("serve.members")
 		e.tel.epochNs = reg.Histogram("serve.epoch.ns", telemetry.LatencyBuckets())
+		e.tel.recommendNs = reg.Histogram("serve.recommend.ns", telemetry.LatencyBucketsFine())
 	}
 	return e, nil
 }
@@ -222,17 +223,59 @@ func (e *Engine) Join(truth bitvec.Vector) (uint64, error) {
 		e.mu.Unlock()
 		return 0, ErrFull
 	}
-	s := e.free[0]
-	e.free = e.free[1:]
-	e.next++
-	id := e.next
-	e.slots[s] = &slot{id: id, truth: truth}
-	e.byID[id] = s
+	s, id := e.reserveLocked(truth)
 	e.mu.Unlock()
 	e.sched.Join(s)
 	e.tel.joins.Inc()
 	e.wake()
 	return id, nil
+}
+
+// reserveLocked takes the lowest free slot for truth and registers a
+// fresh external id. Caller holds e.mu and has checked len(e.free) > 0.
+func (e *Engine) reserveLocked(truth bitvec.Vector) (s int, id uint64) {
+	s = e.free[0]
+	e.free = e.free[1:]
+	e.next++
+	id = e.next
+	e.slots[s] = &slot{id: id, truth: truth}
+	e.byID[id] = s
+	return s, id
+}
+
+// JoinBatch registers many players in one registry pass: one lock
+// acquisition, one scheduler append, one coordinator wake — the bulk
+// admission path a fleet driver needs so n joins don't cost n lock and
+// churn-queue round trips. The batch is all-or-nothing: if any vector
+// has the wrong length or fewer than len(truths) slots are free, no
+// player is admitted and the error reports why. Ids are assigned in
+// input order. All players in the batch participate from the next epoch
+// boundary on, exactly as if Join had been called for each.
+func (e *Engine) JoinBatch(truths []bitvec.Vector) ([]uint64, error) {
+	for i, v := range truths {
+		if v.Len() != e.cfg.M {
+			return nil, fmt.Errorf("serve: preference vector %d length %d, want %d", i, v.Len(), e.cfg.M)
+		}
+	}
+	if len(truths) == 0 {
+		return nil, nil
+	}
+	ids := make([]uint64, len(truths))
+	slots := make([]int, len(truths))
+	e.mu.Lock()
+	if len(e.free) < len(truths) {
+		free := len(e.free)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: batch of %d, %d slots free", ErrFull, len(truths), free)
+	}
+	for i, v := range truths {
+		slots[i], ids[i] = e.reserveLocked(v)
+	}
+	e.mu.Unlock()
+	e.sched.JoinAll(slots)
+	e.tel.joins.Add(int64(len(truths)))
+	e.wake()
+	return ids, nil
 }
 
 // Leave retires the player at the next epoch boundary. An epoch already
@@ -301,6 +344,7 @@ func (e *Engine) watchCh() <-chan struct{} {
 // for the next publish, bounded by ctx's deadline — the per-request
 // deadline contract of the serving daemon.
 func (e *Engine) Recommend(ctx context.Context, id uint64) (bitvec.Partial, int64, error) {
+	start := time.Now()
 	waited := false
 	for {
 		ch := e.watchCh()
@@ -316,6 +360,7 @@ func (e *Engine) Recommend(ctx context.Context, id uint64) (bitvec.Partial, int6
 				if waited {
 					e.tel.waited.Inc()
 				}
+				e.tel.recommendNs.ObserveSince(start)
 				return w, s.Epoch, nil
 			}
 		}

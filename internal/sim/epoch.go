@@ -75,6 +75,21 @@ func (s *EpochScheduler) Join(slot int) {
 	s.mu.Unlock()
 }
 
+// JoinAll enqueues the admission of every slot in slots at the next
+// epoch boundary, under one lock acquisition. Semantically identical to
+// calling Join for each slot in order; it exists so bulk admission of a
+// large fleet doesn't take len(slots) lock round trips.
+func (s *EpochScheduler) JoinAll(slots []int) {
+	if len(slots) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, slot := range slots {
+		s.pending = append(s.pending, churnOp{slot: slot, join: true})
+	}
+	s.mu.Unlock()
+}
+
 // Leave enqueues the retirement of slot at the next epoch boundary. An
 // epoch already running still computes the slot's output; the slot
 // stops participating from the next epoch on. Leaving an inactive slot

@@ -176,3 +176,28 @@ func TestEpochConcurrentChurnCannotTearAnEpoch(t *testing.T) {
 		t.Fatalf("completed %d, want 50", s.CompletedEpochs())
 	}
 }
+
+func TestEpochJoinAllMatchesSequentialJoins(t *testing.T) {
+	a := NewEpochScheduler()
+	b := NewEpochScheduler()
+	slots := []int{4, 1, 7, 1} // duplicate admission is a boundary no-op
+	for _, s := range slots {
+		a.Join(s)
+	}
+	b.JoinAll(slots)
+	b.JoinAll(nil) // no-op, no lock churn
+	if a.Pending() != 4 || b.Pending() != 4 {
+		t.Fatalf("pending = %d/%d, want 4/4", a.Pending(), b.Pending())
+	}
+	pa, pb := a.BeginEpoch(), b.BeginEpoch()
+	a.Complete()
+	b.Complete()
+	if len(pa.Members) != 3 || len(pb.Members) != 3 {
+		t.Fatalf("members = %v / %v, want 3 each", pa.Members, pb.Members)
+	}
+	for i := range pa.Members {
+		if pa.Members[i] != pb.Members[i] || pa.Joined[i] != pb.Joined[i] {
+			t.Fatalf("plans diverge: %+v vs %+v", pa, pb)
+		}
+	}
+}

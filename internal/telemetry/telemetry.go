@@ -152,11 +152,51 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Snapshot copies the histogram's current state (see
+// HistogramSnapshot). Each value is read atomically; the set is not a
+// transaction, matching Registry.Snapshot. Returns the zero snapshot on
+// a nil receiver.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	hs := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	for i := range h.counts {
+		b := BucketCount{Count: h.counts[i].Load()}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.Inf = true
+		}
+		hs.Buckets[i] = b
+	}
+	return hs
+}
+
 // LatencyBuckets returns the canned request-latency bounds in
 // nanoseconds: 50µs to ~26s, ×4 per bucket.
 func LatencyBuckets() []int64 {
 	b := make([]int64, 0, 10)
 	for v := int64(50_000); len(b) < 10; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// LatencyBucketsFine returns finer request-latency bounds in
+// nanoseconds: 10µs to ~84s, ×2 per bucket (24 buckets). The ×4 spacing
+// of LatencyBuckets keeps hot-path histograms cheap but caps quantile
+// resolution at a factor of 4; load harnesses that report p50/p99 (see
+// HistogramSnapshot.Quantile and cmd/loadgen) use this set, bounding
+// the interpolation error of any quantile to a factor of 2.
+func LatencyBucketsFine() []int64 {
+	b := make([]int64, 0, 24)
+	for v := int64(10_000); len(b) < 24; v *= 2 {
 		b = append(b, v)
 	}
 	return b
@@ -285,6 +325,58 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the fixed buckets: the bucket holding the rank is
+// located by cumulative count and the value is interpolated linearly
+// inside it. The estimate is therefore only as sharp as the bucket
+// spacing — with ×2 bounds (LatencyBucketsFine) any quantile is correct
+// within a factor of 2; see DESIGN.md §14 for what that can and cannot
+// resolve. Ranks falling in the +Inf bucket return Max, which the
+// histogram tracks exactly. Returns 0 when the histogram is empty; q is
+// clamped to [0,1].
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the q-quantile in the sorted observations, 1-based:
+	// q=0 is the first observation, q=1 the last.
+	rank := int64(q*float64(h.Count-1)) + 1
+	cum := int64(0)
+	lo := int64(0)
+	for _, b := range h.Buckets {
+		if b.Count == 0 {
+			if !b.Inf {
+				lo = b.UpperBound
+			}
+			continue
+		}
+		if cum+b.Count >= rank {
+			if b.Inf {
+				return h.Max
+			}
+			// Interpolate the rank's position within [lo, upper]. The
+			// bucket's observations are assumed uniform across its span,
+			// the standard fixed-bucket estimate.
+			frac := float64(rank-cum) / float64(b.Count)
+			v := lo + int64(frac*float64(b.UpperBound-lo))
+			// Max is exact; no estimate should exceed it.
+			if h.Max > 0 && v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += b.Count
+		lo = b.UpperBound
+	}
+	return h.Max
+}
+
 // Snapshot is a point-in-time copy of every instrument.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
@@ -315,22 +407,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Count:   h.count.Load(),
-			Sum:     h.sum.Load(),
-			Max:     h.max.Load(),
-			Buckets: make([]BucketCount, len(h.counts)),
-		}
-		for i := range h.counts {
-			b := BucketCount{Count: h.counts[i].Load()}
-			if i < len(h.bounds) {
-				b.UpperBound = h.bounds[i]
-			} else {
-				b.Inf = true
-			}
-			hs.Buckets[i] = b
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

@@ -227,3 +227,99 @@ func BenchmarkNilHistogramObserve(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.ns", []int64{100, 200, 400, 800})
+
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+
+	// 100 observations uniform in (0, 100]: every quantile lands in the
+	// first bucket and interpolates from 0.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got < 0 || got > 10 {
+		t.Fatalf("q0 = %d, want near the low edge of (0,100]", got)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %d, want ~50", p50)
+	}
+	// q=1 ranks the last observation; the cap against the exact Max
+	// keeps the interpolation from overshooting it.
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %d, want 100 (exact max)", got)
+	}
+
+	// Push 100 more into (200, 400]: p50 stays in bucket 1, p99 moves.
+	for i := 0; i < 100; i++ {
+		h.Observe(300)
+	}
+	s = h.Snapshot()
+	if got := s.Quantile(0.25); got > 100 {
+		t.Fatalf("p25 = %d, want <= 100", got)
+	}
+	p75 := s.Quantile(0.75)
+	if p75 <= 200 || p75 > 400 {
+		t.Fatalf("p75 = %d, want in (200, 400]", p75)
+	}
+
+	// Quantiles are monotone in q.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+
+	// q outside [0,1] clamps instead of panicking.
+	if got := s.Quantile(-3); got != s.Quantile(0) {
+		t.Fatalf("q<0 = %d, want clamp to q0 = %d", got, s.Quantile(0))
+	}
+	if got := s.Quantile(7); got != s.Quantile(1) {
+		t.Fatalf("q>1 = %d, want clamp to q1 = %d", got, s.Quantile(1))
+	}
+}
+
+func TestHistogramQuantileInfBucketReturnsMax(t *testing.T) {
+	r := New()
+	h := r.Histogram("inf.ns", []int64{10})
+	h.Observe(5)
+	h.Observe(123456) // beyond the last bound: lands in +Inf
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != 123456 {
+		t.Fatalf("q1 in +Inf bucket = %d, want exact max 123456", got)
+	}
+	if got := s.Quantile(0); got > 10 {
+		t.Fatalf("q0 = %d, want <= 10", got)
+	}
+}
+
+func TestHistogramSnapshotNilSafe(t *testing.T) {
+	var h *Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", s)
+	}
+}
+
+func TestLatencyBucketsFine(t *testing.T) {
+	fine := LatencyBucketsFine()
+	if len(fine) != 24 {
+		t.Fatalf("fine buckets = %d, want 24", len(fine))
+	}
+	for i := 1; i < len(fine); i++ {
+		if fine[i] != 2*fine[i-1] {
+			t.Fatalf("fine bounds not x2: %v", fine)
+		}
+	}
+	if fine[0] != 10_000 {
+		t.Fatalf("fine bounds should start at 10us: %v", fine)
+	}
+}
