@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress-net stress-cluster stress-churn race-telemetry race-cancel loadgen-smoke verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab bench-loadgen
+.PHONY: build test race stress-net stress-cluster stress-churn race-telemetry race-cancel loadgen-smoke verify bench bench-net bench-telemetry bench-cancel bench-core bench-core-ab bench-wire bench-loadgen
 
 build:
 	$(GO) build ./...
@@ -114,11 +114,22 @@ REF ?= HEAD
 bench-core-ab:
 	$(GO) run ./cmd/benchdiff -suite core -count 5 -ref "$(REF)" -fail-regress 10
 
+# BENCH_WIRE.json: the wire-codec microbenchmarks — encode/decode of
+# the hot message shapes under the JSON and binary codecs, with
+# allocs/op from the pooled-buffer path. Fast enough to run as a CI
+# smoke (BENCHTIME trims it further there).
+BENCHTIME ?= 1s
+bench-wire:
+	$(GO) run ./cmd/benchdiff -suite wire -count 3 -benchtime $(BENCHTIME)
+
 # BENCH_NET.json: the serving-capacity table from a full local loadgen
 # run — a million-player fleet auto-ramping its round rate against a
 # 4-shard loopback cluster until the p99 SLO breaks, with the exact
-# probe-counter audit on. Heavier knobs than loadgen-smoke; see
-# EXPERIMENTS.md for reading the table.
+# probe-counter audit on. The -codec sweep runs the whole ramp once per
+# wire codec against a fresh cluster, so the table carries a JSON row
+# and a binary row at every rate for A/B reading. Heavier knobs than
+# loadgen-smoke; see EXPERIMENTS.md for reading the table.
 bench-loadgen:
 	$(GO) run ./cmd/loadgen -players 1000000 -m 512 -post-batch 64 \
-		-workers 128 -local-shards 4 -duration 5s -out BENCH_NET.json
+		-workers 128 -local-shards 4 -duration 5s -warmup 2s -repeat 3 \
+		-codec json,binary -out BENCH_NET.json

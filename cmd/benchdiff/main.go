@@ -67,6 +67,11 @@ var suites = map[string]struct {
 	// track the bit-plane/arena rewrite; `make bench-core` adds
 	// -fail-regress 10 so a >10% E1/E8 slowdown fails the build.
 	"core": {pkg: ".,./internal/billboard", bench: "E1ZeroRadius|E8Main|VotesLargeTopic|PopularVectors|PostValues", out: "BENCH_5.json"},
+	// The wire-codec suite: encode/decode microbenchmarks of the two hot
+	// message shapes (topic snapshot, probe batch) under the JSON and
+	// binary codecs, with allocs/op from the pooled-buffer path. `make
+	// bench-wire` runs it as the CI smoke.
+	"wire": {pkg: "./internal/netboard", bench: "WireEncode|WireDecode", out: "BENCH_WIRE.json"},
 }
 
 // Comparison is the per-benchmark before/after delta when -baseline is
@@ -102,6 +107,7 @@ func main() {
 	var (
 		bench    = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 		count    = flag.Int("count", 5, "repetitions per benchmark (go test -count)")
+		btime    = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime); empty keeps go's default")
 		pkg      = flag.String("pkg", ".", "package to benchmark")
 		out      = flag.String("out", "BENCH_1.json", "output JSON path")
 		suite    = flag.String("suite", "", "named preset (experiments, netboard); sets -pkg/-bench/-out unless overridden")
@@ -116,7 +122,7 @@ func main() {
 	if *suite != "" {
 		preset, ok := suites[*suite]
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q (have: experiments, netboard, telemetry, cancel, core)", *suite))
+			fatal(fmt.Errorf("unknown suite %q (have: experiments, netboard, telemetry, cancel, core, wire)", *suite))
 		}
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -131,6 +137,7 @@ func main() {
 		}
 	}
 
+	benchtime = *btime
 	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchmem -count=%d %s", *bench, *count, *pkg)
 	var sums, baseSums []Summary
 	var err error
@@ -249,14 +256,22 @@ func runAB(bench string, count int, pkgs, ref string) (cur, base []Summary, refC
 	return cur, base, refCommit
 }
 
+// benchtime is the -benchtime value passed through to every go test
+// invocation ("" keeps go's default).
+var benchtime string
+
 // runGoTest executes one `go test -bench` invocation per comma-separated
 // package in dir ("" = current directory) and returns the concatenated
 // stdout (benchmark lines).
 func runGoTest(dir, bench string, count int, pkgs string) (string, error) {
 	var all strings.Builder
 	for _, pkg := range strings.Split(pkgs, ",") {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-			"-benchmem", fmt.Sprintf("-count=%d", count), pkg)
+		args := []string{"test", "-run", "^$", "-bench", bench,
+			"-benchmem", fmt.Sprintf("-count=%d", count)}
+		if benchtime != "" {
+			args = append(args, "-benchtime", benchtime)
+		}
+		cmd := exec.Command("go", append(args, pkg)...)
 		cmd.Dir = dir
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()

@@ -34,14 +34,16 @@ type boardTarget struct {
 // loadgen-only localShards mode, which spawns that many loopback
 // netboard servers in-process and drives them as a cluster over real
 // HTTP: the full wire protocol and connection pool under load, no
-// external processes to babysit.
-func resolveTarget(spec string, localShards, players, m int, reg *telemetry.Registry) (*boardTarget, error) {
+// external processes to babysit. codec selects the client-side wire
+// encoding of the remote targets ("json" or "binary"; moot for the
+// in-process board).
+func resolveTarget(spec string, localShards, players, m int, codec string, reg *telemetry.Registry) (*boardTarget, error) {
 	spec = strings.TrimSpace(spec)
 	if localShards > 0 {
 		if spec != "" {
 			return nil, fmt.Errorf("loadgen: -board and -local-shards are mutually exclusive")
 		}
-		return spawnLocalShards(localShards, players, m, reg)
+		return spawnLocalShards(localShards, players, m, codec, reg)
 	}
 	switch {
 	case spec == "":
@@ -52,14 +54,14 @@ func resolveTarget(spec string, localShards, players, m int, reg *telemetry.Regi
 		shards := strings.Split(spec, ",")
 		cluster, err := netboard.NewCluster(netboard.ClusterConfig{
 			Shards: shards,
-			Client: netboard.Config{Telemetry: reg, Retries: 2},
+			Client: netboard.Config{Telemetry: reg, Retries: 2, Codec: codec},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: board %q: %w", spec, err)
 		}
 		return &boardTarget{board: cluster, kind: fmt.Sprintf("cluster(%d)", len(shards)), shards: len(shards)}, nil
 	default:
-		c := netboard.NewClientWithConfig(spec, netboard.Config{Telemetry: reg, Retries: 2})
+		c := netboard.NewClientWithConfig(spec, netboard.Config{Telemetry: reg, Retries: 2, Codec: codec})
 		return &boardTarget{board: c, kind: "server", shards: 1}, nil
 	}
 }
@@ -68,7 +70,7 @@ func resolveTarget(spec string, localShards, players, m int, reg *telemetry.Regi
 // cluster client over them. Each shard serves its own board dimensioned
 // for the full fleet (objects are partitioned across shards by the
 // ring, players are not).
-func spawnLocalShards(n, players, m int, reg *telemetry.Registry) (*boardTarget, error) {
+func spawnLocalShards(n, players, m int, codec string, reg *telemetry.Registry) (*boardTarget, error) {
 	urls := make([]string, n)
 	servers := make([]*http.Server, n)
 	closeAll := func() {
@@ -94,7 +96,7 @@ func spawnLocalShards(n, players, m int, reg *telemetry.Registry) (*boardTarget,
 	}
 	cluster, err := netboard.NewCluster(netboard.ClusterConfig{
 		Shards: urls,
-		Client: netboard.Config{Telemetry: reg, Retries: 2},
+		Client: netboard.Config{Telemetry: reg, Retries: 2, Codec: codec},
 	})
 	if err != nil {
 		closeAll()

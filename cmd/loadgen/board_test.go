@@ -16,7 +16,7 @@ import (
 func TestResolveTargetSpecProgression(t *testing.T) {
 	reg := telemetry.New()
 
-	inproc, err := resolveTarget("", 0, 8, 16, reg)
+	inproc, err := resolveTarget("", 0, 8, 16, "json", reg)
 	if err != nil {
 		t.Fatalf("inproc: %v", err)
 	}
@@ -32,7 +32,7 @@ func TestResolveTargetSpecProgression(t *testing.T) {
 	srv2 := httptest.NewServer(netboard.NewServer(billboard.New(8, 16)))
 	defer srv2.Close()
 
-	single, err := resolveTarget(srv1.URL, 0, 8, 16, reg)
+	single, err := resolveTarget(srv1.URL, 0, 8, 16, "binary", reg)
 	if err != nil {
 		t.Fatalf("server: %v", err)
 	}
@@ -47,7 +47,7 @@ func TestResolveTargetSpecProgression(t *testing.T) {
 		t.Fatalf("server probe count = %d, want 1", got)
 	}
 
-	cluster, err := resolveTarget(srv1.URL+","+srv2.URL, 0, 8, 16, reg)
+	cluster, err := resolveTarget(srv1.URL+","+srv2.URL, 0, 8, 16, "json", reg)
 	if err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
@@ -55,12 +55,12 @@ func TestResolveTargetSpecProgression(t *testing.T) {
 		t.Fatalf("cluster spec resolved to %q/%d, want cluster(2)/2", cluster.kind, cluster.shards)
 	}
 
-	if _, err := resolveTarget(srv1.URL, 2, 8, 16, reg); err == nil ||
+	if _, err := resolveTarget(srv1.URL, 2, 8, 16, "json", reg); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("spec + local-shards accepted, err=%v", err)
 	}
 
-	local, err := resolveTarget("", 3, 8, 16, reg)
+	local, err := resolveTarget("", 3, 8, 16, "binary", reg)
 	if err != nil {
 		t.Fatalf("local shards: %v", err)
 	}

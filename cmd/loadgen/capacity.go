@@ -21,8 +21,11 @@ import (
 // exceeds capacity the backlog shows up as latency instead of the
 // generator politely slowing down.
 type CapacityRow struct {
-	Players    int     `json:"players"`
-	Shards     int     `json:"shards"`
+	Players int `json:"players"`
+	Shards  int `json:"shards"`
+	// Codec is the client wire encoding of this row's leg ("json" or
+	// "binary"; empty for the in-process board, which has no wire).
+	Codec      string  `json:"codec,omitempty"`
 	TargetRate float64 `json:"target_rounds_per_sec"`
 	// AchievedRate is rounds completed over the step's wall clock.
 	AchievedRate float64 `json:"achieved_rounds_per_sec"`
@@ -148,10 +151,14 @@ func writeBenchNet(path string, f *BenchNetFile) error {
 
 // printTable renders the capacity table for the terminal.
 func printTable(w io.Writer, f *BenchNetFile) {
-	fmt.Fprintf(w, "%10s %7s %12s %12s %10s %10s %s\n", "players", "shards", "target r/s", "achieved", "p50", "p99", "sustained")
+	fmt.Fprintf(w, "%10s %7s %7s %12s %12s %10s %10s %s\n", "players", "shards", "codec", "target r/s", "achieved", "p50", "p99", "sustained")
 	for _, r := range f.Rows {
-		fmt.Fprintf(w, "%10d %7d %12.0f %12.0f %10v %10v %v\n",
-			r.Players, r.Shards, r.TargetRate, r.AchievedRate,
+		codec := r.Codec
+		if codec == "" {
+			codec = "-"
+		}
+		fmt.Fprintf(w, "%10d %7d %7s %12.0f %12.0f %10v %10v %v\n",
+			r.Players, r.Shards, codec, r.TargetRate, r.AchievedRate,
 			time.Duration(r.P50Ns).Round(time.Microsecond),
 			time.Duration(r.P99Ns).Round(time.Microsecond),
 			r.Sustained)

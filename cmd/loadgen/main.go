@@ -19,13 +19,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 )
 
 func main() {
 	cfg := &config{}
-	var rates string
+	var rates, codecs string
 	flag.IntVar(&cfg.Players, "players", 10000, "simulated players in the board-plane fleet")
 	flag.IntVar(&cfg.M, "m", 512, "object universe size")
 	flag.IntVar(&cfg.PostBatch, "post-batch", 32, "probes posted per round (must divide m)")
@@ -35,7 +36,10 @@ func main() {
 	flag.Float64Var(&cfg.RampStart, "ramp-start", 1000, "auto-ramp starting rate")
 	flag.Float64Var(&cfg.RampMax, "ramp-max", 0, "auto-ramp ceiling (0 = default)")
 	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "duration of each rate step")
+	flag.DurationVar(&cfg.Warmup, "warmup", time.Second, "unmeasured warmup at each leg's first rate (0 disables)")
+	flag.IntVar(&cfg.Repeat, "repeat", 1, "repetitions of the whole codec sweep; rows keep the min-p99 per (codec, rate)")
 	flag.StringVar(&cfg.Board, "board", "", "board target: empty = in-process, URL = server, comma-separated URLs = cluster")
+	flag.StringVar(&codecs, "codec", "json", "comma-separated wire codecs to sweep (json,binary); each runs a fresh-target leg")
 	flag.IntVar(&cfg.LocalShards, "local-shards", 0, "spawn N loopback netboard shards and drive them as a cluster")
 	flag.IntVar(&cfg.ServePlayers, "serve-players", 0, "serve-plane fleet size (0 = board plane only)")
 	flag.IntVar(&cfg.ServeM, "serve-m", 64, "serve-plane object universe")
@@ -54,6 +58,11 @@ func main() {
 	if cfg.Rates, err = parseRates(rates); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	for _, c := range strings.Split(codecs, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			cfg.Codecs = append(cfg.Codecs, c)
+		}
 	}
 	cfg.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)

@@ -36,6 +36,7 @@ func main() {
 		save  = flag.String("save", "", "write the generated instance to this file (binary) and exit")
 		load  = flag.String("load", "", "load the instance from this file instead of generating")
 		board = flag.String("board", "", "run against a remote billboard at this base URL, or a sharded cluster given a comma-separated URL list")
+		codec = flag.String("codec", "json", "wire codec for -board targets: json or binary")
 		tmo   = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		cnts  = flag.Bool("counts", false, "print nested sub-algorithm invocation counts")
 		scen  = flag.String("scenarios", "", "run a JSON scenario file (see tellme.Scenario) and exit")
@@ -66,7 +67,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *tmo, *verb, *cnts); err != nil {
+		if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *codec, *tmo, *verb, *cnts); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -105,7 +106,7 @@ func main() {
 		fmt.Printf("saved %s (%d players × %d objects) to %s\n", in.Name, in.N, in.M, *save)
 		return
 	}
-	if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *tmo, *verb, *cnts); err != nil {
+	if err := runOn(os.Stdout, in, *algo, *alpha, *d, *seed, *budg, *flip, *board, *codec, *tmo, *verb, *cnts); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -138,7 +139,7 @@ func runScenarios(w io.Writer, path string) error {
 
 // runOn executes one algorithm over the instance and writes the report
 // to w. Split from main for testability.
-func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, seed uint64, budg int64, flip float64, board string, timeout time.Duration, verb, cnts bool) error {
+func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, seed uint64, budg int64, flip float64, board, codec string, timeout time.Duration, verb, cnts bool) error {
 	algos := map[string]tellme.Algorithm{
 		"auto":    tellme.AlgoAuto,
 		"main":    tellme.AlgoMain,
@@ -153,14 +154,15 @@ func runOn(w io.Writer, in *tellme.Instance, algo string, alpha float64, d int, 
 	}
 
 	opt := tellme.Options{
-		Algorithm: a,
-		Alpha:     alpha,
-		D:         d,
-		Seed:      seed + 1,
-		Budget:    budg,
-		FlipNoise: flip,
-		BoardURL:  board,
-		Timeout:   timeout,
+		Algorithm:  a,
+		Alpha:      alpha,
+		D:          d,
+		Seed:       seed + 1,
+		Budget:     budg,
+		FlipNoise:  flip,
+		BoardURL:   board,
+		BoardCodec: codec,
+		Timeout:    timeout,
 	}
 	if a == tellme.AlgoAnytime {
 		opt.OnPhase = func(ph tellme.PhaseInfo) bool {

@@ -12,7 +12,7 @@ import (
 func TestRunOnZero(t *testing.T) {
 	in := tellme.IdenticalInstance(64, 64, 0.5, 1)
 	var buf bytes.Buffer
-	if err := runOn(&buf, in, "zero", 0.5, 0, 2, 0, 0, "", 0, false, false); err != nil {
+	if err := runOn(&buf, in, "zero", 0.5, 0, 2, 0, 0, "", "json", 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -26,7 +26,7 @@ func TestRunOnZero(t *testing.T) {
 func TestRunOnVerboseAndCounts(t *testing.T) {
 	in := tellme.PlantedInstance(128, 128, 0.5, 16, 3)
 	var buf bytes.Buffer
-	if err := runOn(&buf, in, "large", 0.5, 16, 4, 0, 0, "", 0, true, true); err != nil {
+	if err := runOn(&buf, in, "large", 0.5, 16, 4, 0, 0, "", "json", 0, true, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -41,7 +41,7 @@ func TestRunOnVerboseAndCounts(t *testing.T) {
 func TestRunOnAnytimePhases(t *testing.T) {
 	in := tellme.PlantedInstance(64, 64, 0.5, 4, 5)
 	var buf bytes.Buffer
-	if err := runOn(&buf, in, "anytime", 0.5, 0, 6, 50, 0, "", 0, false, false); err != nil {
+	if err := runOn(&buf, in, "anytime", 0.5, 0, 6, 50, 0, "", "json", 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "phase 1: alpha=0.5000") {
@@ -52,7 +52,7 @@ func TestRunOnAnytimePhases(t *testing.T) {
 func TestRunOnUnknownAlgorithm(t *testing.T) {
 	in := tellme.IdenticalInstance(8, 8, 0.5, 7)
 	var buf bytes.Buffer
-	if err := runOn(&buf, in, "nope", 0.5, 0, 1, 0, 0, "", 0, false, false); err == nil {
+	if err := runOn(&buf, in, "nope", 0.5, 0, 1, 0, 0, "", "json", 0, false, false); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunOnUnknownAlgorithm(t *testing.T) {
 func TestRunOnPropagatesRunError(t *testing.T) {
 	in := tellme.IdenticalInstance(8, 8, 0.5, 8)
 	var buf bytes.Buffer
-	if err := runOn(&buf, in, "zero", 0, 0, 1, 0, 0, "", 0, false, false); err == nil {
+	if err := runOn(&buf, in, "zero", 0, 0, 1, 0, 0, "", "json", 0, false, false); err == nil {
 		t.Fatal("invalid alpha accepted")
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"tellme/internal/netboard"
 	"tellme/internal/serve"
 	"tellme/internal/telemetry"
+	"tellme/internal/wire"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 		capacity   = flag.Int("capacity", 256, "maximum concurrently registered players")
 		alpha      = flag.Float64("alpha", 0.25, "assumed community fraction (0,1]")
 		boardSpec  = flag.String("board", "", "remote billboard: one base URL, or a comma-separated shard list (empty = in-process board)")
+		boardCodec = flag.String("codec", "json", "wire codec for the remote billboard: json or binary (binary falls back to json against servers that refuse it)")
 		epochEvery = flag.Duration("epoch-every", 5*time.Second, "epoch interval (epochs run earlier when churn is pending)")
 		epochT     = flag.Duration("epoch-timeout", 0, "per-epoch wall-clock bound (0 = none); an epoch exceeding it aborts and the previous snapshot keeps serving")
 		deadline   = flag.Duration("deadline", serve.DefaultRecommendDeadline, "default per-request recommend deadline")
@@ -68,7 +70,10 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.New()
-	board, err := resolveBoard(*boardSpec, *capacity, *m, reg)
+	if _, err := wire.ByName(*boardCodec); err != nil {
+		log.Fatal(err)
+	}
+	board, err := resolveBoard(*boardSpec, *capacity, *m, *boardCodec, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,7 +140,7 @@ func main() {
 // in-process board for an empty spec, a single netboard client for one
 // URL, a consistent-hashed cluster for a comma-separated list — the
 // same resolution the batch facade's Options.BoardURL performs.
-func resolveBoard(spec string, capacity, m int, reg *telemetry.Registry) (boardclient.Interface, error) {
+func resolveBoard(spec string, capacity, m int, codec string, reg *telemetry.Registry) (boardclient.Interface, error) {
 	spec = strings.TrimSpace(spec)
 	switch {
 	case spec == "":
@@ -145,13 +150,13 @@ func resolveBoard(spec string, capacity, m int, reg *telemetry.Registry) (boardc
 	case strings.Contains(spec, ","):
 		cluster, err := netboard.NewCluster(netboard.ClusterConfig{
 			Shards: strings.Split(spec, ","),
-			Client: netboard.Config{Telemetry: reg},
+			Client: netboard.Config{Telemetry: reg, Codec: codec},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tellmed: board %q: %w", spec, err)
 		}
 		return cluster, nil
 	default:
-		return netboard.NewClientWithConfig(spec, netboard.Config{Telemetry: reg}), nil
+		return netboard.NewClientWithConfig(spec, netboard.Config{Telemetry: reg, Codec: codec}), nil
 	}
 }

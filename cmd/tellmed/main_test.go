@@ -18,7 +18,7 @@ import (
 )
 
 func TestResolveBoardInProcess(t *testing.T) {
-	b, err := resolveBoard("", 8, 32, telemetry.New())
+	b, err := resolveBoard("", 8, 32, "json", telemetry.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestResolveBoardInProcess(t *testing.T) {
 }
 
 func TestResolveBoardSingleURL(t *testing.T) {
-	b, err := resolveBoard(" http://localhost:7070 ", 8, 32, telemetry.New())
+	b, err := resolveBoard(" http://localhost:7070 ", 8, 32, "json", telemetry.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,14 +42,14 @@ func TestResolveBoardSingleURL(t *testing.T) {
 }
 
 func TestResolveBoardCluster(t *testing.T) {
-	b, err := resolveBoard("http://a:1,http://b:2", 8, 32, telemetry.New())
+	b, err := resolveBoard("http://a:1,http://b:2", 8, 32, "json", telemetry.New())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := b.(*netboard.Cluster); !ok {
 		t.Fatalf("shard list resolved to %T, want *netboard.Cluster", b)
 	}
-	if _, err := resolveBoard("http://a:1,", 8, 32, telemetry.New()); err == nil {
+	if _, err := resolveBoard("http://a:1,", 8, 32, "json", telemetry.New()); err == nil {
 		t.Fatal("empty shard in list must be rejected")
 	}
 }
@@ -69,7 +69,7 @@ func TestDaemonAgainstClusterBoard(t *testing.T) {
 		urls = append(urls, bs.URL)
 	}
 	reg := telemetry.New()
-	board, err := resolveBoard(strings.Join(urls, ","), 8, m, reg)
+	board, err := resolveBoard(strings.Join(urls, ","), 8, m, "binary", reg)
 	if err != nil {
 		t.Fatal(err)
 	}

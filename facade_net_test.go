@@ -20,30 +20,42 @@ func TestRunAgainstRemoteBoard(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	board := billboard.New(in.N, in.M)
-	srv := httptest.NewServer(netboard.NewServer(board))
-	defer srv.Close()
-	remote, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22, BoardURL: srv.URL})
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Both wire codecs must reproduce the local run byte for byte.
+	for _, codec := range []string{"json", "binary"} {
+		t.Run(codec, func(t *testing.T) {
+			board := billboard.New(in.N, in.M)
+			srv := httptest.NewServer(netboard.NewServer(board))
+			defer srv.Close()
+			remote, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 22, BoardURL: srv.URL, BoardCodec: codec})
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	// Determinism: identical outputs local vs remote.
-	for p := 0; p < in.N; p++ {
-		if !local.Outputs[p].Equal(remote.Outputs[p]) {
-			t.Fatalf("player %d output differs between local and remote board", p)
-		}
+			// Determinism: identical outputs local vs remote.
+			for p := 0; p < in.N; p++ {
+				if !local.Outputs[p].Equal(remote.Outputs[p]) {
+					t.Fatalf("player %d output differs between local and remote board", p)
+				}
+			}
+			if local.MaxProbes != remote.MaxProbes {
+				t.Fatalf("probe accounting differs: %d vs %d", local.MaxProbes, remote.MaxProbes)
+			}
+			// The remote board really saw the traffic.
+			if board.ProbeCount() == 0 || board.VectorPostCount() != 0 {
+				// vector topics are dropped at the end of ZeroRadius, but probe
+				// postings persist
+				if board.ProbeCount() == 0 {
+					t.Fatal("remote board saw no probes")
+				}
+			}
+		})
 	}
-	if local.MaxProbes != remote.MaxProbes {
-		t.Fatalf("probe accounting differs: %d vs %d", local.MaxProbes, remote.MaxProbes)
-	}
-	// The remote board really saw the traffic.
-	if board.ProbeCount() == 0 || board.VectorPostCount() != 0 {
-		// vector topics are dropped at the end of ZeroRadius, but probe
-		// postings persist
-		if board.ProbeCount() == 0 {
-			t.Fatal("remote board saw no probes")
-		}
+}
+
+func TestRunRejectsUnknownCodec(t *testing.T) {
+	in := IdenticalInstance(8, 8, 0.5, 21)
+	if _, err := Run(in, Options{Algorithm: AlgoZero, Alpha: 0.5, Seed: 1, BoardURL: "http://localhost:1", BoardCodec: "gob"}); err == nil {
+		t.Fatal("unknown BoardCodec accepted")
 	}
 }
 

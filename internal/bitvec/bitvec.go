@@ -101,6 +101,19 @@ func (v *Vector) clampLast() {
 // Len returns the number of coordinates.
 func (v Vector) Len() int { return v.n }
 
+// VectorFromWords builds a Vector of length n adopting w as its packed
+// words (no copy). len(w) must be WordsFor(n); bits beyond n in the
+// last word are cleared, so a decoded wire payload cannot smuggle tail
+// bits into Equal/Key comparisons.
+func VectorFromWords(n int, w []uint64) Vector {
+	if n < 0 || len(w) != words(n) {
+		panic("bitvec: VectorFromWords word count mismatch")
+	}
+	v := Vector{n: n, w: w}
+	v.clampLast()
+	return v
+}
+
 // Get returns coordinate i as 0 or 1.
 func (v Vector) Get(i int) byte {
 	return byte(v.w[i>>6] >> (uint(i) & 63) & 1)

@@ -60,6 +60,25 @@ func PartialFromString(s string) (Partial, error) {
 // Len returns the number of coordinates.
 func (p Partial) Len() int { return p.n }
 
+// PartialFromPlanes builds a Partial of length n adopting val and known
+// as its planes (no copy). Both must have WordsFor(n) words. The planes
+// are clamped to the invariants every constructor maintains — tail bits
+// beyond n cleared, val ⊆ known — so a decoded wire payload cannot
+// produce a Partial that Equal/Less/Merge would misorder.
+func PartialFromPlanes(n int, val, known []uint64) Partial {
+	if n < 0 || len(val) != words(n) || len(known) != words(n) {
+		panic("bitvec: PartialFromPlanes word count mismatch")
+	}
+	p := Partial{n: n, val: val, known: known}
+	if w := len(known); w > 0 {
+		known[w-1] &= lastMask(n)
+	}
+	for i := range val {
+		val[i] &= known[i]
+	}
+	return p
+}
+
 // Get returns 0, 1 or Unknown for coordinate i.
 func (p Partial) Get(i int) byte {
 	mask := uint64(1) << (uint(i) & 63)

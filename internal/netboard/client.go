@@ -5,7 +5,6 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
 	mrand "math/rand/v2"
@@ -22,6 +21,7 @@ import (
 	"tellme/internal/bitvec"
 	"tellme/internal/boardclient"
 	"tellme/internal/telemetry"
+	"tellme/internal/wire"
 )
 
 // Client implements boardclient.Interface against a remote Server.
@@ -91,6 +91,15 @@ type Client struct {
 	// DefaultTelemetryPrefix). A Cluster sets a per-shard prefix so
 	// every instrument comes out keyed by shard.
 	TelemetryPrefix string
+	// Codec names the request/reply encoding: "json" (also the empty
+	// string, the default) or "binary" (internal/wire's length-prefixed
+	// packed codec). Binary is advisory, not mandatory: when a server
+	// rejects a binary body with a 4xx the request is re-sent as JSON
+	// under the same idempotency key, and a successful fallback pins
+	// the client to JSON from then on (binaryOff) — so a
+	// binary-configured client interoperates with JSON-pinned or
+	// pre-codec servers, it is just slower against them.
+	Codec string
 
 	// sleep stubs the backoff wait for tests. The stub is only invoked
 	// with a live context; a cancelled context skips the wait entirely,
@@ -113,6 +122,11 @@ type Client struct {
 	errMu    sync.Mutex
 	firstErr error
 	failures atomic.Int64
+
+	// binaryOff latches when a binary body was rejected with a 4xx and
+	// its JSON resend succeeded: the server does not speak our binary
+	// codec, so stop offering it (see Codec).
+	binaryOff atomic.Bool
 
 	// Connection-accounting instruments (lazily resolved once; nil when
 	// telemetry is off). See traceContext.
@@ -351,18 +365,57 @@ func (c *Client) traceContext(ctx context.Context) context.Context {
 	})
 }
 
-// post sends a JSON POST and expects 2xx, retrying transient failures.
+// bodyCodec resolves the codec for the next request: the configured
+// one, unless a failed binary attempt has already pinned the client
+// back to JSON (see Codec).
+func (c *Client) bodyCodec() wire.Codec {
+	if c.Codec == wire.Binary.Name() && !c.binaryOff.Load() {
+		return wire.Binary
+	}
+	return wire.JSON
+}
+
+// wireInstruments resolves the per-endpoint wire telemetry — body bytes
+// in/out and encode/decode latency (the zero no-op value when telemetry
+// is off).
+func (c *Client) wireInstruments(path string) wire.Instruments {
+	return wire.NewInstruments(c.Telemetry, c.telemetryPrefix(), path)
+}
+
+// post sends a POST and expects 2xx, retrying transient failures. The
+// body is encoded with the client's codec into a pooled buffer. When a
+// server answers a binary body with a 4xx, the same logical request is
+// re-encoded as JSON and resent once without consuming a retry — the
+// fail-safe that keeps a binary-configured client working against a
+// JSON-pinned or pre-codec server (a genuine validation error just
+// fails again one request later, harmlessly: same idempotency key).
+// A successful fallback pins the client to JSON for good.
+//
 // All attempts carry the same request id, so a retry of a post the
 // server already applied is acknowledged, not re-applied. Cancelling
 // ctx aborts the in-flight request and the backoff wait.
-func (c *Client) post(ctx context.Context, path string, body any) {
-	buf, err := json.Marshal(body)
+func (c *Client) post(ctx context.Context, path string, body wire.Message) {
+	codec := c.bodyCodec()
+	ins := c.wireInstruments(path)
+	bufp := wire.GetBuffer()
+	defer wire.PutBuffer(bufp)
+	encode := func() ([]byte, error) {
+		start := time.Now()
+		data, err := codec.Append((*bufp)[:0], body)
+		ins.EncodeNs.ObserveSince(start)
+		if err == nil {
+			*bufp = data[:0] // keep the grown capacity for reuse/return
+		}
+		return data, err
+	}
+	buf, err := encode()
 	if err != nil {
 		c.fail(err)
 		return
 	}
 	id := c.requestID()
 	reqs, lat := c.instruments(path)
+	fellBack := false
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
@@ -376,10 +429,11 @@ func (c *Client) post(ctx context.Context, path string, body any) {
 			c.fail(err)
 			return
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", codec.ContentType())
 		req.Header.Set(HeaderRequestID, id)
 		req.Header.Set(HeaderProto, ProtoVersion)
 		reqs.Inc()
+		ins.BytesOut.Add(int64(len(buf)))
 		start := time.Now()
 		resp, err := c.httpc().Do(req)
 		lat.ObserveSince(start)
@@ -398,28 +452,53 @@ func (c *Client) post(ctx context.Context, path string, body any) {
 				lastErr = &ProtoError{Path: path, Got: got}
 				break
 			}
+			if fellBack {
+				// The JSON resend of a rejected binary body succeeded:
+				// the server does not speak binary, stop offering it.
+				c.binaryOff.Store(true)
+			}
 			return
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		resp.Body.Close()
 		lastErr = fmt.Errorf("POST %s: %s: %s", path, resp.Status, msg)
 		if code/100 == 4 {
+			if codec == wire.Binary && !fellBack {
+				// The server rejected the binary body (415 from a
+				// JSON-pinned server, 400 from a pre-codec one): resend
+				// as JSON under the same request id, on the house.
+				fellBack = true
+				codec = wire.JSON
+				if buf, err = encode(); err != nil {
+					c.fail(err)
+					return
+				}
+				attempt--
+				continue
+			}
 			break // protocol error; retrying cannot help
 		}
 	}
 	c.fail(lastErr)
 }
 
-// get fetches JSON into out, retrying transient failures. It reports
-// whether it succeeded; on false the client has already failed (and, in
-// degraded mode, out is untouched). Cancelling ctx aborts the in-flight
-// request and the backoff wait.
-func (c *Client) get(ctx context.Context, path string, query url.Values, out any) bool {
+// get fetches a reply into out, retrying transient failures. A
+// binary-configured client advertises the binary codec via Accept and
+// decodes the reply by its Content-Type; servers that ignore Accept
+// (pre-codec) or refuse binary (JSON-pinned) simply answer JSON, which
+// always decodes — GETs need no fallback dance. It reports whether it
+// succeeded; on false the client has already failed (and, in degraded
+// mode, out is untouched). Cancelling ctx aborts the in-flight request
+// and the backoff wait.
+func (c *Client) get(ctx context.Context, path string, query url.Values, out wire.Message) bool {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	ins := c.wireInstruments(path)
 	reqs, lat := c.instruments(path)
+	bufp := wire.GetBuffer()
+	defer wire.PutBuffer(bufp)
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
@@ -434,6 +513,9 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 			return false
 		}
 		req.Header.Set(HeaderProto, ProtoVersion)
+		if c.bodyCodec() == wire.Binary {
+			req.Header.Set("Accept", wire.ContentTypeBinary)
+		}
 		reqs.Inc()
 		start := time.Now()
 		resp, err := c.httpc().Do(req)
@@ -459,8 +541,24 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 			lastErr = &ProtoError{Path: path, Got: got}
 			break
 		}
-		err = json.NewDecoder(resp.Body).Decode(out)
+		data, err := wire.ReadAll(*bufp, resp.Body)
 		resp.Body.Close()
+		*bufp = data[:0] // keep the grown capacity for reuse/return
+		if err != nil {
+			lastErr = fmt.Errorf("GET %s: read: %v", path, err)
+			continue
+		}
+		ins.BytesIn.Add(int64(len(data)))
+		codec := wire.JSON
+		if wire.ClassifyContentType(resp.Header.Get("Content-Type")) != wire.KindJSON {
+			// Any binary-family media type decodes with the binary
+			// codec, which itself rejects frame versions it does not
+			// speak — a future v2 reply fails loudly, not quietly.
+			codec = wire.Binary
+		}
+		start = time.Now()
+		err = codec.Decode(data, out)
+		ins.DecodeNs.ObserveSince(start)
 		if err != nil {
 			lastErr = fmt.Errorf("GET %s: decode: %v", path, err)
 			continue
@@ -479,7 +577,7 @@ var bg = context.Background()
 func (c *Client) PostProbe(p, o int, val byte) { c.postProbe(bg, p, o, val) }
 
 func (c *Client) postProbe(ctx context.Context, p, o int, val byte) {
-	c.post(ctx, PathProbe, probePost{Player: p, Object: o, Value: val})
+	c.post(ctx, PathProbe, &probePost{Player: p, Object: o, Value: val})
 }
 
 // PostProbes implements billboard.Interface: the whole batch travels as
@@ -496,15 +594,15 @@ func (c *Client) postProbes(ctx context.Context, p int, objs []int, grades []byt
 		}
 		return
 	}
-	wire := make([]byte, len(objs))
+	gw := make([]byte, len(objs))
 	for k, g := range grades {
 		if g != 0 {
-			wire[k] = '1'
+			gw[k] = '1'
 		} else {
-			wire[k] = '0'
+			gw[k] = '0'
 		}
 	}
-	c.post(ctx, PathBatchProbes, batchProbesPost{Player: p, Objects: objs, Grades: string(wire)})
+	c.post(ctx, PathBatchProbes, &batchProbesPost{Player: p, Objects: objs, Grades: string(gw)})
 }
 
 // LookupProbe implements billboard.Interface.
@@ -609,7 +707,7 @@ func (c *Client) ProbeCount() int64 { return c.stats(bg).ProbeCount }
 func (c *Client) Post(name string, player int, v bitvec.Partial) { c.postTopic(bg, name, player, v) }
 
 func (c *Client) postTopic(ctx context.Context, name string, player int, v bitvec.Partial) {
-	c.post(ctx, PathVector, vectorPost{Topic: name, Player: player, Bits: v.String()})
+	c.post(ctx, PathVector, &vectorPost{Topic: name, Player: player, Bits: wire.Bits{P: v}})
 }
 
 // PostVector implements billboard.Interface.
@@ -621,16 +719,11 @@ func (c *Client) PostVector(name string, player int, v bitvec.Vector) {
 func (c *Client) Postings(name string) []billboard.Posting { return c.postings(bg, name) }
 
 func (c *Client) postings(ctx context.Context, name string) []billboard.Posting {
-	var reply []postingJSON
+	var reply postingList
 	c.get(ctx, PathPostings, url.Values{"topic": {name}}, &reply)
 	out := make([]billboard.Posting, len(reply))
 	for i, p := range reply {
-		vec, err := parsePartial(p.Bits)
-		if err != nil {
-			c.fail(err)
-			return nil
-		}
-		out[i] = billboard.Posting{Player: p.Player, Vec: vec}
+		out[i] = billboard.Posting{Player: p.Player, Vec: p.Bits.P}
 	}
 	return out
 }
@@ -663,12 +756,7 @@ func (c *Client) snapshot(ctx context.Context, name string) *topicCacheEntry {
 	entry := &topicCacheEntry{gen: reply.Gen, epoch: reply.Epoch}
 	entry.votes = make([]billboard.Vote, len(reply.Votes))
 	for i, v := range reply.Votes {
-		vec, err := parsePartial(v.Bits)
-		if err != nil {
-			c.fail(err)
-			return nil
-		}
-		entry.votes[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+		entry.votes[i] = billboard.Vote{Vec: v.Bits.P, Count: v.Count, Voters: v.Voters}
 	}
 	entry.valVotes = make([]billboard.ValueVote, len(reply.ValueVotes))
 	for i, v := range reply.ValueVotes {
@@ -689,16 +777,11 @@ func (c *Client) Votes(name string) []billboard.Vote { return c.votes(bg, name) 
 
 func (c *Client) votes(ctx context.Context, name string) []billboard.Vote {
 	if c.DisableBatch {
-		var reply []voteJSON
+		var reply voteList
 		c.get(ctx, PathVotes, url.Values{"topic": {name}}, &reply)
 		out := make([]billboard.Vote, len(reply))
 		for i, v := range reply {
-			vec, err := parsePartial(v.Bits)
-			if err != nil {
-				c.fail(err)
-				return nil
-			}
-			out[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+			out[i] = billboard.Vote{Vec: v.Bits.P, Count: v.Count, Voters: v.Voters}
 		}
 		return out
 	}
@@ -730,7 +813,7 @@ func (c *Client) PostValues(name string, player int, vals []uint32) {
 }
 
 func (c *Client) postValues(ctx context.Context, name string, player int, vals []uint32) {
-	c.post(ctx, PathValues, valuesPost{Topic: name, Player: player, Vals: vals})
+	c.post(ctx, PathValues, &valuesPost{Topic: name, Player: player, Vals: vals})
 }
 
 // ValuePostings implements billboard.Interface.
@@ -739,7 +822,7 @@ func (c *Client) ValuePostings(name string) []billboard.ValuePosting {
 }
 
 func (c *Client) valuePostings(ctx context.Context, name string) []billboard.ValuePosting {
-	var reply []valuePostingJSON
+	var reply valuePostingList
 	c.get(ctx, PathValuePostings, url.Values{"topic": {name}}, &reply)
 	out := make([]billboard.ValuePosting, len(reply))
 	for i, p := range reply {
@@ -754,7 +837,7 @@ func (c *Client) ValueVotes(name string) []billboard.ValueVote { return c.valueV
 
 func (c *Client) valueVotes(ctx context.Context, name string) []billboard.ValueVote {
 	if c.DisableBatch {
-		var reply []valueVoteJSON
+		var reply valueVoteList
 		c.get(ctx, PathValueVotes, url.Values{"topic": {name}}, &reply)
 		out := make([]billboard.ValueVote, len(reply))
 		for i, v := range reply {
@@ -773,7 +856,7 @@ func (c *Client) valueVotes(ctx context.Context, name string) []billboard.ValueV
 func (c *Client) DropTopic(name string) { c.dropTopic(bg, name) }
 
 func (c *Client) dropTopic(ctx context.Context, name string) {
-	c.post(ctx, PathDropTopic, dropPost{Topic: name})
+	c.post(ctx, PathDropTopic, &dropPost{Topic: name})
 	c.cacheMu.Lock()
 	delete(c.cache, name)
 	c.cacheMu.Unlock()
@@ -815,12 +898,7 @@ func (c *Client) topicSnapshot(ctx context.Context, name string, sinceGen, since
 	}
 	votes = make([]billboard.Vote, len(reply.Votes))
 	for i, v := range reply.Votes {
-		vec, err := parsePartial(v.Bits)
-		if err != nil {
-			c.fail(err)
-			return 0, 0, false, nil, nil
-		}
-		votes[i] = billboard.Vote{Vec: vec, Count: v.Count, Voters: v.Voters}
+		votes[i] = billboard.Vote{Vec: v.Bits.P, Count: v.Count, Voters: v.Voters}
 	}
 	valVotes = make([]billboard.ValueVote, len(reply.ValueVotes))
 	for i, v := range reply.ValueVotes {
@@ -850,7 +928,7 @@ func (c *Client) clearProbes(ctx context.Context, p int, objs []int) {
 	if len(objs) == 0 {
 		return
 	}
-	c.post(ctx, PathClearProbes, clearProbesPost{Player: p, Objects: objs})
+	c.post(ctx, PathClearProbes, &clearProbesPost{Player: p, Objects: objs})
 }
 
 // Quiesce blocks until every mutation the server has started applying
@@ -868,7 +946,7 @@ func (c *Client) quiesce(ctx context.Context) {
 // outcome is not reported — a deduplicated retry could not reproduce it
 // — so callers verify by re-reading the topic.
 func (c *Client) dropTopicIf(ctx context.Context, name string, nVec, nVal int) {
-	c.post(ctx, PathDropTopicIf, dropIfPost{Topic: name, Vectors: nVec, Values: nVal})
+	c.post(ctx, PathDropTopicIf, &dropIfPost{Topic: name, Vectors: nVec, Values: nVal})
 	c.cacheMu.Lock()
 	delete(c.cache, name)
 	c.cacheMu.Unlock()
@@ -934,19 +1012,3 @@ func (b *boundClient) TopicSnapshot(name string, sinceGen, sinceEpoch uint64) (g
 }
 func (b *boundClient) Err() error      { return b.c.Err() }
 func (b *boundClient) Failures() int64 { return b.c.Failures() }
-
-// parsePartial decodes the wire form of a partial vector.
-func parsePartial(bits string) (bitvec.Partial, error) {
-	v, err := bitvec.PartialFromString(bits)
-	if err != nil {
-		return bitvec.Partial{}, fmt.Errorf("netboard: bad vector %q: %v", truncate(bits, 32), err)
-	}
-	return v, nil
-}
-
-func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n] + "…"
-}

@@ -63,6 +63,10 @@ func degradedFleet(t *testing.T, n, m int, dropReq, dropResp, dup float64) ([]*b
 			Retries:      40,
 			RetryBackoff: 100 * time.Microsecond,
 			JitterSeed:   99,
+			// The stress gates run over the binary codec: dropped and
+			// duplicated binary frames must stay exactly-once just like
+			// JSON ones (the dedupe window is codec-agnostic).
+			Codec: "binary",
 		},
 	})
 	if err != nil {

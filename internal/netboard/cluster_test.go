@@ -51,45 +51,51 @@ func runUnknownD(in *prefs.Instance, b boardclient.Interface) []bitvec.Partial {
 // TestClusterZeroRadiusOracle is the E1-style byte-identity oracle: a
 // full Zero Radius run over a 3-shard cluster must produce exactly the
 // outputs of the same seeded run on one in-memory board, and the
-// shards' counters must sum to the single board's.
+// shards' counters must sum to the single board's. Both wire codecs
+// must pass the identical oracle — the encoding layer may never change
+// results.
 func TestClusterZeroRadiusOracle(t *testing.T) {
 	in := prefs.Identical(64, 64, 0.5, 7)
 	ref := billboard.New(in.N, in.M)
 	want := runZeroRadius(in, ref)
 
-	boards, cluster := newShardFleet(t, 3, in.N, in.M, Config{})
-	got := runZeroRadius(in, cluster)
-	for p := range want {
-		for j := range want[p] {
-			if want[p][j] != got[p][j] {
-				t.Fatalf("player %d bit %d: cluster %d, single board %d", p, j, got[p][j], want[p][j])
+	for _, codec := range []string{"json", "binary"} {
+		t.Run(codec, func(t *testing.T) {
+			boards, cluster := newShardFleet(t, 3, in.N, in.M, Config{Codec: codec})
+			got := runZeroRadius(in, cluster)
+			for p := range want {
+				for j := range want[p] {
+					if want[p][j] != got[p][j] {
+						t.Fatalf("player %d bit %d: cluster %d, single board %d", p, j, got[p][j], want[p][j])
+					}
+				}
 			}
-		}
-	}
-	var probes, vectors int64
-	topics := 0
-	nonEmpty := 0
-	for _, b := range boards {
-		probes += b.ProbeCount()
-		vectors += b.VectorPostCount()
-		topics += b.TopicCount()
-		if b.ProbeCount() > 0 || b.VectorPostCount() > 0 {
-			nonEmpty++
-		}
-	}
-	if probes != ref.ProbeCount() || vectors != ref.VectorPostCount() || topics != ref.TopicCount() {
-		t.Fatalf("shard totals %d/%d/%d, single board %d/%d/%d",
-			probes, vectors, topics, ref.ProbeCount(), ref.VectorPostCount(), ref.TopicCount())
-	}
-	if cluster.ProbeCount() != probes || cluster.VectorPostCount() != vectors || cluster.TopicCount() != topics {
-		t.Fatalf("cluster stats (%d,%d,%d) disagree with shard sums (%d,%d,%d)",
-			cluster.ProbeCount(), cluster.VectorPostCount(), cluster.TopicCount(), probes, vectors, topics)
-	}
-	if nonEmpty < 2 {
-		t.Fatalf("only %d shards hold data; the ring routed everything to one shard", nonEmpty)
-	}
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("cluster degraded: %v", err)
+			var probes, vectors int64
+			topics := 0
+			nonEmpty := 0
+			for _, b := range boards {
+				probes += b.ProbeCount()
+				vectors += b.VectorPostCount()
+				topics += b.TopicCount()
+				if b.ProbeCount() > 0 || b.VectorPostCount() > 0 {
+					nonEmpty++
+				}
+			}
+			if probes != ref.ProbeCount() || vectors != ref.VectorPostCount() || topics != ref.TopicCount() {
+				t.Fatalf("shard totals %d/%d/%d, single board %d/%d/%d",
+					probes, vectors, topics, ref.ProbeCount(), ref.VectorPostCount(), ref.TopicCount())
+			}
+			if cluster.ProbeCount() != probes || cluster.VectorPostCount() != vectors || cluster.TopicCount() != topics {
+				t.Fatalf("cluster stats (%d,%d,%d) disagree with shard sums (%d,%d,%d)",
+					cluster.ProbeCount(), cluster.VectorPostCount(), cluster.TopicCount(), probes, vectors, topics)
+			}
+			if nonEmpty < 2 {
+				t.Fatalf("only %d shards hold data; the ring routed everything to one shard", nonEmpty)
+			}
+			if err := cluster.Err(); err != nil {
+				t.Fatalf("cluster degraded: %v", err)
+			}
+		})
 	}
 }
 
@@ -102,15 +108,19 @@ func TestClusterUnknownDOracle(t *testing.T) {
 	}
 	in := prefs.Planted(48, 48, 0.5, 4, 21)
 	want := runUnknownD(in, billboard.New(in.N, in.M))
-	_, cluster := newShardFleet(t, 3, in.N, in.M, Config{})
-	got := runUnknownD(in, cluster)
-	if len(want) != len(got) {
-		t.Fatalf("%d outputs vs %d", len(got), len(want))
-	}
-	for p := range want {
-		if !want[p].Equal(got[p]) {
-			t.Fatalf("player %d output differs between cluster and single board", p)
-		}
+	for _, codec := range []string{"json", "binary"} {
+		t.Run(codec, func(t *testing.T) {
+			_, cluster := newShardFleet(t, 3, in.N, in.M, Config{Codec: codec})
+			got := runUnknownD(in, cluster)
+			if len(want) != len(got) {
+				t.Fatalf("%d outputs vs %d", len(got), len(want))
+			}
+			for p := range want {
+				if !want[p].Equal(got[p]) {
+					t.Fatalf("player %d output differs between cluster and single board", p)
+				}
+			}
+		})
 	}
 }
 

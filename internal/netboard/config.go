@@ -75,6 +75,13 @@ type Config struct {
 	// TelemetryPrefix keys the client's instruments; empty means
 	// DefaultTelemetryPrefix.
 	TelemetryPrefix string
+	// Codec selects the request/reply encoding: "json" (the default,
+	// also the empty string) or "binary" (the length-prefixed packed
+	// codec; see internal/wire). The choice is fail-safe: a server that
+	// rejects binary bodies with 415 flips the client back to JSON for
+	// good, so a binary-configured client keeps working against a
+	// JSON-pinned or older server (see Client.Codec).
+	Codec string
 }
 
 // normalized returns cfg with invalid values clamped to the documented
@@ -137,5 +144,6 @@ func NewClientWithConfig(baseURL string, cfg Config) *Client {
 		DisableBatch:    cfg.DisableBatch,
 		Telemetry:       cfg.Telemetry,
 		TelemetryPrefix: cfg.TelemetryPrefix,
+		Codec:           cfg.Codec,
 	}
 }

@@ -25,6 +25,8 @@
 //     (see Client.Err).
 package netboard
 
+import "tellme/internal/wire"
+
 // Paths of the HTTP endpoints.
 const (
 	PathProbe         = "/v1/probe"          // POST: post a probe result; GET: look one up
@@ -104,23 +106,30 @@ type objGrade struct {
 
 // vectorPost is the POST body for PathVector.
 type vectorPost struct {
-	Topic  string `json:"topic"`
-	Player int    `json:"player"`
-	Bits   string `json:"bits"` // '0'/'1'/'?' string form of the Partial
+	Topic  string    `json:"topic"`
+	Player int       `json:"player"`
+	Bits   wire.Bits `json:"bits"` // '0'/'1'/'?' string in JSON, packed planes in binary
 }
 
 // postingJSON is one vector posting in replies.
 type postingJSON struct {
-	Player int    `json:"player"`
-	Bits   string `json:"bits"`
+	Player int       `json:"player"`
+	Bits   wire.Bits `json:"bits"`
 }
+
+// postingList is the PathPostings reply body.
+type postingList []postingJSON
 
 // voteJSON is one tallied vector vote in replies.
 type voteJSON struct {
-	Bits   string `json:"bits"`
-	Count  int    `json:"count"`
-	Voters []int  `json:"voters"`
+	Bits   wire.Bits `json:"bits"`
+	Count  int       `json:"count"`
+	Voters []int     `json:"voters"`
 }
+
+// voteList is the PathVotes reply body (and the Votes field of a topic
+// snapshot).
+type voteList []voteJSON
 
 // valuesPost is the POST body for PathValues.
 type valuesPost struct {
@@ -135,12 +144,19 @@ type valuePostingJSON struct {
 	Vals   []uint32 `json:"vals"`
 }
 
+// valuePostingList is the PathValuePostings reply body.
+type valuePostingList []valuePostingJSON
+
 // valueVoteJSON is one tallied value vote in replies.
 type valueVoteJSON struct {
 	Vals   []uint32 `json:"vals"`
 	Count  int      `json:"count"`
 	Voters []int    `json:"voters"`
 }
+
+// valueVoteList is the PathValueVotes reply body (and the ValueVotes
+// field of a topic snapshot).
+type valueVoteList []valueVoteJSON
 
 // dropPost is the POST body for PathDropTopic.
 type dropPost struct {
@@ -169,11 +185,11 @@ type batchLookupsReply struct {
 // is true and the tallies are omitted — the caller keeps what it
 // fetched at that stamp; otherwise both tallies are included.
 type topicSnapshotReply struct {
-	Gen        uint64          `json:"gen"`
-	Epoch      uint64          `json:"epoch"`
-	Unchanged  bool            `json:"unchanged,omitempty"`
-	Votes      []voteJSON      `json:"votes,omitempty"`
-	ValueVotes []valueVoteJSON `json:"valueVotes,omitempty"`
+	Gen        uint64        `json:"gen"`
+	Epoch      uint64        `json:"epoch"`
+	Unchanged  bool          `json:"unchanged,omitempty"`
+	Votes      voteList      `json:"votes,omitempty"`
+	ValueVotes valueVoteList `json:"valueVotes,omitempty"`
 }
 
 // topicsReply answers PathTopics: all live topic names, sorted.

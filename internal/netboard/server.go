@@ -1,7 +1,6 @@
 package netboard
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,6 +9,7 @@ import (
 
 	"tellme/internal/billboard"
 	"tellme/internal/telemetry"
+	"tellme/internal/wire"
 )
 
 // DefaultDedupeWindow is the number of recently applied request ids the
@@ -29,6 +29,15 @@ type Server struct {
 	board  *billboard.Board
 	mux    *http.ServeMux
 	dedupe *dedupe
+
+	// jsonOnly pins the server to the JSON codec: binary request bodies
+	// are answered 415 and replies are JSON regardless of Accept. See
+	// WithJSONOnly.
+	jsonOnly bool
+	// wireIns holds the per-endpoint wire instruments (bytes in/out,
+	// encode/decode latency), resolved once at registration; entries are
+	// the zero no-op Instruments when telemetry is off.
+	wireIns map[string]wire.Instruments
 
 	tel          *telemetry.Registry
 	dedupeHits   *telemetry.Counter
@@ -60,6 +69,16 @@ func WithDedupeMaxAge(age time.Duration) ServerOption {
 	return func(s *Server) { s.dedupe.maxAge = age }
 }
 
+// WithJSONOnly pins the server to the JSON codec: binary request
+// bodies are rejected with 415 (which binary-configured clients treat
+// as "fall back to JSON"), and every reply is JSON regardless of the
+// Accept header. This is the operator escape hatch for a mixed-codec
+// fleet — a shard can be pinned while the rest speak binary, and
+// clients keep working against both (see DESIGN.md §15).
+func WithJSONOnly() ServerOption {
+	return func(s *Server) { s.jsonOnly = true }
+}
+
 // WithTelemetry attaches a telemetry registry: per-endpoint request
 // counters ("netboard.server.requests.<path>") and latency histograms
 // ("netboard.server.latency_ns.<path>"), dedupe hit/apply counters,
@@ -73,7 +92,12 @@ func WithTelemetry(reg *telemetry.Registry) ServerOption {
 
 // NewServer wraps board in an HTTP handler.
 func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
-	s := &Server{board: board, mux: http.NewServeMux(), dedupe: newDedupe(DefaultDedupeWindow)}
+	s := &Server{
+		board:   board,
+		mux:     http.NewServeMux(),
+		dedupe:  newDedupe(DefaultDedupeWindow),
+		wireIns: make(map[string]wire.Instruments),
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -109,6 +133,7 @@ func NewServer(board *billboard.Board, opts ...ServerOption) *Server {
 // resolved once at registration; the per-request cost is two atomic
 // updates.
 func (s *Server) handle(path string, h http.HandlerFunc) {
+	s.wireIns[path] = wire.NewInstruments(s.tel, "netboard.server", path)
 	if s.tel != nil {
 		reqs := s.tel.Counter("netboard.server.requests." + path)
 		lat := s.tel.Histogram("netboard.server.latency_ns."+path, telemetry.LatencyBuckets())
@@ -179,24 +204,33 @@ func (s *Server) apply(w http.ResponseWriter, r *http.Request, mutate func()) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Connection-level failure; nothing further to do.
-		return
-	}
+// writeReply encodes v per the request's Accept header (JSON unless the
+// client asked for binary and the server is not jsonOnly) and writes it
+// with the matching Content-Type. JSON replies are byte-identical to
+// the pre-codec json.Encoder output.
+func (s *Server) writeReply(w http.ResponseWriter, r *http.Request, path string, v wire.Message) {
+	wire.WriteReply(w, r, v, s.jsonOnly, s.wireIns[path])
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+// decodeBody decodes a request body per its Content-Type — binary
+// bodies through the binary codec (415 when jsonOnly), everything else
+// as JSON — answering 415/400 itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, path string, v wire.Message) bool {
+	if status, err := wire.DecodeRequest(r, v, s.jsonOnly, s.wireIns[path]); status != 0 {
+		http.Error(w, err.Error(), status)
+		return false
+	}
+	return true
+}
+
+// readBody is decodeBody plus the POST method check every mutating
+// endpoint shares (the codec-aware successor of the old readJSON).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, path string, v wire.Message) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
 	}
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
-		return false
-	}
-	return true
+	return s.decodeBody(w, r, path, v)
 }
 
 // playerParam parses the player query parameter and validates range.
@@ -243,8 +277,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var req probePost
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !s.decodeBody(w, r, PathProbe, &req) {
 			return
 		}
 		if !s.validPlayerObject(w, req.Player, req.Object) {
@@ -266,7 +299,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		v, found := s.board.LookupProbe(p, o)
-		writeJSON(w, probeReply{Value: v, OK: found})
+		s.writeReply(w, r, PathProbe, &probeReply{Value: v, OK: found})
 	default:
 		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
@@ -274,7 +307,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatchProbes(w http.ResponseWriter, r *http.Request) {
 	var req batchProbesPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathBatchProbes, &req) {
 		return
 	}
 	if !s.validPlayer(w, req.Player) {
@@ -326,18 +359,18 @@ func (s *Server) handleBatchLookups(w http.ResponseWriter, r *http.Request) {
 	grades := make([]byte, len(objs))
 	known := make([]bool, len(objs))
 	s.board.LookupProbes(p, objs, grades, known)
-	wire := make([]byte, len(objs))
+	gw := make([]byte, len(objs))
 	for k := range objs {
 		switch {
 		case !known[k]:
-			wire[k] = '?'
+			gw[k] = '?'
 		case grades[k] != 0:
-			wire[k] = '1'
+			gw[k] = '1'
 		default:
-			wire[k] = '0'
+			gw[k] = '0'
 		}
 	}
-	writeJSON(w, batchLookupsReply{Grades: string(wire)})
+	s.writeReply(w, r, PathBatchLookups, &batchLookupsReply{Grades: string(gw)})
 }
 
 func (s *Server) handleProbedObjects(w http.ResponseWriter, r *http.Request) {
@@ -349,52 +382,50 @@ func (s *Server) handleProbedObjects(w http.ResponseWriter, r *http.Request) {
 	s.board.ForEachProbe(p, func(o int, g byte) {
 		reply.Objects = append(reply.Objects, objGrade{Object: o, Grade: g})
 	})
-	writeJSON(w, reply)
+	s.writeReply(w, r, PathProbedObjects, &reply)
 }
 
 func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 	var req vectorPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathVector, &req) {
 		return
 	}
 	if !topicParam(w, req.Topic) || !s.validPlayer(w, req.Player) {
 		return
 	}
-	vec, err := parsePartial(req.Bits)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.apply(w, r, func() { s.board.Post(req.Topic, req.Player, vec) })
+	// Vector validation happened at decode time: the JSON form rejects
+	// malformed '0'/'1'/'?' strings in Bits.UnmarshalJSON, the binary
+	// form clamps planes to the invariant in PartialFromPlanes.
+	s.apply(w, r, func() { s.board.Post(req.Topic, req.Player, req.Bits.P) })
 }
 
 func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
 	postings := s.board.Postings(topic)
-	out := make([]postingJSON, len(postings))
+	out := make(postingList, len(postings))
 	for i, p := range postings {
-		out[i] = postingJSON{Player: p.Player, Bits: p.Vec.String()}
+		out[i] = postingJSON{Player: p.Player, Bits: wire.Bits{P: p.Vec}}
 	}
-	writeJSON(w, out)
+	s.writeReply(w, r, PathPostings, &out)
 }
 
 func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
-	votes := s.board.Votes(topic)
-	writeJSON(w, votesToJSON(votes))
+	out := votesToWire(s.board.Votes(topic))
+	s.writeReply(w, r, PathVotes, &out)
 }
 
-func votesToJSON(votes []billboard.Vote) []voteJSON {
-	out := make([]voteJSON, len(votes))
+func votesToWire(votes []billboard.Vote) voteList {
+	out := make(voteList, len(votes))
 	for i, v := range votes {
-		out[i] = voteJSON{Bits: v.Vec.String(), Count: v.Count, Voters: v.Voters}
+		out[i] = voteJSON{Bits: wire.Bits{P: v.Vec}, Count: v.Count, Voters: v.Voters}
 	}
 	return out
 }
 
 func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 	var req valuesPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathValues, &req) {
 		return
 	}
 	if !topicParam(w, req.Topic) || !s.validPlayer(w, req.Player) {
@@ -406,21 +437,21 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleValuePostings(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
 	postings := s.board.ValuePostings(topic)
-	out := make([]valuePostingJSON, len(postings))
+	out := make(valuePostingList, len(postings))
 	for i, p := range postings {
 		out[i] = valuePostingJSON{Player: p.Player, Vals: p.Vals}
 	}
-	writeJSON(w, out)
+	s.writeReply(w, r, PathValuePostings, &out)
 }
 
 func (s *Server) handleValueVotes(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
-	votes := s.board.ValueVotes(topic)
-	writeJSON(w, valueVotesToJSON(votes))
+	out := valueVotesToWire(s.board.ValueVotes(topic))
+	s.writeReply(w, r, PathValueVotes, &out)
 }
 
-func valueVotesToJSON(votes []billboard.ValueVote) []valueVoteJSON {
-	out := make([]valueVoteJSON, len(votes))
+func valueVotesToWire(votes []billboard.ValueVote) valueVoteList {
+	out := make(valueVoteList, len(votes))
 	for i, v := range votes {
 		out[i] = valueVoteJSON{Vals: v.Vals, Count: v.Count, Voters: v.Voters}
 	}
@@ -440,15 +471,15 @@ func (s *Server) handleTopicSnapshot(w http.ResponseWriter, r *http.Request) {
 	gen, epoch, unchanged, votes, valVotes := s.board.TopicSnapshot(topic, sinceGen, sinceEpoch)
 	reply := topicSnapshotReply{Gen: gen, Epoch: epoch, Unchanged: unchanged}
 	if !unchanged {
-		reply.Votes = votesToJSON(votes)
-		reply.ValueVotes = valueVotesToJSON(valVotes)
+		reply.Votes = votesToWire(votes)
+		reply.ValueVotes = valueVotesToWire(valVotes)
 	}
-	writeJSON(w, reply)
+	s.writeReply(w, r, PathTopicSnapshot, &reply)
 }
 
 func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
 	var req dropPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathDropTopic, &req) {
 		return
 	}
 	if !topicParam(w, req.Topic) {
@@ -458,7 +489,7 @@ func (s *Server) handleDropTopic(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, topicsReply{Topics: s.board.Topics()})
+	s.writeReply(w, r, PathTopics, &topicsReply{Topics: s.board.Topics()})
 }
 
 // handleClearProbes is the reshard/drain admin mutation: it clears the
@@ -469,7 +500,7 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 // applied converges.
 func (s *Server) handleClearProbes(w http.ResponseWriter, r *http.Request) {
 	var req clearProbesPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathClearProbes, &req) {
 		return
 	}
 	if !s.validPlayer(w, req.Player) {
@@ -491,7 +522,7 @@ func (s *Server) handleClearProbes(w http.ResponseWriter, r *http.Request) {
 // snapshot instead of committing into the copy-then-drop gap.
 func (s *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 	s.dedupe.Quiesce()
-	writeJSON(w, quiesceReply{Idle: true})
+	s.writeReply(w, r, PathQuiesce, &quiesceReply{Idle: true})
 }
 
 // handleDropTopicIf is the drain's conditional drop: remove the topic
@@ -499,7 +530,7 @@ func (s *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 // outcome is not reported (see dropIfPost); callers re-read the topic.
 func (s *Server) handleDropTopicIf(w http.ResponseWriter, r *http.Request) {
 	var req dropIfPost
-	if !readJSON(w, r, &req) {
+	if !s.readBody(w, r, PathDropTopicIf, &req) {
 		return
 	}
 	if !topicParam(w, req.Topic) {
@@ -513,7 +544,7 @@ func (s *Server) handleDropTopicIf(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statsReply{
+	s.writeReply(w, r, PathStats, &statsReply{
 		ProbeCount:      s.board.ProbeCount(),
 		VectorPostCount: s.board.VectorPostCount(),
 		TopicCount:      s.board.TopicCount(),

@@ -1,0 +1,137 @@
+package netboard
+
+// Codec micro-benchmarks: encode and decode of the two hot message
+// shapes (a loaded topic snapshot, a fleet probe batch) under both
+// codecs, with ReportAllocs so the pooled-buffer claim is measurable.
+// `make bench-wire` runs these through benchdiff into BENCH_WIRE.json.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tellme/internal/bitvec"
+	"tellme/internal/wire"
+)
+
+// benchSnapshot is a representative hot-topic snapshot: 32 tallied
+// 512-bit candidate vectors with voter lists, plus value votes.
+func benchSnapshot() *topicSnapshotReply {
+	const width = 512
+	votes := make(voteList, 32)
+	for i := range votes {
+		s := strings.Repeat("1?0", width/3+1)[:width]
+		p, err := bitvec.PartialFromString(s)
+		if err != nil {
+			panic(err)
+		}
+		voters := make([]int, 8)
+		for j := range voters {
+			voters[j] = i*8 + j
+		}
+		votes[i] = voteJSON{Bits: wire.Bits{P: p}, Count: len(voters), Voters: voters}
+	}
+	valueVotes := make(valueVoteList, 16)
+	for i := range valueVotes {
+		vals := make([]uint32, 16)
+		for j := range vals {
+			vals[j] = uint32(i*16 + j)
+		}
+		valueVotes[i] = valueVoteJSON{Vals: vals, Count: 2, Voters: []int{i, i + 1}}
+	}
+	return &topicSnapshotReply{Gen: 3, Epoch: 41, Votes: votes, ValueVotes: valueVotes}
+}
+
+// benchBatch is one fleet worker's probe round.
+func benchBatch() *batchProbesPost {
+	objs := make([]int, 64)
+	grades := make([]byte, 64)
+	for i := range objs {
+		objs[i] = i * 3
+		grades[i] = "01"[i%2]
+	}
+	return &batchProbesPost{Player: 12345, Objects: objs, Grades: string(grades)}
+}
+
+func benchMessages() []struct {
+	name  string
+	msg   wire.Message
+	fresh func() wire.Message
+} {
+	return []struct {
+		name  string
+		msg   wire.Message
+		fresh func() wire.Message
+	}{
+		{"snapshot", benchSnapshot(), func() wire.Message { return &topicSnapshotReply{} }},
+		{"batch", benchBatch(), func() wire.Message { return &batchProbesPost{} }},
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	for _, m := range benchMessages() {
+		for _, c := range []wire.Codec{wire.JSON, wire.Binary} {
+			b.Run(fmt.Sprintf("%s/%s", m.name, c.Name()), func(b *testing.B) {
+				buf := wire.GetBuffer()
+				defer wire.PutBuffer(buf)
+				var size int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					data, err := c.Append((*buf)[:0], m.msg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = len(data)
+					*buf = data[:0]
+				}
+				b.SetBytes(int64(size))
+			})
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	for _, m := range benchMessages() {
+		for _, c := range []wire.Codec{wire.JSON, wire.Binary} {
+			data, err := c.Append(nil, m.msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", m.name, c.Name()), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					if err := c.Decode(data, m.fresh()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEncodePooledBufferDoesNotAllocate is the satellite claim as a
+// hard test (not just a benchmark number): steady-state binary encodes
+// into a pooled buffer allocate nothing.
+func TestEncodePooledBufferDoesNotAllocate(t *testing.T) {
+	msg := benchBatch()
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	// Warm the buffer to capacity.
+	data, err := wire.Binary.Append((*buf)[:0], msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*buf = data[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := wire.Binary.Append((*buf)[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pooled binary encode allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -49,6 +49,9 @@ func TestStressChurnClusterMatchesInProcess(t *testing.T) {
 			Retries:      60,
 			RetryBackoff: 100 * time.Microsecond,
 			JitterSeed:   7,
+			// The churn gate runs its faulty wire over the binary codec;
+			// exactness must not depend on the encoding.
+			Codec: "binary",
 		},
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"tellme/internal/bitvec"
 	"tellme/internal/telemetry"
+	"tellme/internal/wire"
 )
 
 // HandlerConfig configures the HTTP front of an Engine.
@@ -39,16 +40,29 @@ const DefaultRecommendDeadline = 10 * time.Second
 //
 // Recommendations are answered from the latest completed epoch; a
 // request whose player is not covered yet waits up to the per-request
-// deadline (504 on expiry). All bodies are JSON.
+// deadline (504 on expiry).
+//
+// Bodies default to JSON and negotiate the binary wire codec per
+// request: a binary Content-Type selects the binary decoder, a binary
+// Accept selects the binary encoder (see internal/wire and DESIGN.md
+// §15). Error replies are always JSON — they are rare and meant for
+// humans.
 func Handler(e *Engine, hc HandlerConfig) http.Handler {
 	if hc.RecommendDeadline <= 0 {
 		hc.RecommendDeadline = DefaultRecommendDeadline
 	}
+	ins := func(path string) wire.Instruments {
+		return wire.NewInstruments(hc.Telemetry, "serve.http", path)
+	}
+	joinIns := ins("/v1/players")
+	batchIns := ins("/v1/players/batch")
+	recIns := ins("/v1/recommend")
+	statusIns := ins("/v1/status")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/players", func(w http.ResponseWriter, r *http.Request) {
 		var req joinRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+		if status, err := wire.DecodeRequest(r, &req, false, joinIns); status != 0 {
+			httpError(w, status, fmt.Errorf("bad join body: %w", err))
 			return
 		}
 		truth, err := vectorFromBits(req.Bits, e.cfg.M)
@@ -65,14 +79,13 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusCreated)
-		json.NewEncoder(w).Encode(joinReply{ID: id, Epoch: e.CompletedEpochs()})
+		wire.WriteReplyStatus(w, r, http.StatusCreated,
+			&joinReply{ID: id, Epoch: e.CompletedEpochs()}, false, joinIns)
 	})
 	mux.HandleFunc("POST /v1/players/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchJoinRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch join body: %w", err))
+		if status, err := wire.DecodeRequest(r, &req, false, batchIns); status != 0 {
+			httpError(w, status, fmt.Errorf("bad batch join body: %w", err))
 			return
 		}
 		truths := make([]bitvec.Vector, len(req.Players))
@@ -93,9 +106,8 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusCreated)
-		json.NewEncoder(w).Encode(batchJoinReply{IDs: ids, Epoch: e.CompletedEpochs()})
+		wire.WriteReplyStatus(w, r, http.StatusCreated,
+			&batchJoinReply{IDs: ids, Epoch: e.CompletedEpochs()}, false, batchIns)
 	})
 	mux.HandleFunc("DELETE /v1/players/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
@@ -144,8 +156,7 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(recommendReply{ID: id, Epoch: epoch, Bits: out.String()})
+		wire.WriteReply(w, r, &recommendReply{ID: id, Epoch: epoch, Bits: out.String()}, false, recIns)
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		st := statusReply{
@@ -162,8 +173,7 @@ func Handler(e *Engine, hc HandlerConfig) http.Handler {
 			st.Refresh = s.Refresh
 			st.EpochMillis = s.Duration.Milliseconds()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
+		wire.WriteReply(w, r, &st, false, statusIns)
 	})
 	if hc.Telemetry != nil {
 		mux.HandleFunc("GET /debug/telemetry", func(w http.ResponseWriter, r *http.Request) {

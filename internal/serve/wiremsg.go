@@ -1,0 +1,145 @@
+package serve
+
+import "tellme/internal/wire"
+
+// Binary wire-tag space of the serving front (0x20+; netboard owns
+// 0x01–0x1f). Tags are wire contract — never renumber, only append.
+//
+// The serve structs keep their vector fields as plain strings (the
+// curl-facing shape); in binary they travel through the dual-mode
+// AppendBitsString encoding — packed planes when the string is a valid
+// vector, raw otherwise — so handler-side validation semantics are
+// identical across codecs. errorReply stays JSON under every codec:
+// errors are rare, and a curl user mid-experiment always gets readable
+// output.
+const (
+	tagJoinRequest byte = 0x20 + iota
+	tagBatchJoinRequest
+	tagJoinReply
+	tagBatchJoinReply
+	tagRecommendReply
+	tagStatusReply
+)
+
+func (*joinRequest) WireTag() byte { return tagJoinRequest }
+
+func (j *joinRequest) AppendBinary(dst []byte) []byte {
+	return wire.AppendBitsString(dst, j.Bits)
+}
+
+func (j *joinRequest) DecodeBinary(r *wire.Reader) { j.Bits = r.BitsString() }
+
+func (*batchJoinRequest) WireTag() byte { return tagBatchJoinRequest }
+
+func (b *batchJoinRequest) AppendBinary(dst []byte) []byte {
+	if b.Players == nil {
+		return wire.AppendUint(dst, 0)
+	}
+	dst = wire.AppendUint(dst, uint64(len(b.Players))+1)
+	for _, p := range b.Players {
+		dst = wire.AppendBitsString(dst, p.Bits)
+	}
+	return dst
+}
+
+func (b *batchJoinRequest) DecodeBinary(r *wire.Reader) {
+	b.Players = nil
+	n := r.Uint()
+	if n == 0 {
+		return
+	}
+	b.Players = make([]joinRequest, 0, sliceCap(n-1, 2))
+	for i := uint64(0); i < n-1 && r.Err() == nil; i++ {
+		b.Players = append(b.Players, joinRequest{Bits: r.BitsString()})
+	}
+}
+
+func (*joinReply) WireTag() byte { return tagJoinReply }
+
+func (j *joinReply) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUint(dst, j.ID)
+	return wire.AppendUint(dst, uint64(j.Epoch))
+}
+
+func (j *joinReply) DecodeBinary(r *wire.Reader) {
+	j.ID = r.Uint()
+	j.Epoch = int64(r.Uint())
+}
+
+func (*batchJoinReply) WireTag() byte { return tagBatchJoinReply }
+
+func (b *batchJoinReply) AppendBinary(dst []byte) []byte {
+	if b.IDs == nil {
+		dst = wire.AppendUint(dst, 0)
+	} else {
+		dst = wire.AppendUint(dst, uint64(len(b.IDs))+1)
+		for _, id := range b.IDs {
+			dst = wire.AppendUint(dst, id)
+		}
+	}
+	return wire.AppendUint(dst, uint64(b.Epoch))
+}
+
+func (b *batchJoinReply) DecodeBinary(r *wire.Reader) {
+	b.IDs = nil
+	if n := r.Uint(); n != 0 {
+		b.IDs = make([]uint64, 0, sliceCap(n-1, 1))
+		for i := uint64(0); i < n-1 && r.Err() == nil; i++ {
+			b.IDs = append(b.IDs, r.Uint())
+		}
+	}
+	b.Epoch = int64(r.Uint())
+}
+
+func (*recommendReply) WireTag() byte { return tagRecommendReply }
+
+func (rr *recommendReply) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUint(dst, rr.ID)
+	dst = wire.AppendUint(dst, uint64(rr.Epoch))
+	return wire.AppendBitsString(dst, rr.Bits)
+}
+
+func (rr *recommendReply) DecodeBinary(r *wire.Reader) {
+	rr.ID = r.Uint()
+	rr.Epoch = int64(r.Uint())
+	rr.Bits = r.BitsString()
+}
+
+func (*statusReply) WireTag() byte { return tagStatusReply }
+
+func (s *statusReply) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUint(dst, uint64(s.Epoch))
+	dst = wire.AppendUint(dst, uint64(s.Players))
+	dst = wire.AppendUint(dst, uint64(s.Members))
+	dst = wire.AppendUint(dst, uint64(s.Capacity))
+	dst = wire.AppendUint(dst, uint64(s.M))
+	dst = wire.AppendUint(dst, uint64(s.Pending))
+	dst = wire.AppendBool(dst, s.Refresh)
+	dst = wire.AppendUint(dst, uint64(s.MaxErr))
+	dst = wire.AppendFloat(dst, s.MeanErr)
+	return wire.AppendUint(dst, uint64(s.EpochMillis))
+}
+
+func (s *statusReply) DecodeBinary(r *wire.Reader) {
+	s.Epoch = int64(r.Uint())
+	s.Players = r.Int()
+	s.Members = r.Int()
+	s.Capacity = r.Int()
+	s.M = r.Int()
+	s.Pending = r.Int()
+	s.Refresh = r.Bool()
+	s.MaxErr = r.Int()
+	s.MeanErr = r.Float()
+	s.EpochMillis = int64(r.Uint())
+}
+
+// sliceCap bounds a decode pre-allocation by what the payload could
+// possibly back (count elements of at least minBytes each), so a
+// hostile count in a short frame cannot reserve memory it cannot fill.
+func sliceCap(count uint64, minBytes int) int {
+	const preallocLimit = 1 << 16
+	if count > preallocLimit/uint64(minBytes) {
+		return preallocLimit / minBytes
+	}
+	return int(count)
+}

@@ -202,6 +202,18 @@ func LatencyBucketsFine() []int64 {
 	return b
 }
 
+// MicroLatencyBuckets returns canned bounds for sub-request work —
+// encode/decode CPU time: 1µs to ~16ms, ×4 per bucket (8 buckets).
+// LatencyBuckets starts at 50µs, too coarse for codec passes that
+// finish in single-digit microseconds.
+func MicroLatencyBuckets() []int64 {
+	b := make([]int64, 0, 8)
+	for v := int64(1_000); len(b) < 8; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}
+
 // SizeBuckets returns canned size/count bounds: powers of four from 1
 // to 4^10 (~1M).
 func SizeBuckets() []int64 {

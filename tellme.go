@@ -49,6 +49,7 @@ import (
 	"tellme/internal/sim"
 	"tellme/internal/telemetry"
 	"tellme/internal/trace"
+	"tellme/internal/wire"
 )
 
 // Vector is a packed binary preference vector.
@@ -145,6 +146,12 @@ type Options struct {
 	// deterministic either way; probe posts and vote reads travel over
 	// the batched wire protocol (see DESIGN.md §8).
 	BoardURL string
+	// BoardCodec selects the wire encoding for BoardURL targets:
+	// "json" (the default) or "binary" (packed bit-plane frames, see
+	// DESIGN.md §15; falls back to JSON per-request against servers
+	// that don't speak it). Ignored when Board is set or the board is
+	// in-memory.
+	BoardCodec string
 	// Board, if non-nil, is used as the billboard directly and takes
 	// precedence over BoardURL. This is how a pre-configured
 	// netboard.Client or netboard.Cluster (custom retries, backoff,
@@ -296,6 +303,11 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 	if opt.Timeout < 0 {
 		return nil, fmt.Errorf("tellme: negative timeout %v", opt.Timeout)
 	}
+	if opt.BoardCodec != "" {
+		if _, err := wire.ByName(opt.BoardCodec); err != nil {
+			return nil, fmt.Errorf("tellme: %w", err)
+		}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -320,14 +332,14 @@ func RunContext(ctx context.Context, in *Instance, opt Options) (*Report, error)
 	case strings.Contains(opt.BoardURL, ","):
 		cluster, err := netboard.NewCluster(netboard.ClusterConfig{
 			Shards: strings.Split(opt.BoardURL, ","),
-			Client: netboard.Config{Telemetry: opt.Telemetry},
+			Client: netboard.Config{Telemetry: opt.Telemetry, Codec: opt.BoardCodec},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tellme: board url %q: %w", opt.BoardURL, err)
 		}
 		board = cluster
 	case opt.BoardURL != "":
-		board = netboard.NewClientWithConfig(opt.BoardURL, netboard.Config{Telemetry: opt.Telemetry})
+		board = netboard.NewClientWithConfig(opt.BoardURL, netboard.Config{Telemetry: opt.Telemetry, Codec: opt.BoardCodec})
 	default:
 		mem := billboard.New(in.N, in.M)
 		mem.SetTelemetry(opt.Telemetry)
